@@ -1,0 +1,110 @@
+//===- bench/BenchCommon.h - Shared benchmark harness helpers -------------===//
+//
+// Part of the Pinpoint reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Helpers shared by the per-figure/table benchmark binaries: subject
+/// preparation (generate → parse → SSA-ready module), timing, memory
+/// probes, and aligned table printing. Every binary prints the rows of the
+/// corresponding exhibit in the paper; PINPOINT_BENCH_SCALE scales subject
+/// sizes (default keeps the whole suite minutes-fast on one core).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PINPOINT_BENCH_BENCHCOMMON_H
+#define PINPOINT_BENCH_BENCHCOMMON_H
+
+#include "frontend/Parser.h"
+#include "ir/SSA.h"
+#include "support/Statistics.h"
+#include "support/Timer.h"
+#include "svfa/GlobalSVFA.h"
+#include "workload/Evaluate.h"
+#include "workload/Subjects.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+
+namespace pinpoint::bench {
+
+/// A generated, parsed subject.
+struct PreparedSubject {
+  std::string Name;
+  double PaperKLoC = 0;
+  size_t GeneratedLoC = 0;
+  workload::Workload W;
+  std::unique_ptr<ir::Module> M;
+};
+
+inline PreparedSubject prepare(const workload::Subject &S, double Scale) {
+  PreparedSubject P;
+  P.Name = S.Name;
+  P.PaperKLoC = S.PaperKLoC;
+  P.W = workload::generate(workload::configFor(S, Scale));
+  P.GeneratedLoC = P.W.LoC;
+  P.M = std::make_unique<ir::Module>();
+  std::vector<frontend::Diag> Diags;
+  if (!frontend::parseModule(P.W.Source, *P.M, Diags)) {
+    std::fprintf(stderr, "FATAL: subject %s failed to parse: %s\n",
+                 S.Name, Diags.empty() ? "?" : Diags[0].str().c_str());
+    std::exit(1);
+  }
+  return P;
+}
+
+/// Parses a raw workload (no subject table entry).
+inline std::unique_ptr<ir::Module> parseWorkload(const workload::Workload &W) {
+  auto M = std::make_unique<ir::Module>();
+  std::vector<frontend::Diag> Diags;
+  if (!frontend::parseModule(W.Source, *M, Diags)) {
+    std::fprintf(stderr, "FATAL: workload failed to parse: %s\n",
+                 Diags.empty() ? "?" : Diags[0].str().c_str());
+    std::exit(1);
+  }
+  return M;
+}
+
+/// Converts SVFA reports for the oracle.
+inline std::vector<workload::ReportView>
+toViews(const std::vector<svfa::Report> &Reports, workload::BugChecker C) {
+  std::vector<workload::ReportView> Out;
+  for (const auto &R : Reports)
+    Out.push_back({R.Source.Line, R.Sink.Line, C});
+  return Out;
+}
+
+/// Runs SSA over every function (for baselines that skip the pipeline).
+inline void ssaOnly(ir::Module &M) {
+  for (ir::Function *F : M.functions()) {
+    F->recomputeCFGEdges();
+    ir::constructSSA(*F);
+  }
+}
+
+/// Peak arena bytes during `Fn()`, in MB.
+template <typename FnT> double peakMB(FnT &&Fn) {
+  MemStats::get().resetPeak();
+  int64_t Base = MemStats::get().liveBytes();
+  Fn();
+  return static_cast<double>(MemStats::get().peakBytes() - Base) / 1e6;
+}
+
+inline void hr(char C = '-', int Width = 86) {
+  for (int I = 0; I < Width; ++I)
+    std::putchar(C);
+  std::putchar('\n');
+}
+
+inline void header(const char *Title, const char *PaperRef) {
+  hr('=');
+  std::printf("%s\n(reproduces %s)\n", Title, PaperRef);
+  hr('=');
+}
+
+} // namespace pinpoint::bench
+
+#endif // PINPOINT_BENCH_BENCHCOMMON_H

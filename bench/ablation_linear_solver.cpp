@@ -1,0 +1,88 @@
+//===- bench/ablation_linear_solver.cpp - Linear-time filter ablation -----===//
+//
+// Part of the Pinpoint reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Validates the two empirical claims behind Section 3.1.1's design:
+///
+///  * ">90% of the unsatisfiable path conditions are easy constraints" —
+///    measured as the share of UNSAT verdicts the linear filter delivers
+///    without the SMT backend;
+///  * "about 70% of the path conditions constructed during the points-to
+///    analysis are satisfiable" — measured over the quasi path-sensitive
+///    points-to stage's condition stream;
+///
+/// plus the end-to-end cost of disabling the filter.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+#include "svfa/Pipeline.h"
+
+using namespace pinpoint;
+using namespace pinpoint::bench;
+
+int main() {
+  double Scale = workload::benchScaleFromEnv(0.02);
+  header("Ablation: the linear-time constraint filter",
+         "Section 3.1.1 claims of PLDI'18 Pinpoint");
+
+  workload::WorkloadConfig Cfg;
+  Cfg.Seed = 0xAB1;
+  Cfg.TargetLoC = static_cast<size_t>(800 * 1000 * Scale);
+  Cfg.FeasibleUAF = 6;
+  Cfg.InfeasibleUAF = 12;
+  Cfg.AliasNoise = static_cast<int>(Cfg.TargetLoC / 250);
+  workload::Workload W = workload::generate(Cfg);
+  std::printf("subject: %zu generated LoC\n\n", W.LoC);
+
+  // --- Claim 1: PTA-phase conditions. -----------------------------------
+  {
+    auto M = parseWorkload(W);
+    smt::ExprContext Ctx;
+    svfa::AnalyzedModule AM(*M, Ctx);
+    uint64_t Checked = 0, Pruned = 0;
+    for (ir::Function *F : M->functions()) {
+      Checked += AM.info(F).PTA.condsChecked();
+      Pruned += AM.info(F).PTA.condsPruned();
+    }
+    std::printf("points-to stage: %llu conditions built, %llu pruned as "
+                "obviously-UNSAT -> %.1f%% satisfiable-looking\n",
+                (unsigned long long)Checked, (unsigned long long)Pruned,
+                Checked ? 100.0 * (Checked - Pruned) / Checked : 0.0);
+    std::printf("  (paper: ~70%% of PTA-phase conditions are satisfiable,\n"
+                "   so running a full SMT solver there would be wasted)\n\n");
+  }
+
+  // --- Claim 2 + cost: staged solving with and without the filter. ------
+  for (bool UseFilter : {true, false}) {
+    auto M = parseWorkload(W);
+    smt::ExprContext Ctx;
+    svfa::AnalyzedModule AM(*M, Ctx);
+    svfa::GlobalOptions O;
+    O.UseLinearFilter = UseFilter;
+    Timer T;
+    svfa::GlobalSVFA Engine(AM, checkers::useAfterFreeChecker(), O);
+    auto Reports = Engine.run();
+    double Sec = T.seconds();
+    const auto &SS = Engine.solverStats();
+    uint64_t LinearKills = Engine.stats().LinearPruned + SS.LinearUnsat;
+    uint64_t TotalUnsat = LinearKills + SS.BackendUnsat;
+    std::printf("filter %-3s: %.3fs, %zu reports; SMT queries=%llu, "
+                "linear refutations=%llu, backend-UNSAT=%llu",
+                UseFilter ? "ON" : "OFF", Sec, Reports.size(),
+                (unsigned long long)SS.Queries,
+                (unsigned long long)LinearKills,
+                (unsigned long long)SS.BackendUnsat);
+    if (UseFilter && TotalUnsat)
+      std::printf("\n  -> %.1f%% of all infeasibility refutations came from "
+                  "the linear stage",
+                  100.0 * LinearKills / TotalUnsat);
+    std::printf("\n");
+  }
+  std::printf("\nPaper: >90%% of unsatisfiable conditions are 'easy' (caught "
+              "by the linear solver).\n");
+  return 0;
+}

@@ -1,0 +1,62 @@
+//===- bench/fig9_checker_memory.cpp - End-to-end checker memory ----------===//
+//
+// Part of the Pinpoint reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Reproduces Figure 9: total memory for the complete use-after-free check
+/// (graph construction + bug finding), SEG-based versus FSVFG-based. In the
+/// paper the FSVFG-based checker cannot even finish building its graph on
+/// subjects >135 KLoC while Pinpoint's complete check stays in tens of GB;
+/// the reproduction shows the same shape at benchmark scale.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+#include "baselines/FSVFG.h"
+
+using namespace pinpoint;
+using namespace pinpoint::bench;
+
+int main() {
+  double Scale = workload::benchScaleFromEnv(0.02);
+  header("Figure 9: end-to-end checker memory, SEG- vs FSVFG-based",
+         "Fig. 9 of PLDI'18 Pinpoint");
+  std::printf("%-4s %-14s %9s | %16s %18s\n", "id", "subject", "genLoC",
+              "Pinpoint (MB)", "FSVFG-based (MB)");
+  hr();
+
+  baselines::FSVFG::Budget Budget(2'000'000, 30'000'000);
+
+  int Id = 0;
+  for (const auto &S : workload::table1Subjects()) {
+    PreparedSubject P = prepare(S, Scale);
+
+    double PinMB = peakMB([&] {
+      smt::ExprContext Ctx;
+      svfa::AnalyzedModule AM(*P.M, Ctx);
+      svfa::GlobalSVFA Engine(AM, checkers::useAfterFreeChecker());
+      (void)Engine.run();
+    });
+
+    auto M2 = parseWorkload(P.W);
+    ssaOnly(*M2);
+    baselines::FSVFG G(*M2, Budget);
+    double FsMB = static_cast<double>(G.approxBytes()) / 1e6;
+    bool FsTimeout = G.timedOut();
+    if (!FsTimeout)
+      (void)G.checkUseAfterFree(100000);
+
+    if (FsTimeout)
+      std::printf("%-4d %-14s %9zu | %16.1f %13.1f+ (fail)\n", ++Id,
+                  P.Name.c_str(), P.GeneratedLoC, PinMB, FsMB);
+    else
+      std::printf("%-4d %-14s %9zu | %16.1f %18.1f\n", ++Id, P.Name.c_str(),
+                  P.GeneratedLoC, PinMB, FsMB);
+  }
+  hr();
+  std::printf("Paper claim: the FSVFG-based checker exceeds memory/time on "
+              "large subjects; Pinpoint completes everywhere.\n");
+  return 0;
+}

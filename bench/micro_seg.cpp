@@ -1,0 +1,102 @@
+//===- bench/micro_seg.cpp - Pipeline & SEG microbenchmarks ----------------===//
+//
+// Part of the Pinpoint reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// google-benchmark microbenchmarks for the front half of the system:
+/// parsing, the per-function pipeline (SSA + quasi path-sensitive points-to
+/// + connector transform + SEG), and DD-closure queries.
+///
+//===----------------------------------------------------------------------===//
+
+#include "frontend/Parser.h"
+#include "svfa/GlobalSVFA.h"
+#include "workload/Generator.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace pinpoint;
+
+namespace {
+
+workload::Workload makeSubject(size_t LoC) {
+  workload::WorkloadConfig Cfg;
+  Cfg.Seed = 0x5E6;
+  Cfg.TargetLoC = LoC;
+  Cfg.FeasibleUAF = 3;
+  Cfg.InfeasibleUAF = 3;
+  Cfg.AliasNoise = static_cast<int>(LoC / 300);
+  return workload::generate(Cfg);
+}
+
+void BM_Parse(benchmark::State &State) {
+  workload::Workload W = makeSubject(static_cast<size_t>(State.range(0)));
+  for (auto _ : State) {
+    ir::Module M;
+    std::vector<frontend::Diag> Diags;
+    benchmark::DoNotOptimize(frontend::parseModule(W.Source, M, Diags));
+  }
+  State.SetBytesProcessed(static_cast<int64_t>(State.iterations()) *
+                          static_cast<int64_t>(W.Source.size()));
+}
+BENCHMARK(BM_Parse)->Arg(2000)->Arg(8000)->Arg(32000);
+
+void BM_PipelineToSEG(benchmark::State &State) {
+  workload::Workload W = makeSubject(static_cast<size_t>(State.range(0)));
+  for (auto _ : State) {
+    State.PauseTiming();
+    ir::Module M;
+    std::vector<frontend::Diag> Diags;
+    frontend::parseModule(W.Source, M, Diags);
+    State.ResumeTiming();
+    smt::ExprContext Ctx;
+    svfa::AnalyzedModule AM(M, Ctx);
+    benchmark::DoNotOptimize(AM.totalSEGEdges());
+  }
+  State.SetComplexityN(State.range(0));
+}
+BENCHMARK(BM_PipelineToSEG)->Range(2000, 32000)->Complexity();
+
+void BM_UAFCheck(benchmark::State &State) {
+  workload::Workload W = makeSubject(static_cast<size_t>(State.range(0)));
+  for (auto _ : State) {
+    State.PauseTiming();
+    ir::Module M;
+    std::vector<frontend::Diag> Diags;
+    frontend::parseModule(W.Source, M, Diags);
+    smt::ExprContext Ctx;
+    svfa::AnalyzedModule AM(M, Ctx);
+    State.ResumeTiming();
+    svfa::GlobalSVFA Engine(AM, checkers::useAfterFreeChecker());
+    benchmark::DoNotOptimize(Engine.run());
+  }
+}
+BENCHMARK(BM_UAFCheck)->Arg(4000)->Arg(16000);
+
+void BM_DDClosureQueries(benchmark::State &State) {
+  workload::Workload W = makeSubject(4000);
+  ir::Module M;
+  std::vector<frontend::Diag> Diags;
+  frontend::parseModule(W.Source, M, Diags);
+  smt::ExprContext Ctx;
+  svfa::AnalyzedModule AM(M, Ctx);
+  // Query the DD closure of every return value (fresh SEGs are inside AM;
+  // dd() memoises, so this measures first-touch closure cost).
+  for (auto _ : State) {
+    size_t Total = 0;
+    for (ir::Function *F : M.functions()) {
+      const ir::ReturnStmt *Ret = F->returnStmt();
+      if (!Ret)
+        continue;
+      for (const ir::Value *V : Ret->values())
+        if (const auto *Var = dyn_cast<ir::Variable>(V))
+          Total += AM.info(F).Seg->dd(Var).OpenParams.size();
+    }
+    benchmark::DoNotOptimize(Total);
+  }
+}
+BENCHMARK(BM_DDClosureQueries);
+
+} // namespace

@@ -1,0 +1,121 @@
+//===- bench/micro_smt.cpp - SMT layer microbenchmarks ---------------------===//
+//
+// Part of the Pinpoint reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// google-benchmark microbenchmarks for the constraint layer: hash-consing
+/// throughput, the linear-time filter on growing formulas (it must stay
+/// ~linear), and backend solving costs — the per-query prices behind the
+/// staged-solving design.
+///
+//===----------------------------------------------------------------------===//
+
+#include "smt/LinearSolver.h"
+#include "smt/Solver.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace pinpoint::smt;
+
+namespace {
+
+/// Builds a chain (a1 & !b1) & (a2 & !b2) & ... with one contradiction at
+/// the end when Contradict is set.
+const Expr *buildChain(ExprContext &Ctx, int N, bool Contradict) {
+  const Expr *Acc = Ctx.getTrue();
+  const Expr *First = nullptr;
+  for (int I = 0; I < N; ++I) {
+    const Expr *A = Ctx.freshBoolVar("a" + std::to_string(I));
+    if (!First)
+      First = A;
+    const Expr *B = Ctx.freshBoolVar("b" + std::to_string(I));
+    Acc = Ctx.mkAnd(Acc, Ctx.mkAnd(A, Ctx.mkNot(B)));
+  }
+  if (Contradict && First)
+    Acc = Ctx.mkAnd(Acc, Ctx.mkNot(First));
+  return Acc;
+}
+
+void BM_HashConsing(benchmark::State &State) {
+  for (auto _ : State) {
+    ExprContext Ctx;
+    const Expr *A = Ctx.freshIntVar("a");
+    const Expr *Acc = Ctx.getTrue();
+    for (int I = 0; I < 256; ++I)
+      Acc = Ctx.mkAnd(Acc, Ctx.mkCmp(ExprKind::Gt, A, Ctx.getInt(I % 16)));
+    benchmark::DoNotOptimize(Acc);
+  }
+}
+BENCHMARK(BM_HashConsing);
+
+void BM_LinearFilterUnsat(benchmark::State &State) {
+  ExprContext Ctx;
+  const Expr *F = buildChain(Ctx, static_cast<int>(State.range(0)), true);
+  for (auto _ : State) {
+    LinearSolver LS(Ctx); // Fresh cache: measure the full pass.
+    benchmark::DoNotOptimize(LS.isObviouslyUnsat(F));
+  }
+  State.SetComplexityN(State.range(0));
+}
+BENCHMARK(BM_LinearFilterUnsat)->Range(8, 1024)->Complexity();
+
+void BM_LinearFilterCached(benchmark::State &State) {
+  ExprContext Ctx;
+  const Expr *F = buildChain(Ctx, 256, true);
+  LinearSolver LS(Ctx);
+  LS.isObviouslyUnsat(F); // Warm the memo.
+  for (auto _ : State)
+    benchmark::DoNotOptimize(LS.isObviouslyUnsat(F));
+}
+BENCHMARK(BM_LinearFilterCached);
+
+void BM_MiniSolverUnsat(benchmark::State &State) {
+  ExprContext Ctx;
+  const Expr *F = buildChain(Ctx, static_cast<int>(State.range(0)), true);
+  auto S = createMiniSolver(Ctx);
+  for (auto _ : State)
+    benchmark::DoNotOptimize(S->checkSat(F));
+}
+BENCHMARK(BM_MiniSolverUnsat)->Range(8, 128);
+
+void BM_Z3Unsat(benchmark::State &State) {
+  ExprContext Ctx;
+  const Expr *F = buildChain(Ctx, static_cast<int>(State.range(0)), true);
+  auto S = createZ3Solver(Ctx);
+  if (!S) {
+    State.SkipWithError("built without Z3");
+    return;
+  }
+  for (auto _ : State)
+    benchmark::DoNotOptimize(S->checkSat(F));
+}
+BENCHMARK(BM_Z3Unsat)->Range(8, 128);
+
+void BM_StagedSolverEasyUnsat(benchmark::State &State) {
+  // The case the staged design optimises: easy contradictions never reach
+  // the backend.
+  ExprContext Ctx;
+  const Expr *F = buildChain(Ctx, 64, true);
+  StagedSolver S(Ctx, createDefaultSolver(Ctx));
+  for (auto _ : State)
+    benchmark::DoNotOptimize(S.checkSat(F));
+}
+BENCHMARK(BM_StagedSolverEasyUnsat);
+
+void BM_SubstituteClone(benchmark::State &State) {
+  // Context cloning cost (Equation 2/3 instantiation).
+  ExprContext Ctx;
+  const Expr *F = buildChain(Ctx, 128, false);
+  std::vector<uint32_t> Vars;
+  Ctx.collectVars(F, Vars);
+  std::unordered_map<uint32_t, const Expr *> Map;
+  for (uint32_t V : Vars)
+    Map[V] = Ctx.freshBoolVar("c" + std::to_string(V));
+  for (auto _ : State)
+    benchmark::DoNotOptimize(Ctx.substitute(F, Map));
+}
+BENCHMARK(BM_SubstituteClone);
+
+} // namespace

@@ -1,0 +1,62 @@
+//===- bench/recall_juliet.cpp - Juliet-style recall measurement ----------===//
+//
+// Part of the Pinpoint reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Reproduces Section 5.1.2's recall study: the paper runs Pinpoint on the
+/// Juliet Test Suite's 1421 use-after-free/double-free cases and detects
+/// all of them. This harness generates the Juliet-style corpus (bad cases
+/// with one real bug each; good cases that must stay silent) and reports
+/// recall and good-case noise.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+#include "workload/Juliet.h"
+
+using namespace pinpoint;
+using namespace pinpoint::bench;
+
+int main() {
+  int PerFamily = 16;
+  if (const char *Env = std::getenv("PINPOINT_BENCH_SCALE"))
+    PerFamily = std::max(1, static_cast<int>(PerFamily * atof(Env) / 0.02));
+  header("Recall on the Juliet-style suite", "Section 5.1.2 of PLDI'18");
+
+  auto Suite = workload::generateJulietSuite(PerFamily);
+  int BadTotal = 0, BadDetected = 0, GoodTotal = 0, GoodNoisy = 0;
+
+  for (const auto &C : Suite) {
+    ir::Module M;
+    std::vector<frontend::Diag> Diags;
+    if (!frontend::parseModule(C.Source, M, Diags)) {
+      std::fprintf(stderr, "case %s failed to parse\n", C.Name.c_str());
+      return 1;
+    }
+    smt::ExprContext Ctx;
+    auto Spec = C.Checker == workload::BugChecker::DoubleFree
+                    ? checkers::doubleFreeChecker()
+                    : checkers::useAfterFreeChecker();
+    auto Reports = svfa::checkModule(M, Ctx, Spec);
+    if (C.IsBad) {
+      ++BadTotal;
+      auto Eval = workload::evaluate(C.Bugs, toViews(Reports, C.Checker),
+                                     C.Checker);
+      if (Eval.FalseNegatives == 0)
+        ++BadDetected;
+    } else {
+      ++GoodTotal;
+      if (!Reports.empty())
+        ++GoodNoisy;
+    }
+  }
+
+  std::printf("bad cases   : %4d, detected %4d  -> recall %.1f%%\n", BadTotal,
+              BadDetected, 100.0 * BadDetected / BadTotal);
+  std::printf("good cases  : %4d, noisy    %4d  -> clean  %.1f%%\n", GoodTotal,
+              GoodNoisy, 100.0 * (GoodTotal - GoodNoisy) / GoodTotal);
+  std::printf("Paper: 1421/1421 Juliet UAF/DF cases detected (100%% recall).\n");
+  return BadDetected == BadTotal ? 0 : 1;
+}

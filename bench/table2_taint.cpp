@@ -1,0 +1,71 @@
+//===- bench/table2_taint.cpp - Taint checkers on the MySQL-scale subject -===//
+//
+// Part of the Pinpoint reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Reproduces Table 2: memory, time, and #FP/#Reports for the two taint
+/// checkers (path traversal CWE-23, data transmission CWE-402) on the
+/// MySQL-scale subject. Like the paper (Section 5.3), sanitisation is not
+/// modelled, so environment-guarded plants surface as the false positives
+/// behind the reported 23.6% rate.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+using namespace pinpoint;
+using namespace pinpoint::bench;
+
+int main() {
+  double Scale = workload::benchScaleFromEnv(0.02);
+  header("Table 2: SEG-based taint analysis on the MySQL-scale subject",
+         "Table 2 of PLDI'18 Pinpoint");
+
+  // A MySQL-sized subject with taint plants.
+  workload::WorkloadConfig Cfg;
+  Cfg.Seed = 0x7A2;
+  Cfg.TargetLoC = static_cast<size_t>(2030 * 1000 * Scale);
+  Cfg.FeasibleTaint = 10;
+  Cfg.InfeasibleTaint = 6;
+  Cfg.EnvGuardedTaint = 3;
+  Cfg.AliasNoise = static_cast<int>(Cfg.TargetLoC / 300);
+  workload::Workload W = workload::generate(Cfg);
+  std::printf("subject: mysql-like, %zu generated LoC\n\n", W.LoC);
+
+  std::printf("%-24s %12s %10s %14s %10s\n", "checker", "memory", "time",
+              "#FP/#Reports", "recall");
+  hr();
+
+  struct Row {
+    checkers::CheckerSpec Spec;
+    workload::BugChecker Kind;
+  };
+  Row Rows[] = {
+      {checkers::pathTraversalChecker(), workload::BugChecker::PathTraversal},
+      {checkers::dataTransmissionChecker(),
+       workload::BugChecker::DataTransmission},
+  };
+
+  for (const Row &R : Rows) {
+    auto M = parseWorkload(W);
+    Timer T;
+    std::vector<svfa::Report> Reports;
+    double MB = peakMB([&] {
+      smt::ExprContext Ctx;
+      svfa::AnalyzedModule AM(*M, Ctx);
+      svfa::GlobalSVFA Engine(AM, R.Spec);
+      Reports = Engine.run();
+    });
+    double Sec = T.seconds();
+    auto Eval = workload::evaluate(W.Bugs, toViews(Reports, R.Kind), R.Kind);
+    std::printf("%-24s %10.1fMB %9.2fs %8d/%-5d %9.0f%%\n",
+                R.Spec.Name.c_str(), MB, Sec, Eval.FalsePositives,
+                Eval.Reports, Eval.recall() * 100);
+  }
+  hr();
+  std::printf("Paper: path traversal 43.1G/1.4h, 11/56; data transmission "
+              "52.6G/1.5h, 24/92 (23.6%% FP overall).\n");
+  return 0;
+}

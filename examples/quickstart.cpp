@@ -1,0 +1,69 @@
+//===- examples/quickstart.cpp - Five-minute tour of the public API --------===//
+//
+// Part of the Pinpoint reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Smallest end-to-end use of the library: parse a MiniC snippet, run the
+/// use-after-free checker, print the reports. The snippet is the paper's
+/// Figure 5 example — foo frees its parameter through an alias, the caller
+/// dereferences it afterwards.
+///
+/// Build & run:  cmake --build build && ./build/examples/example_quickstart
+///
+//===----------------------------------------------------------------------===//
+
+#include "frontend/Parser.h"
+#include "svfa/GlobalSVFA.h"
+
+#include <cstdio>
+
+using namespace pinpoint;
+
+int main() {
+  // 1. The program under analysis (the paper's Fig. 5, in MiniC syntax).
+  const char *Source = R"(
+    int foo(int *a, int *c) {
+      int *b = a;
+      free(b);
+      bool t = test(c);
+      if (t) {
+        output(*c, *a);
+      }
+      return *c;
+    }
+    bool test(int *e) {
+      bool f = e != 0;
+      return f;
+    }
+  )";
+
+  // 2. Parse into the IR.
+  ir::Module M;
+  std::vector<frontend::Diag> Diags;
+  if (!frontend::parseModule(Source, M, Diags)) {
+    for (const auto &D : Diags)
+      std::fprintf(stderr, "parse error: %s\n", D.str().c_str());
+    return 1;
+  }
+
+  // 3. Run the whole pipeline + the use-after-free checker. checkModule is
+  //    the one-call convenience; see embed_api.cpp for the layered APIs.
+  smt::ExprContext Ctx;
+  auto Reports =
+      svfa::checkModule(M, Ctx, checkers::useAfterFreeChecker());
+
+  // 4. Print what it found: the dereference of *a after free(b), reached
+  //    through the alias b = a, guarded by a satisfiable path condition.
+  std::printf("found %zu report(s)\n", Reports.size());
+  for (const auto &R : Reports) {
+    std::printf("%s: %s:%s frees a value that %s:%s dereferences\n",
+                R.Checker.c_str(), R.SourceFn.c_str(),
+                R.Source.str().c_str(), R.SinkFn.c_str(),
+                R.Sink.str().c_str());
+    for (const auto &Step : R.Path)
+      std::printf("   %s\n", Step.c_str());
+  }
+  return Reports.empty() ? 1 : 0; // Expect one report.
+}

@@ -1,0 +1,95 @@
+//===- examples/taint_audit.cpp - Auditing a small server for taint flows --===//
+//
+// Part of the Pinpoint reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Audits a hand-written "mini server" for the paper's two taint
+/// properties: path traversal (CWE-23: user input reaching file
+/// operations) and data transmission (CWE-402: secrets reaching the
+/// network). Shows custom checker specs too: adding project-specific
+/// sources and sinks is just editing the spec sets.
+///
+//===----------------------------------------------------------------------===//
+
+#include "frontend/Parser.h"
+#include "svfa/GlobalSVFA.h"
+
+#include <cstdio>
+
+using namespace pinpoint;
+
+int main() {
+  // A request handler with two real flaws and one clean flow:
+  //  * the requested path flows into fopen (path traversal);
+  //  * the session secret is written into the reply buffer and sent;
+  //  * the static banner is sent too, which is fine.
+  const char *Server = R"(
+    int read_request() {
+      int raw = recv();
+      int decoded = raw + 0;
+      return decoded;
+    }
+
+    int load_page(int path) {
+      int fd = fopen(path);
+      return fd;
+    }
+
+    void write_reply(int *buf, int data) {
+      *buf = data;
+    }
+
+    void handle(bool authed) {
+      int req = read_request();
+      int page = load_page(req);
+      print(page);
+
+      int *reply = malloc();
+      int banner = 200;
+      write_reply(reply, banner);
+      if (authed) {
+        int secret = getpass();
+        int token = secret * 31;
+        write_reply(reply, token);
+      }
+      int payload = *reply;
+      sendto(payload);
+    }
+  )";
+
+  ir::Module M;
+  std::vector<frontend::Diag> Diags;
+  if (!frontend::parseModule(Server, M, Diags)) {
+    for (const auto &D : Diags)
+      std::fprintf(stderr, "parse error: %s\n", D.str().c_str());
+    return 1;
+  }
+
+  smt::ExprContext Ctx;
+  svfa::AnalyzedModule AM(M, Ctx);
+
+  // The built-in CWE-23 / CWE-402 specs...
+  checkers::CheckerSpec Specs[] = {checkers::pathTraversalChecker(),
+                                   checkers::dataTransmissionChecker()};
+  // ...plus a custom one: this project treats log output as a sink too.
+  checkers::CheckerSpec Custom = checkers::dataTransmissionChecker();
+  Custom.Name = "secret-to-log";
+  Custom.SinkArgFns = {"print"};
+
+  for (const auto &Spec : {Specs[0], Specs[1], Custom}) {
+    svfa::GlobalSVFA Engine(AM, Spec);
+    auto Reports = Engine.run();
+    std::printf("[%s] %zu finding(s)\n", Spec.Name.c_str(), Reports.size());
+    for (const auto &R : Reports)
+      std::printf("  %s:%s -> %s:%s\n", R.SourceFn.c_str(),
+                  R.Source.str().c_str(), R.SinkFn.c_str(),
+                  R.Sink.str().c_str());
+  }
+
+  std::puts("\nExpected: one path-traversal (recv -> fopen via two calls),"
+            "\none data-transmission (getpass -> sendto through the heap"
+            "\nreply buffer and the write_reply connector), no log leak.");
+  return 0;
+}

@@ -1,0 +1,76 @@
+//===- examples/uaf_hunting.cpp - Precision study on a generated subject ---===//
+//
+// Part of the Pinpoint reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The research-harness workflow: generate a synthetic subject with planted
+/// ground truth, run the use-after-free checker in both path-sensitive and
+/// path-insensitive (SVF-like) modes, and compare precision — a miniature
+/// of the paper's Table 1 experiment that runs in under a second.
+///
+//===----------------------------------------------------------------------===//
+
+#include "frontend/Parser.h"
+#include "svfa/GlobalSVFA.h"
+#include "workload/Evaluate.h"
+
+#include <cstdio>
+
+using namespace pinpoint;
+
+namespace {
+
+std::vector<workload::ReportView> views(const std::vector<svfa::Report> &Rs) {
+  std::vector<workload::ReportView> Out;
+  for (const auto &R : Rs)
+    Out.push_back({R.Source.Line, R.Sink.Line,
+                   workload::BugChecker::UseAfterFree});
+  return Out;
+}
+
+} // namespace
+
+int main() {
+  // A ~3K-line subject: 5 real bugs, 8 infeasible traps, 1 env-guarded FP.
+  workload::WorkloadConfig Cfg;
+  Cfg.Seed = 0xCAFE;
+  Cfg.TargetLoC = 3000;
+  Cfg.FeasibleUAF = 5;
+  Cfg.InfeasibleUAF = 8;
+  Cfg.EnvGuardedUAF = 1;
+  Cfg.AliasNoise = 8;
+  workload::Workload W = workload::generate(Cfg);
+  std::printf("generated subject: %zu LoC, %zu planted bugs\n\n", W.LoC,
+              W.Bugs.size());
+
+  for (bool PathSensitive : {true, false}) {
+    ir::Module M;
+    std::vector<frontend::Diag> Diags;
+    if (!frontend::parseModule(W.Source, M, Diags)) {
+      std::fprintf(stderr, "generated source failed to parse!\n");
+      return 1;
+    }
+    smt::ExprContext Ctx;
+    svfa::GlobalOptions O;
+    O.PathSensitive = PathSensitive;
+    auto Reports =
+        svfa::checkModule(M, Ctx, checkers::useAfterFreeChecker(), O);
+    auto Eval = workload::evaluate(W.Bugs, views(Reports),
+                                   workload::BugChecker::UseAfterFree);
+
+    std::printf("%s mode:\n", PathSensitive ? "path-sensitive (Pinpoint)"
+                                            : "path-insensitive (SVF-like)");
+    std::printf("  reports: %d  TP: %d  FP: %d  missed: %d  "
+                "(FP rate %.1f%%, recall %.0f%%)\n\n",
+                Eval.Reports, Eval.TruePositives, Eval.FalsePositives,
+                Eval.FalseNegatives, Eval.fpRate() * 100,
+                Eval.recall() * 100);
+  }
+
+  std::puts("Path sensitivity removes the infeasible-trap reports without "
+            "losing any real bug —\nthe core of the paper's precision "
+            "argument.");
+  return 0;
+}

@@ -1,0 +1,262 @@
+//===- baselines/Andersen.cpp ------------------------------------------------===//
+//
+// Part of the Pinpoint reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "baselines/Andersen.h"
+
+#include <algorithm>
+
+using namespace pinpoint::ir;
+
+namespace pinpoint::baselines {
+
+Andersen::Andersen(Module &M, Budget B) : M(M), B(B) {
+  generateConstraints(M);
+}
+
+NodeId Andersen::varNode(const Variable *V) {
+  auto It = VarNodes.find(V);
+  if (It != VarNodes.end())
+    return It->second;
+  NodeId N = NumNodes++;
+  Pts.emplace_back();
+  Copies.emplace_back();
+  ComplexOf.emplace_back();
+  Contents.push_back(0);
+  IsObject.push_back(false);
+  VarNodes.emplace(V, N);
+  // Pointer parameters may point anywhere outside: seed a fresh
+  // outside-world object chain.
+  if (V->isParam() && V->type().isPointer())
+    seedOutsideWorld(N, V->type().pointerDepth());
+  return N;
+}
+
+NodeId Andersen::valueNode(const Value *V) {
+  if (const auto *Var = dyn_cast<Variable>(V))
+    return varNode(Var);
+  // Constants (null) share one sink node with an empty points-to set.
+  if (!NullNodeValid) {
+    NullNode = NumNodes++;
+    Pts.emplace_back();
+    Copies.emplace_back();
+    ComplexOf.emplace_back();
+    Contents.push_back(0);
+    IsObject.push_back(false);
+    NullNodeValid = true;
+  }
+  return NullNode;
+}
+
+NodeId Andersen::newObject() {
+  NodeId Obj = NumNodes++;
+  Pts.emplace_back();
+  Copies.emplace_back();
+  ComplexOf.emplace_back();
+  Contents.push_back(0);
+  IsObject.push_back(true);
+  // Contents node.
+  NodeId C = NumNodes++;
+  Pts.emplace_back();
+  Copies.emplace_back();
+  ComplexOf.emplace_back();
+  Contents.push_back(0);
+  IsObject.push_back(false);
+  Contents[Obj] = C;
+  return Obj;
+}
+
+void Andersen::seedOutsideWorld(NodeId Node, int Depth) {
+  NodeId Cur = Node;
+  for (int I = 0; I < Depth; ++I) {
+    NodeId Obj = newObject();
+    Pts[Cur].insert(Obj);
+    Cur = Contents[Obj];
+  }
+}
+
+void Andersen::addCopy(NodeId From, NodeId To) {
+  if (From != To)
+    Copies[From].push_back(To);
+}
+
+void Andersen::generateConstraints(Module &M) {
+  // Desugars *(p,k) by chasing through temporary nodes.
+  auto derefChain = [&](const Value *Base, uint32_t K) {
+    // Returns the node whose points-to set holds the *final-level* objects;
+    // K-1 intermediate loads are materialised as complex constraints into
+    // fresh temp nodes.
+    NodeId Cur = valueNode(Base);
+    for (uint32_t I = 1; I < K; ++I) {
+      NodeId Tmp = NumNodes++;
+      Pts.emplace_back();
+      Copies.emplace_back();
+      ComplexOf.emplace_back();
+      Contents.push_back(0);
+      IsObject.push_back(false);
+      Complex.push_back({ComplexConstraint::Load, Cur, Tmp});
+      ComplexOf[Cur].push_back(static_cast<uint32_t>(Complex.size() - 1));
+      Cur = Tmp;
+    }
+    return Cur;
+  };
+
+  for (Function *F : M.functions()) {
+    for (BasicBlock *Blk : F->blocks()) {
+      for (Stmt *S : Blk->stmts()) {
+        switch (S->stmtKind()) {
+        case Stmt::SK_Assign: {
+          auto *A = cast<AssignStmt>(S);
+          addCopy(valueNode(A->src()), varNode(A->dst()));
+          break;
+        }
+        case Stmt::SK_Phi: {
+          auto *Phi = cast<PhiStmt>(S);
+          for (auto &[Pred, V] : Phi->incoming())
+            addCopy(valueNode(V), varNode(Phi->dst()));
+          break;
+        }
+        case Stmt::SK_Load: {
+          auto *L = cast<LoadStmt>(S);
+          NodeId Ptr = derefChain(L->addr(), L->derefs());
+          Complex.push_back(
+              {ComplexConstraint::Load, Ptr, varNode(L->dst())});
+          ComplexOf[Ptr].push_back(
+              static_cast<uint32_t>(Complex.size() - 1));
+          break;
+        }
+        case Stmt::SK_Store: {
+          auto *St = cast<StoreStmt>(S);
+          NodeId Ptr = derefChain(St->addr(), St->derefs());
+          Complex.push_back(
+              {ComplexConstraint::Store, Ptr, valueNode(St->value())});
+          ComplexOf[Ptr].push_back(
+              static_cast<uint32_t>(Complex.size() - 1));
+          break;
+        }
+        case Stmt::SK_Call: {
+          auto *Call = cast<CallStmt>(S);
+          if (Call->calleeName() == intrinsics::Malloc &&
+              Call->receiver()) {
+            // Sequence carefully: newObject() reallocates Pts.
+            NodeId Recv = varNode(Call->receiver());
+            NodeId Obj = newObject();
+            Pts[Recv].insert(Obj);
+            break;
+          }
+          Function *Callee = Call->callee();
+          if (!Callee)
+            Callee = M.function(Call->calleeName());
+          if (Callee) {
+            // Context-insensitive parameter/return bindings.
+            size_t N = std::min(Call->args().size(),
+                                Callee->params().size());
+            for (size_t I = 0; I < N; ++I)
+              addCopy(valueNode(Call->args()[I]),
+                      varNode(Callee->params()[I]));
+            const ReturnStmt *Ret = Callee->returnStmt();
+            if (Ret && Call->receiver() && !Ret->values().empty())
+              addCopy(valueNode(Ret->values()[0]),
+                      varNode(Call->receiver()));
+          } else if (Call->receiver() &&
+                     Call->receiver()->type().isPointer()) {
+            // External call returning a pointer: outside world.
+            seedOutsideWorld(varNode(Call->receiver()),
+                             Call->receiver()->type().pointerDepth());
+          }
+          break;
+        }
+        default:
+          break;
+        }
+      }
+    }
+  }
+}
+
+bool Andersen::solve() {
+  std::vector<NodeId> Work;
+  std::vector<bool> InWork(NumNodes, false);
+  for (NodeId N = 0; N < NumNodes; ++N)
+    if (!Pts[N].empty()) {
+      Work.push_back(N);
+      InWork[N] = true;
+    }
+
+  auto propagateInto = [&](NodeId To, const std::set<NodeId> &Delta) {
+    size_t Before = Pts[To].size();
+    Pts[To].insert(Delta.begin(), Delta.end());
+    // The budget counts element-insertion work, so hitting it bounds wall
+    // time regardless of set sizes (the 12h-timeout stand-in).
+    Iterations += Delta.size();
+    if (Pts[To].size() != Before && !InWork[To]) {
+      Work.push_back(To);
+      InWork[To] = true;
+    }
+  };
+
+  while (!Work.empty()) {
+    if (++Iterations > B.MaxIterations)
+      return false;
+    NodeId N = Work.back();
+    Work.pop_back();
+    InWork[N] = false;
+
+    // Snapshot: propagation may insert into Pts[N] itself when the
+    // constraint graph has cycles (e.g. self-referential cells).
+    const std::set<NodeId> Snapshot = Pts[N];
+
+    // Complex constraints on N materialise copy edges (so later growth of
+    // the endpoints keeps propagating), then push the current sets.
+    for (uint32_t CI : ComplexOf[N]) {
+      const ComplexConstraint &C = Complex[CI];
+      for (NodeId Obj : Snapshot) {
+        if (!IsObject[Obj])
+          continue;
+        NodeId Cont = Contents[Obj];
+        NodeId From = C.K == ComplexConstraint::Load ? Cont : C.Other;
+        NodeId To = C.K == ComplexConstraint::Load ? C.Other : Cont;
+        if (MaterialisedCopies.insert({From, To}).second)
+          addCopy(From, To);
+        propagateInto(To, Pts[From]);
+      }
+    }
+    // Copy edges. Copies[N] may grow during materialisation above; index
+    // iteration stays valid, and the snapshot avoids self-insertion UB.
+    for (size_t I = 0; I < Copies[N].size(); ++I)
+      propagateInto(Copies[N][I], Snapshot);
+  }
+  return true;
+}
+
+const std::set<NodeId> &Andersen::pointsTo(const Variable *V) const {
+  auto It = VarNodes.find(V);
+  return It == VarNodes.end() ? Empty : Pts[It->second];
+}
+
+bool Andersen::mayAlias(const Variable *A, const Variable *B) const {
+  const auto &PA = pointsTo(A);
+  const auto &PB = pointsTo(B);
+  auto IA = PA.begin();
+  auto IB = PB.begin();
+  while (IA != PA.end() && IB != PB.end()) {
+    if (*IA < *IB)
+      ++IA;
+    else if (*IB < *IA)
+      ++IB;
+    else
+      return true;
+  }
+  return false;
+}
+
+size_t Andersen::totalPtsSize() const {
+  size_t N = 0;
+  for (const auto &S : Pts)
+    N += S.size();
+  return N;
+}
+
+} // namespace pinpoint::baselines

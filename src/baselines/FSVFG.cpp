@@ -1,0 +1,177 @@
+//===- baselines/FSVFG.cpp ----------------------------------------------------===//
+//
+// Part of the Pinpoint reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "baselines/FSVFG.h"
+
+#include <deque>
+#include <set>
+
+using namespace pinpoint::ir;
+
+namespace pinpoint::baselines {
+
+FSVFG::FSVFG(Module &M, Budget Budg)
+    : M(M), B(Budg), PTA(M, Andersen::Budget{Budg.MaxPTAIterations}) {
+  if (!PTA.solve()) {
+    TimedOut = true;
+    return;
+  }
+  build();
+}
+
+void FSVFG::addEdge(const Variable *From, const Variable *To) {
+  if (TimedOut)
+    return;
+  Flow[From].push_back(To);
+  if (++EdgeCount > B.MaxEdges)
+    TimedOut = true;
+}
+
+void FSVFG::build() {
+  // Group stores and loads by the objects their pointers may target, then
+  // connect every store to every load of a shared object — the layered
+  // design cannot do better without conditions.
+  std::map<NodeId, std::vector<const StoreStmt *>> StoresOf;
+  std::map<NodeId, std::vector<const LoadStmt *>> LoadsOf;
+
+  for (Function *F : M.functions()) {
+    for (BasicBlock *Blk : F->blocks()) {
+      for (Stmt *S : Blk->stmts()) {
+        if (TimedOut)
+          return;
+        switch (S->stmtKind()) {
+        case Stmt::SK_Assign: {
+          auto *A = cast<AssignStmt>(S);
+          if (const auto *Src = dyn_cast<Variable>(A->src()))
+            addEdge(Src, A->dst());
+          break;
+        }
+        case Stmt::SK_Phi: {
+          auto *Phi = cast<PhiStmt>(S);
+          for (auto &[Pred, V] : Phi->incoming())
+            if (const auto *Src = dyn_cast<Variable>(V))
+              addEdge(Src, Phi->dst());
+          break;
+        }
+        case Stmt::SK_Load: {
+          auto *L = cast<LoadStmt>(S);
+          if (const auto *P = dyn_cast<Variable>(L->addr()))
+            for (NodeId Obj : PTA.pointsTo(P))
+              LoadsOf[Obj].push_back(L);
+          break;
+        }
+        case Stmt::SK_Store: {
+          auto *St = cast<StoreStmt>(S);
+          if (const auto *P = dyn_cast<Variable>(St->addr()))
+            for (NodeId Obj : PTA.pointsTo(P))
+              StoresOf[Obj].push_back(St);
+          break;
+        }
+        case Stmt::SK_Call: {
+          auto *Call = cast<CallStmt>(S);
+          Function *Callee = Call->callee();
+          if (!Callee)
+            Callee = M.function(Call->calleeName());
+          if (!Callee)
+            break;
+          size_t N = std::min(Call->args().size(), Callee->params().size());
+          for (size_t I = 0; I < N; ++I)
+            if (const auto *A = dyn_cast<Variable>(Call->args()[I]))
+              addEdge(A, Callee->params()[I]);
+          const ReturnStmt *Ret = Callee->returnStmt();
+          if (Ret && Call->receiver() && !Ret->values().empty())
+            if (const auto *RV = dyn_cast<Variable>(Ret->values()[0]))
+              addEdge(RV, Call->receiver());
+          break;
+        }
+        default:
+          break;
+        }
+      }
+    }
+  }
+
+  // The quadratic memory-edge product.
+  for (auto &[Obj, Stores] : StoresOf) {
+    auto It = LoadsOf.find(Obj);
+    if (It == LoadsOf.end())
+      continue;
+    for (const StoreStmt *St : Stores) {
+      const auto *Val = dyn_cast<Variable>(St->value());
+      if (!Val)
+        continue;
+      for (const LoadStmt *L : It->second) {
+        addEdge(Val, L->dst());
+        if (TimedOut)
+          return;
+      }
+    }
+  }
+}
+
+size_t FSVFG::approxBytes() const {
+  size_t Bytes = Flow.size() * (sizeof(void *) * 6);
+  Bytes += EdgeCount * sizeof(void *);
+  Bytes += PTA.totalPtsSize() * sizeof(NodeId) * 3; // Red-black overhead.
+  return Bytes;
+}
+
+std::vector<FSVFG::Finding>
+FSVFG::checkUseAfterFree(size_t MaxReports) {
+  std::vector<Finding> Out;
+  if (TimedOut)
+    return Out;
+
+  // Deref/free sites per variable.
+  std::map<const Variable *, std::vector<const Stmt *>> SinkUses;
+  std::vector<std::pair<const Variable *, const CallStmt *>> Sources;
+  for (Function *F : M.functions())
+    for (BasicBlock *Blk : F->blocks())
+      for (Stmt *S : Blk->stmts()) {
+        if (auto *L = dyn_cast<LoadStmt>(S)) {
+          if (const auto *P = dyn_cast<Variable>(L->addr()))
+            SinkUses[P].push_back(S);
+        } else if (auto *St = dyn_cast<StoreStmt>(S)) {
+          if (const auto *P = dyn_cast<Variable>(St->addr()))
+            SinkUses[P].push_back(S);
+        } else if (auto *Call = dyn_cast<CallStmt>(S)) {
+          if (Call->calleeName() == intrinsics::Free &&
+              !Call->args().empty())
+            if (const auto *P = dyn_cast<Variable>(Call->args()[0])) {
+              Sources.push_back({P, Call});
+              SinkUses[P].push_back(S); // Double free counts as a use.
+            }
+        }
+      }
+
+  for (auto &[Src, FreeCall] : Sources) {
+    // Forward reachability from the freed value, condition-free.
+    std::set<const Variable *> Seen{Src};
+    std::deque<const Variable *> Work{Src};
+    while (!Work.empty()) {
+      const Variable *V = Work.front();
+      Work.pop_front();
+      auto SU = SinkUses.find(V);
+      if (SU != SinkUses.end()) {
+        for (const Stmt *Use : SU->second) {
+          if (Use == FreeCall)
+            continue;
+          Out.push_back({FreeCall->loc(), Use->loc(),
+                         FreeCall->parent()->parent()->name(),
+                         Use->parent()->parent()->name()});
+          if (Out.size() >= MaxReports)
+            return Out;
+        }
+      }
+      for (const Variable *Next : flowsOut(V))
+        if (Seen.insert(Next).second)
+          Work.push_back(Next);
+    }
+  }
+  return Out;
+}
+
+} // namespace pinpoint::baselines

@@ -1,0 +1,112 @@
+//===- baselines/IntraProc.cpp -------------------------------------------------===//
+//
+// Part of the Pinpoint reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "baselines/IntraProc.h"
+
+#include <map>
+#include <set>
+
+using namespace pinpoint::ir;
+
+namespace pinpoint::baselines {
+
+namespace {
+
+/// Per-function value-copy closure: which SSA variables share a value.
+/// Follows assignments and phis only (no memory, no calls — the tool is
+/// unit-confined).
+class CopyGraph {
+public:
+  explicit CopyGraph(const Function &F) {
+    for (const BasicBlock *B : F.blocks())
+      for (const Stmt *S : B->stmts()) {
+        if (const auto *A = dyn_cast<AssignStmt>(S)) {
+          link(A->src(), A->dst());
+        } else if (const auto *Phi = dyn_cast<PhiStmt>(S)) {
+          for (auto &[Pred, V] : Phi->incoming())
+            link(V, Phi->dst());
+        }
+      }
+  }
+
+  std::set<const Variable *> closure(const Variable *Start) const {
+    std::set<const Variable *> Seen{Start};
+    std::vector<const Variable *> Work{Start};
+    while (!Work.empty()) {
+      const Variable *V = Work.back();
+      Work.pop_back();
+      auto It = Adj.find(V);
+      if (It == Adj.end())
+        continue;
+      for (const Variable *N : It->second)
+        if (Seen.insert(N).second)
+          Work.push_back(N);
+    }
+    return Seen;
+  }
+
+private:
+  void link(const Value *A, const Variable *B) {
+    const auto *VA = dyn_cast<Variable>(A);
+    if (!VA)
+      return;
+    Adj[VA].push_back(B);
+    Adj[B].push_back(VA);
+  }
+  std::map<const Variable *, std::vector<const Variable *>> Adj;
+};
+
+} // namespace
+
+std::vector<IntraFinding> checkIntraProcUAF(Module &M) {
+  std::vector<IntraFinding> Out;
+
+  for (Function *F : M.functions()) {
+    if (!F->hasStmtOrder())
+      F->renumberStmts();
+    CopyGraph CG(*F);
+
+    // Free sites in statement order.
+    std::vector<std::pair<const CallStmt *, const Variable *>> Frees;
+    for (const BasicBlock *B : F->blocks())
+      for (const Stmt *S : B->stmts())
+        if (const auto *Call = dyn_cast<CallStmt>(S))
+          if (Call->calleeName() == intrinsics::Free &&
+              !Call->args().empty())
+            if (const auto *P = dyn_cast<Variable>(Call->args()[0]))
+              Frees.push_back({Call, P});
+
+    for (auto &[FreeCall, Ptr] : Frees) {
+      std::set<const Variable *> Aliases = CG.closure(Ptr);
+      uint32_t FreeOrder = F->stmtOrder(FreeCall);
+      for (const BasicBlock *B : F->blocks())
+        for (const Stmt *S : B->stmts()) {
+          if (S == FreeCall || S->isSynthetic())
+            continue;
+          // Path-insensitive "after": statement order only — branch
+          // correlations are not consulted, which is exactly where the
+          // false positives of Table 3 come from.
+          if (F->stmtOrder(S) <= FreeOrder)
+            continue;
+          const Variable *Used = nullptr;
+          if (const auto *L = dyn_cast<LoadStmt>(S))
+            Used = dyn_cast<Variable>(L->addr());
+          else if (const auto *St = dyn_cast<StoreStmt>(S))
+            Used = dyn_cast<Variable>(St->addr());
+          else if (const auto *Call = dyn_cast<CallStmt>(S)) {
+            if (Call->calleeName() == intrinsics::Free &&
+                !Call->args().empty())
+              Used = dyn_cast<Variable>(Call->args()[0]);
+          }
+          if (Used && Aliases.count(Used))
+            Out.push_back({FreeCall->loc(), S->loc(), F->name()});
+        }
+    }
+  }
+  return Out;
+}
+
+} // namespace pinpoint::baselines

@@ -1,0 +1,42 @@
+//===- baselines/IntraProc.h - Infer/CSA-like intraprocedural checker -----===//
+//
+// Part of the Pinpoint reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A compilation-unit-confined checker in the spirit of the paper's Table 3
+/// baselines (Facebook Infer and the Clang Static Analyzer, as the paper
+/// characterises them): it
+///
+///  * analyses each function in isolation — bugs whose source and sink live
+///    in different functions are invisible;
+///  * tracks value copies flow-sensitively but does not solve path
+///    conditions across branches ("do not fully track path correlations"),
+///    so branch-guarded infeasible pairs are reported as bugs;
+///  * is very fast — there is no SMT solving and no summary composition.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PINPOINT_BASELINES_INTRAPROC_H
+#define PINPOINT_BASELINES_INTRAPROC_H
+
+#include "ir/IR.h"
+
+#include <string>
+#include <vector>
+
+namespace pinpoint::baselines {
+
+struct IntraFinding {
+  SourceLoc Source, Sink;
+  std::string Fn;
+};
+
+/// Runs the intraprocedural use-after-free/double-free check over \p M
+/// (expects SSA form).
+std::vector<IntraFinding> checkIntraProcUAF(ir::Module &M);
+
+} // namespace pinpoint::baselines
+
+#endif // PINPOINT_BASELINES_INTRAPROC_H

@@ -1,0 +1,90 @@
+//===- checkers/Checker.h - Source/sink checker specifications ------------===//
+//
+// Part of the Pinpoint reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A checker is a source-sink specification over SEG vertices (paper
+/// Section 4.1): problems that can be modelled as value-flow paths plug
+/// into the global engine by describing which call statements create
+/// sources and which uses are sinks.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PINPOINT_CHECKERS_CHECKER_H
+#define PINPOINT_CHECKERS_CHECKER_H
+
+#include "ir/IR.h"
+#include "seg/SEG.h"
+
+#include <optional>
+#include <set>
+#include <string>
+
+namespace pinpoint::checkers {
+
+/// Declarative checker description.
+struct CheckerSpec {
+  std::string Name;
+
+  /// Functions whose call *argument* becomes the source value
+  /// (e.g. free(p): p's value is dangling afterwards).
+  std::set<std::string> SourceArgFns;
+  /// Functions whose call *return value* is the source
+  /// (e.g. fgetc(): the result is tainted).
+  std::set<std::string> SourceRetFns;
+
+  /// Assignments of the null constant are sources (null-deref checking).
+  bool NullConstIsSource = false;
+
+  /// Dereferencing the value (load/store address) is a sink.
+  bool DerefIsSink = false;
+  /// Passing the value to one of these functions is a sink; any argument
+  /// position matches (e.g. free → double free; fopen → path traversal).
+  std::set<std::string> SinkArgFns;
+
+  /// Sinks must be reachable (in the CFG) from the source event. True for
+  /// temporal properties (use-after-free); false for taint, where data flow
+  /// implies ordering.
+  bool TemporalOrder = false;
+
+  /// Follow operator (binop/unop) edges, not just copies. Taint checkers
+  /// track data derived through computation; pointer checkers do not.
+  bool FlowThroughOperators = false;
+
+  //===--- Matching helpers -------------------------------------------------
+
+  /// The source value created by \p Call, if any: the argument value for
+  /// SourceArgFns, the receiver for SourceRetFns.
+  std::optional<const ir::Variable *>
+  sourceOf(const ir::CallStmt *Call) const {
+    if (SourceArgFns.count(Call->calleeName()) && !Call->args().empty())
+      if (const auto *V = dyn_cast<ir::Variable>(Call->args()[0]))
+        return V;
+    if (SourceRetFns.count(Call->calleeName()) && Call->receiver())
+      return Call->receiver();
+    return std::nullopt;
+  }
+
+  /// True if using \p V at \p U is a sink for this checker.
+  bool isSinkUse(const seg::Use &U) const {
+    if (DerefIsSink && U.Kind == seg::UseKind::DerefAddr &&
+        !U.S->isSynthetic())
+      return true;
+    if (U.Kind == seg::UseKind::CallArg)
+      if (const auto *Call = dyn_cast<ir::CallStmt>(U.S))
+        return SinkArgFns.count(Call->calleeName()) > 0;
+    return false;
+  }
+};
+
+/// The built-in checkers evaluated in the paper.
+CheckerSpec useAfterFreeChecker();
+CheckerSpec doubleFreeChecker();
+CheckerSpec pathTraversalChecker();    ///< CWE-23 taint checker.
+CheckerSpec dataTransmissionChecker(); ///< CWE-402 taint checker.
+
+} // namespace pinpoint::checkers
+
+#endif // PINPOINT_CHECKERS_CHECKER_H

@@ -1,0 +1,39 @@
+//===- checkers/SpecialCheckers.h - Null-deref & leak extensions ----------===//
+//
+// Part of the Pinpoint reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Extension checkers beyond the paper's evaluated four, covering the other
+/// value-flow clients its introduction cites:
+///
+///  * **null dereference** — null-constant assignments are sources, derefs
+///    are sinks; runs on the standard source-sink engine via the
+///    NullConstIsSource spec flag;
+///  * **memory leak** (Fastcheck/Saber style) — a malloc whose value-flow
+///    closure never reaches a free, a return, a store into non-local
+///    memory, or a call argument is reported as leaked. This is not a
+///    source-sink property, so it gets its own small traversal over SEGs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PINPOINT_CHECKERS_SPECIALCHECKERS_H
+#define PINPOINT_CHECKERS_SPECIALCHECKERS_H
+
+#include "checkers/Checker.h"
+#include "svfa/GlobalSVFA.h"
+
+namespace pinpoint::checkers {
+
+/// Null-dereference checker: sources are `p = null` assignments (plus
+/// functions named in SourceRetFns returning possibly-null values), sinks
+/// are dereferences.
+CheckerSpec nullDerefChecker();
+
+/// Reports malloc() results that never escape or get freed.
+std::vector<svfa::Report> checkMemoryLeaks(svfa::AnalyzedModule &AM);
+
+} // namespace pinpoint::checkers
+
+#endif // PINPOINT_CHECKERS_SPECIALCHECKERS_H

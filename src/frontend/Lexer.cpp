@@ -1,0 +1,151 @@
+//===- frontend/Lexer.cpp ----------------------------------------------------===//
+//
+// Part of the Pinpoint reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "frontend/Lexer.h"
+
+#include <cctype>
+#include <unordered_map>
+
+namespace pinpoint::frontend {
+
+Lexer::Lexer(std::string_view Source) : Src(Source) { advance(); }
+
+void Lexer::skipTrivia() {
+  while (Pos < Src.size()) {
+    char C = Src[Pos];
+    if (C == '\n') {
+      ++Line;
+      Col = 1;
+      ++Pos;
+    } else if (C == ' ' || C == '\t' || C == '\r') {
+      ++Col;
+      ++Pos;
+    } else if (C == '/' && Pos + 1 < Src.size() && Src[Pos + 1] == '/') {
+      while (Pos < Src.size() && Src[Pos] != '\n')
+        ++Pos;
+    } else if (C == '/' && Pos + 1 < Src.size() && Src[Pos + 1] == '*') {
+      Pos += 2;
+      Col += 2;
+      while (Pos + 1 < Src.size() &&
+             !(Src[Pos] == '*' && Src[Pos + 1] == '/')) {
+        if (Src[Pos] == '\n') {
+          ++Line;
+          Col = 1;
+        } else {
+          ++Col;
+        }
+        ++Pos;
+      }
+      Pos = Pos + 2 <= Src.size() ? Pos + 2 : Src.size();
+      Col += 2;
+    } else {
+      break;
+    }
+  }
+}
+
+void Lexer::advance() {
+  skipTrivia();
+  Cur = Token{};
+  Cur.Loc = {Line, Col};
+  if (Pos >= Src.size()) {
+    Cur.Kind = TokKind::Eof;
+    return;
+  }
+
+  char C = Src[Pos];
+  auto single = [&](TokKind K) {
+    Cur.Kind = K;
+    Cur.Text = Src.substr(Pos, 1);
+    ++Pos;
+    ++Col;
+  };
+  auto twoChar = [&](TokKind K) {
+    Cur.Kind = K;
+    Cur.Text = Src.substr(Pos, 2);
+    Pos += 2;
+    Col += 2;
+  };
+
+  if (std::isalpha(static_cast<unsigned char>(C)) || C == '_') {
+    size_t Start = Pos;
+    while (Pos < Src.size() &&
+           (std::isalnum(static_cast<unsigned char>(Src[Pos])) ||
+            Src[Pos] == '_')) {
+      ++Pos;
+      ++Col;
+    }
+    Cur.Text = Src.substr(Start, Pos - Start);
+    static const std::unordered_map<std::string_view, TokKind> Keywords = {
+        {"int", TokKind::KwInt},       {"bool", TokKind::KwBool},
+        {"void", TokKind::KwVoid},     {"if", TokKind::KwIf},
+        {"else", TokKind::KwElse},     {"while", TokKind::KwWhile},
+        {"return", TokKind::KwReturn}, {"null", TokKind::KwNull},
+        {"true", TokKind::KwTrue},     {"false", TokKind::KwFalse},
+    };
+    auto It = Keywords.find(Cur.Text);
+    Cur.Kind = It == Keywords.end() ? TokKind::Ident : It->second;
+    return;
+  }
+
+  if (std::isdigit(static_cast<unsigned char>(C))) {
+    size_t Start = Pos;
+    int64_t Val = 0;
+    while (Pos < Src.size() &&
+           std::isdigit(static_cast<unsigned char>(Src[Pos]))) {
+      Val = Val * 10 + (Src[Pos] - '0');
+      ++Pos;
+      ++Col;
+    }
+    Cur.Kind = TokKind::Number;
+    Cur.Text = Src.substr(Start, Pos - Start);
+    Cur.Number = Val;
+    return;
+  }
+
+  char C1 = Pos + 1 < Src.size() ? Src[Pos + 1] : '\0';
+  switch (C) {
+  case '(':
+    return single(TokKind::LParen);
+  case ')':
+    return single(TokKind::RParen);
+  case '{':
+    return single(TokKind::LBrace);
+  case '}':
+    return single(TokKind::RBrace);
+  case ',':
+    return single(TokKind::Comma);
+  case ';':
+    return single(TokKind::Semi);
+  case '*':
+    return single(TokKind::Star);
+  case '+':
+    return single(TokKind::Plus);
+  case '-':
+    return single(TokKind::Minus);
+  case '=':
+    return C1 == '=' ? twoChar(TokKind::EqEq) : single(TokKind::Assign);
+  case '!':
+    return C1 == '=' ? twoChar(TokKind::NotEq) : single(TokKind::Bang);
+  case '<':
+    return C1 == '=' ? twoChar(TokKind::Le) : single(TokKind::Lt);
+  case '>':
+    return C1 == '=' ? twoChar(TokKind::Ge) : single(TokKind::Gt);
+  case '&':
+    if (C1 == '&')
+      return twoChar(TokKind::AmpAmp);
+    break;
+  case '|':
+    if (C1 == '|')
+      return twoChar(TokKind::PipePipe);
+    break;
+  default:
+    break;
+  }
+  single(TokKind::Error);
+}
+
+} // namespace pinpoint::frontend

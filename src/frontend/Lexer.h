@@ -1,0 +1,96 @@
+//===- frontend/Lexer.h - MiniC lexer --------------------------------------===//
+//
+// Part of the Pinpoint reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tokeniser for MiniC, the concrete syntax of the paper's Section 3
+/// language (see docs in frontend/Parser.h). Supports //- and /*-comments
+/// and tracks line/column for bug-report ground-truth matching.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PINPOINT_FRONTEND_LEXER_H
+#define PINPOINT_FRONTEND_LEXER_H
+
+#include "support/SourceLoc.h"
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace pinpoint::frontend {
+
+enum class TokKind : uint8_t {
+  Eof,
+  Ident,
+  Number,
+  // Keywords.
+  KwInt,
+  KwBool,
+  KwVoid,
+  KwIf,
+  KwElse,
+  KwWhile,
+  KwReturn,
+  KwNull,
+  KwTrue,
+  KwFalse,
+  // Punctuation.
+  LParen,
+  RParen,
+  LBrace,
+  RBrace,
+  Comma,
+  Semi,
+  Assign,   // =
+  Star,     // *
+  Plus,
+  Minus,
+  Bang,     // !
+  AmpAmp,   // &&
+  PipePipe, // ||
+  EqEq,
+  NotEq,
+  Lt,
+  Le,
+  Gt,
+  Ge,
+  Error,
+};
+
+struct Token {
+  TokKind Kind = TokKind::Eof;
+  std::string_view Text;
+  int64_t Number = 0;
+  SourceLoc Loc;
+
+  bool is(TokKind K) const { return Kind == K; }
+};
+
+/// A one-token-lookahead lexer over an in-memory buffer.
+class Lexer {
+public:
+  explicit Lexer(std::string_view Source);
+
+  const Token &peek() const { return Cur; }
+  Token next() {
+    Token T = Cur;
+    advance();
+    return T;
+  }
+
+private:
+  void advance();
+  void skipTrivia();
+
+  std::string_view Src;
+  size_t Pos = 0;
+  uint32_t Line = 1, Col = 1;
+  Token Cur;
+};
+
+} // namespace pinpoint::frontend
+
+#endif // PINPOINT_FRONTEND_LEXER_H

@@ -1,0 +1,68 @@
+//===- frontend/Parser.h - MiniC parser / IR builder ----------------------===//
+//
+// Part of the Pinpoint reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Parser for MiniC, the concrete syntax of the paper's Section 3
+/// call-by-value language, lowering directly to the CFG IR:
+///
+/// \code
+///   module   := function*
+///   function := type IDENT '(' (type IDENT (',' type IDENT)*)? ')' block
+///   type     := 'int' '*'* | 'bool' | 'void'
+///   block    := '{' stmt* '}'
+///   stmt     := block
+///             | type IDENT ('=' expr)? ';'
+///             | 'if' '(' expr ')' stmt ('else' stmt)?
+///             | 'while' '(' expr ')' stmt
+///             | 'return' expr? ';'
+///             | IDENT '=' expr ';'
+///             | '*'+ IDENT '=' expr ';'
+///             | expr ';'
+///   expr     := the usual || / && / comparison / additive / multiplicative
+///               precedence over: NUMBER, 'null', 'true', 'false', IDENT,
+///               IDENT '(' args ')', '*'+ IDENT (load), unary -/!, parens
+/// \endcode
+///
+/// Lowering decisions that mirror the paper's soundiness choices (§4.2):
+///  * `while` is unrolled once (the body executes at most one iteration), so
+///    every CFG is acyclic;
+///  * every function is lowered through a unified exit block with a single
+///    `return` statement (the paper's one-return assumption);
+///  * `&&`/`||` are strict boolean operators (no short-circuit CFG) — path
+///    conditions see them as the boolean connectives they are;
+///  * there is no address-of: pointers originate from `malloc()` and
+///    parameters, exactly as in the paper's language.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PINPOINT_FRONTEND_PARSER_H
+#define PINPOINT_FRONTEND_PARSER_H
+
+#include "ir/IR.h"
+#include "support/SourceLoc.h"
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pinpoint::frontend {
+
+struct Diag {
+  SourceLoc Loc;
+  std::string Msg;
+
+  std::string str() const { return Loc.str() + ": " + Msg; }
+};
+
+/// Parses \p Source into \p M. Returns true on success (no diagnostics).
+/// On failure, \p Diags describes the problems; the module may be partially
+/// populated.
+bool parseModule(std::string_view Source, ir::Module &M,
+                 std::vector<Diag> &Diags);
+
+} // namespace pinpoint::frontend
+
+#endif // PINPOINT_FRONTEND_PARSER_H

@@ -1,0 +1,81 @@
+//===- ir/CallGraph.cpp ------------------------------------------------------===//
+//
+// Part of the Pinpoint reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/CallGraph.h"
+
+namespace pinpoint::ir {
+
+CallGraph::CallGraph(Module &M) {
+  for (Function *F : M.functions()) {
+    Callees[F];
+    Callers[F];
+  }
+  for (Function *F : M.functions())
+    for (BasicBlock *B : F->blocks())
+      for (Stmt *S : B->stmts())
+        if (auto *Call = dyn_cast<CallStmt>(S)) {
+          Function *Callee = M.function(Call->calleeName());
+          Call->setCallee(Callee);
+          if (Callee) {
+            Callees[F].insert(Callee);
+            Callers[Callee].insert(F);
+          }
+        }
+
+  // Tarjan SCC; the stack-pop order yields bottom-up (callees first).
+  for (Function *F : M.functions())
+    if (!Index.count(F))
+      tarjan(F);
+}
+
+void CallGraph::tarjan(Function *F) {
+  // Iterative Tarjan to be safe on deep call chains.
+  struct Frame {
+    Function *F;
+    std::set<Function *>::const_iterator It, End;
+  };
+  std::vector<Frame> Frames;
+
+  auto push = [&](Function *G) {
+    Index[G] = Low[G] = NextIndex++;
+    Stack.push_back(G);
+    OnStack.insert(G);
+    Frames.push_back({G, Callees[G].begin(), Callees[G].end()});
+  };
+  push(F);
+
+  while (!Frames.empty()) {
+    Frame &Top = Frames.back();
+    if (Top.It != Top.End) {
+      Function *Next = *Top.It++;
+      if (!Index.count(Next)) {
+        push(Next);
+      } else if (OnStack.count(Next)) {
+        Low[Top.F] = std::min(Low[Top.F], Index[Next]);
+      }
+      continue;
+    }
+    // Finished Top.F.
+    Function *Done = Top.F;
+    Frames.pop_back();
+    if (!Frames.empty())
+      Low[Frames.back().F] = std::min(Low[Frames.back().F], Low[Done]);
+    if (Low[Done] == Index[Done]) {
+      size_t SCC = NumSCCs++;
+      while (true) {
+        Function *Member = Stack.back();
+        Stack.pop_back();
+        OnStack.erase(Member);
+        SCCIndex[Member] = SCC;
+        BottomUp.push_back(Member);
+        if (Member == Done)
+          break;
+      }
+    }
+  }
+}
+
+} // namespace pinpoint::ir

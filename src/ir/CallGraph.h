@@ -1,0 +1,67 @@
+//===- ir/CallGraph.h - Call graph with bottom-up ordering -----------------===//
+//
+// Part of the Pinpoint reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The module call graph. Pinpoint's whole pipeline is bottom-up (callees
+/// before callers); recursion cycles are collapsed into SCCs and, matching
+/// the paper's soundiness choice of unrolling call-graph cycles once,
+/// intra-SCC call edges are treated as opaque by the analyses.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PINPOINT_IR_CALLGRAPH_H
+#define PINPOINT_IR_CALLGRAPH_H
+
+#include "ir/IR.h"
+
+#include <map>
+#include <set>
+#include <vector>
+
+namespace pinpoint::ir {
+
+class CallGraph {
+public:
+  explicit CallGraph(Module &M);
+
+  /// Resolved callees of \p F (unresolved externals are not listed).
+  const std::set<Function *> &callees(Function *F) const {
+    return Callees.at(F);
+  }
+  const std::set<Function *> &callers(Function *F) const {
+    return Callers.at(F);
+  }
+
+  /// Functions in bottom-up order: every (non-SCC) callee precedes its
+  /// callers; members of one SCC appear consecutively.
+  const std::vector<Function *> &bottomUpOrder() const { return BottomUp; }
+
+  /// True if \p A and \p B belong to the same (recursion) SCC.
+  bool inSameSCC(const Function *A, const Function *B) const {
+    return SCCIndex.at(const_cast<Function *>(A)) ==
+           SCCIndex.at(const_cast<Function *>(B));
+  }
+
+  size_t numSCCs() const { return NumSCCs; }
+
+private:
+  void tarjan(Function *F);
+
+  std::map<Function *, std::set<Function *>> Callees, Callers;
+  std::vector<Function *> BottomUp;
+  std::map<Function *, size_t> SCCIndex;
+  size_t NumSCCs = 0;
+
+  // Tarjan state.
+  std::map<Function *, int> Index, Low;
+  std::vector<Function *> Stack;
+  std::set<Function *> OnStack;
+  int NextIndex = 0;
+};
+
+} // namespace pinpoint::ir
+
+#endif // PINPOINT_IR_CALLGRAPH_H

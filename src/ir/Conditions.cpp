@@ -1,0 +1,112 @@
+//===- ir/Conditions.cpp -----------------------------------------------------===//
+//
+// Part of the Pinpoint reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Conditions.h"
+
+namespace pinpoint::ir {
+
+const smt::Expr *SymbolMap::operator[](const Value *V) {
+  if (const auto *C = dyn_cast<Constant>(V))
+    return Ctx.getInt(C->value());
+  const auto *Var = cast<Variable>(V);
+  auto It = Map.find(Var);
+  if (It != Map.end())
+    return It->second;
+  std::string Name = Var->parent()->name() + "::" + Var->name();
+  const smt::Expr *E = Var->type().isBool() ? Ctx.freshBoolVar(Name)
+                                            : Ctx.freshIntVar(Name);
+  Map.emplace(Var, E);
+  Reverse.emplace(E->varId(), Var);
+  return E;
+}
+
+ConditionMap::ConditionMap(const Function &F, SymbolMap &Syms)
+    : F(F), Syms(Syms), Ctx(Syms.context()), DT(F),
+      PDT(F, DomTree::Direction::Post), RPO(reversePostOrder(F)) {
+  computeControlDeps();
+}
+
+const smt::Expr *ConditionMap::edgeCond(const BasicBlock *From,
+                                        const BasicBlock *To) {
+  const Stmt *T = From->terminator();
+  const auto *Br = dyn_cast_or_null<BranchStmt>(T);
+  if (!Br || Br->trueBlock() == Br->falseBlock())
+    return Ctx.getTrue();
+  const smt::Expr *CondVar = Syms[Br->cond()];
+  // Bool-typed conditions map to boolean atoms; int-typed ones (C-style
+  // truthiness) become `v != 0`.
+  const smt::Expr *Lit =
+      CondVar->isBool() ? CondVar : Ctx.mkNe(CondVar, Ctx.getInt(0));
+  if (To == Br->trueBlock())
+    return Lit;
+  assert(To == Br->falseBlock() && "edge does not exist");
+  return Ctx.mkNot(Lit);
+}
+
+const smt::Expr *ConditionMap::reachCond(const BasicBlock *From,
+                                         const BasicBlock *To) {
+  auto &Cache = ReachCache[From];
+  if (auto It = Cache.find(To); It != Cache.end())
+    return It->second;
+
+  // Topological propagation over the acyclic CFG, restricted to blocks at
+  // or after From in RPO. Blocks not reached from From get condition false.
+  Cache[From] = Ctx.getTrue();
+  for (BasicBlock *X : RPO) {
+    if (Cache.count(X))
+      continue;
+    const smt::Expr *RC = Ctx.getFalse();
+    for (BasicBlock *P : X->preds()) {
+      auto PIt = Cache.find(P);
+      if (PIt == Cache.end() || PIt->second->isFalse())
+        continue;
+      RC = Ctx.mkOr(RC, Ctx.mkAnd(PIt->second, edgeCond(P, X)));
+    }
+    Cache[X] = RC;
+  }
+  auto It = Cache.find(To);
+  return It == Cache.end() ? Ctx.getFalse() : It->second;
+}
+
+const smt::Expr *ConditionMap::phiGate(const PhiStmt *Phi,
+                                       const BasicBlock *Pred) {
+  const BasicBlock *B = Phi->parent();
+  const BasicBlock *Region = DT.idom(B);
+  const smt::Expr *RC =
+      Region ? reachCond(Region, Pred) : Ctx.getTrue();
+  return Ctx.mkAnd(RC, edgeCond(Pred, B));
+}
+
+void ConditionMap::computeControlDeps() {
+  // FOW: B is control dependent on branch A via successor S when B
+  // post-dominates S but not A. Walk each branch edge (A -> S) up the
+  // post-dominator tree from S to pdom(A), marking every node passed.
+  for (BasicBlock *A : F.blocks()) {
+    const auto *Br = dyn_cast_or_null<BranchStmt>(A->terminator());
+    if (!Br || Br->trueBlock() == Br->falseBlock())
+      continue;
+    const auto *CondVar = dyn_cast<Variable>(Br->cond());
+    if (!CondVar)
+      continue; // Constant condition: no real dependence.
+    BasicBlock *StopAt = PDT.idom(A);
+    for (bool Polarity : {true, false}) {
+      BasicBlock *S = Polarity ? Br->trueBlock() : Br->falseBlock();
+      BasicBlock *Runner = S;
+      while (Runner && Runner != StopAt) {
+        CDs[Runner].push_back({CondVar, Polarity});
+        Runner = PDT.idom(Runner);
+      }
+    }
+  }
+}
+
+const std::vector<ControlDep> &
+ConditionMap::controlDeps(const BasicBlock *B) const {
+  auto It = CDs.find(B);
+  return It == CDs.end() ? Empty : It->second;
+}
+
+} // namespace pinpoint::ir

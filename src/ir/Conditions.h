@@ -1,0 +1,115 @@
+//===- ir/Conditions.h - Gated-SSA conditions & control dependence --------===//
+//
+// Part of the Pinpoint reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Bridges the IR and the symbolic expression DAG:
+///
+///  * `SymbolMap` assigns each SSA variable a symbolic variable (bool-typed
+///    IR variables become boolean atoms — the θs of the paper; everything
+///    else, including pointers, becomes an integer term).
+///
+///  * `ConditionMap` computes, per function,
+///      - edge conditions (branch literal per CFG edge),
+///      - reaching conditions RC(From→X) by topological propagation
+///        (the gated-SSA construction; almost-linear thanks to hash-consing,
+///        in the spirit of Tu & Padua [48]),
+///      - phi gates: gate(phi in B, pred P) = RC(idom(B)→P) ∧ edgeCond(P→B),
+///      - control dependence per Ferrante-Ottenstein-Warren (the paper's
+///        "efficient path conditions" [43] come from chaining these),
+///      - canonical (King-style) full path conditions, kept only for the
+///        ablation benchmark that reproduces Example 3.6's contrast.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PINPOINT_IR_CONDITIONS_H
+#define PINPOINT_IR_CONDITIONS_H
+
+#include "ir/Dominators.h"
+#include "ir/IR.h"
+#include "smt/Expr.h"
+
+#include <unordered_map>
+#include <vector>
+
+namespace pinpoint::ir {
+
+/// Maps IR variables to symbolic variables, creating them on demand.
+class SymbolMap {
+public:
+  explicit SymbolMap(smt::ExprContext &Ctx) : Ctx(Ctx) {}
+
+  /// The symbolic variable (or constant) denoting \p V.
+  const smt::Expr *operator[](const Value *V);
+
+  /// The IR variable a symbolic variable id came from, or null.
+  const Variable *irVar(uint32_t SymVarId) const {
+    auto It = Reverse.find(SymVarId);
+    return It == Reverse.end() ? nullptr : It->second;
+  }
+
+  smt::ExprContext &context() { return Ctx; }
+
+private:
+  smt::ExprContext &Ctx;
+  std::unordered_map<const Variable *, const smt::Expr *> Map;
+  std::unordered_map<uint32_t, const Variable *> Reverse;
+};
+
+/// A control-dependence parent: the branch-condition variable an entity is
+/// control dependent on, with the edge polarity (paper Fig. 4's dashed
+/// edges and their true/false labels).
+struct ControlDep {
+  const Variable *BranchVar;
+  bool Polarity;
+};
+
+/// Per-function condition computations (see file comment).
+class ConditionMap {
+public:
+  ConditionMap(const Function &F, SymbolMap &Syms);
+
+  /// Condition on taking the CFG edge From -> To: the branch literal, or
+  /// true for unconditional edges.
+  const smt::Expr *edgeCond(const BasicBlock *From, const BasicBlock *To);
+
+  /// Reaching condition of \p To within the region headed by \p From:
+  /// RC(From) = true; RC(X) = ⋁_{P→X} RC(P) ∧ edgeCond(P→X).
+  const smt::Expr *reachCond(const BasicBlock *From, const BasicBlock *To);
+
+  /// Canonical King-style path condition of \p B from the entry; the
+  /// verbose form the paper contrasts against (Example 3.6).
+  const smt::Expr *canonicalPathCond(const BasicBlock *B) {
+    return reachCond(F.entry(), B);
+  }
+
+  /// Gate for \p Phi's incoming value from \p Pred (gated SSA).
+  const smt::Expr *phiGate(const PhiStmt *Phi, const BasicBlock *Pred);
+
+  /// Direct control-dependence parents of \p B (FOW). Structured lowering
+  /// yields at most one entry per block.
+  const std::vector<ControlDep> &controlDeps(const BasicBlock *B) const;
+
+  const DomTree &domTree() const { return DT; }
+  const DomTree &postDomTree() const { return PDT; }
+
+private:
+  void computeControlDeps();
+
+  const Function &F;
+  SymbolMap &Syms;
+  smt::ExprContext &Ctx;
+  DomTree DT, PDT;
+  std::vector<BasicBlock *> RPO;
+  std::unordered_map<const BasicBlock *,
+                     std::unordered_map<const BasicBlock *, const smt::Expr *>>
+      ReachCache;
+  std::unordered_map<const BasicBlock *, std::vector<ControlDep>> CDs;
+  std::vector<ControlDep> Empty;
+};
+
+} // namespace pinpoint::ir
+
+#endif // PINPOINT_IR_CONDITIONS_H

@@ -1,0 +1,212 @@
+//===- ir/SSA.cpp ------------------------------------------------------------===//
+//
+// Part of the Pinpoint reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/SSA.h"
+#include "ir/Dominators.h"
+
+#include <map>
+#include <set>
+#include <vector>
+
+namespace pinpoint::ir {
+
+namespace {
+
+class SSABuilder {
+public:
+  SSABuilder(Function &F) : F(F), DT(F) {}
+
+  void run() {
+    collectDefs();
+    placePhis();
+    rename(F.entry());
+    setDefPointers();
+    F.renumberStmts();
+  }
+
+private:
+  void collectDefs() {
+    for (BasicBlock *B : F.blocks())
+      for (Stmt *S : B->stmts()) {
+        if (Variable *D = S->definedVar())
+          DefBlocks[D].insert(B);
+        // Calls may define several receivers.
+        if (auto *Call = dyn_cast<CallStmt>(S))
+          for (Variable *R : Call->auxReceivers())
+            if (R)
+              DefBlocks[R].insert(B);
+      }
+    // Parameters are defined at entry.
+    for (Variable *P : F.params())
+      DefBlocks[P].insert(F.entry());
+  }
+
+  void placePhis() {
+    for (auto &[Var, Blocks] : DefBlocks) {
+      std::set<BasicBlock *> HasPhi;
+      std::vector<BasicBlock *> Work(Blocks.begin(), Blocks.end());
+      while (!Work.empty()) {
+        BasicBlock *B = Work.back();
+        Work.pop_back();
+        for (BasicBlock *D : DT.frontier(B)) {
+          if (!HasPhi.insert(D).second)
+            continue;
+          auto *Phi = F.parent()->make<PhiStmt>(Var, SourceLoc{});
+          D->insertAfterPhis(Phi);
+          PhiOrigin[Phi] = Var;
+          if (!DefBlocks[Var].count(D))
+            Work.push_back(D);
+        }
+      }
+    }
+  }
+
+  Variable *freshVersion(Variable *Orig) {
+    ++VersionCount[Orig];
+    // The very first version of a parameter is the parameter itself.
+    if (Orig->isParam() && VersionCount[Orig] == 1)
+      return Orig;
+    Variable *V = F.createVar(
+        Orig->type(), Orig->name() + "." + std::to_string(VersionCount[Orig]));
+    return V;
+  }
+
+  Variable *currentVersion(Variable *Orig) {
+    auto It = Stacks.find(Orig);
+    if (It == Stacks.end() || It->second.empty())
+      return Orig; // Use before def: keep the original (unconstrained).
+    return It->second.back();
+  }
+
+  Value *rewriteUse(Value *V) {
+    if (auto *Var = dyn_cast<Variable>(V))
+      if (DefBlocks.count(Var))
+        return currentVersion(Var);
+    return V;
+  }
+
+  void rename(BasicBlock *B) {
+    std::vector<Variable *> Pushed;
+
+    auto pushDef = [&](Variable *Orig) -> Variable * {
+      Variable *New = freshVersion(Orig);
+      Stacks[Orig].push_back(New);
+      Pushed.push_back(Orig);
+      return New;
+    };
+
+    if (B == F.entry())
+      for (Variable *P : F.params())
+        pushDef(P);
+
+    for (Stmt *S : B->stmts()) {
+      switch (S->stmtKind()) {
+      case Stmt::SK_Phi: {
+        auto *Phi = cast<PhiStmt>(S);
+        Variable *Orig = Phi->dst();
+        Phi->setDst(pushDef(Orig));
+        break;
+      }
+      case Stmt::SK_Assign: {
+        auto *A = cast<AssignStmt>(S);
+        A->setSrc(rewriteUse(A->src()));
+        A->setDst(pushDef(A->dst()));
+        break;
+      }
+      case Stmt::SK_BinOp: {
+        auto *O = cast<BinOpStmt>(S);
+        O->setLhs(rewriteUse(O->lhs()));
+        O->setRhs(rewriteUse(O->rhs()));
+        O->setDst(pushDef(O->dst()));
+        break;
+      }
+      case Stmt::SK_UnOp: {
+        auto *O = cast<UnOpStmt>(S);
+        O->setSrc(rewriteUse(O->src()));
+        O->setDst(pushDef(O->dst()));
+        break;
+      }
+      case Stmt::SK_Load: {
+        auto *L = cast<LoadStmt>(S);
+        L->setAddr(rewriteUse(L->addr()));
+        L->setDst(pushDef(L->dst()));
+        break;
+      }
+      case Stmt::SK_Store: {
+        auto *St = cast<StoreStmt>(S);
+        St->setAddr(rewriteUse(St->addr()));
+        St->setValue(rewriteUse(St->value()));
+        break;
+      }
+      case Stmt::SK_Branch: {
+        auto *Br = cast<BranchStmt>(S);
+        Br->setCond(rewriteUse(Br->cond()));
+        break;
+      }
+      case Stmt::SK_Return: {
+        auto *R = cast<ReturnStmt>(S);
+        for (Value *&V : R->values())
+          V = rewriteUse(V);
+        break;
+      }
+      case Stmt::SK_Call: {
+        auto *C = cast<CallStmt>(S);
+        for (Value *&A : C->args())
+          A = rewriteUse(A);
+        if (C->receiver())
+          C->setReceiver(pushDef(C->receiver()));
+        for (Variable *&R : C->auxReceivers())
+          if (R)
+            R = pushDef(R);
+        break;
+      }
+      case Stmt::SK_Jump:
+        break;
+      }
+    }
+
+    // Fill phi operands of successors.
+    for (BasicBlock *Succ : B->succs())
+      for (Stmt *S : Succ->stmts()) {
+        auto *Phi = dyn_cast<PhiStmt>(S);
+        if (!Phi)
+          break; // Phis are grouped at the front.
+        Variable *Orig = PhiOrigin.count(Phi) ? PhiOrigin[Phi] : Phi->dst();
+        Phi->addIncoming(B, currentVersion(Orig));
+      }
+
+    for (BasicBlock *Child : DT.children(B))
+      rename(Child);
+
+    for (auto It = Pushed.rbegin(); It != Pushed.rend(); ++It)
+      Stacks[*It].pop_back();
+  }
+
+  void setDefPointers() {
+    for (BasicBlock *B : F.blocks())
+      for (Stmt *S : B->stmts()) {
+        if (Variable *D = S->definedVar())
+          D->setDef(S);
+        if (auto *Call = dyn_cast<CallStmt>(S))
+          for (Variable *R : Call->auxReceivers())
+            if (R)
+              R->setDef(S);
+      }
+  }
+
+  Function &F;
+  DomTree DT;
+  std::map<Variable *, std::set<BasicBlock *>> DefBlocks;
+  std::map<Variable *, std::vector<Variable *>> Stacks;
+  std::map<Variable *, int> VersionCount;
+  std::map<PhiStmt *, Variable *> PhiOrigin;
+};
+
+} // namespace
+
+void constructSSA(Function &F) { SSABuilder(F).run(); }
+
+} // namespace pinpoint::ir

@@ -1,0 +1,30 @@
+//===- ir/SSA.h - SSA construction -----------------------------------------===//
+//
+// Part of the Pinpoint reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Classic SSA construction (Cytron et al.): phi placement on iterated
+/// dominance frontiers followed by a renaming walk over the dominator tree.
+/// The paper's SEG (Definition 3.2) assumes the program is in SSA form so
+/// every variable has a unique definition vertex.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PINPOINT_IR_SSA_H
+#define PINPOINT_IR_SSA_H
+
+#include "ir/IR.h"
+
+namespace pinpoint::ir {
+
+/// Rewrites \p F into SSA form. Requires CFG edges to be up to date
+/// (Function::recomputeCFGEdges). Fresh variables are named `x.N`.
+/// Also populates Variable::def() for every SSA variable and renumbers
+/// statements (Function::stmtOrder).
+void constructSSA(Function &F);
+
+} // namespace pinpoint::ir
+
+#endif // PINPOINT_IR_SSA_H

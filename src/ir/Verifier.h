@@ -1,0 +1,34 @@
+//===- ir/Verifier.h - IR well-formedness checks ---------------------------===//
+//
+// Part of the Pinpoint reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Structural and SSA invariants checked in tests and after passes:
+/// terminators present, single return, phi/pred agreement, defs dominate
+/// uses (post-SSA), acyclic CFG (the frontend unrolls loops).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PINPOINT_IR_VERIFIER_H
+#define PINPOINT_IR_VERIFIER_H
+
+#include "ir/IR.h"
+
+#include <string>
+#include <vector>
+
+namespace pinpoint::ir {
+
+/// Verifies structural invariants of \p F. Returns the list of violations
+/// (empty means well-formed). \p ExpectSSA additionally checks SSA-ness.
+std::vector<std::string> verifyFunction(const Function &F,
+                                        bool ExpectSSA = false);
+
+/// Verifies all functions in \p M.
+std::vector<std::string> verifyModule(const Module &M, bool ExpectSSA = false);
+
+} // namespace pinpoint::ir
+
+#endif // PINPOINT_IR_VERIFIER_H

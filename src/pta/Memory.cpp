@@ -1,0 +1,46 @@
+//===- pta/Memory.cpp --------------------------------------------------------===//
+//
+// Part of the Pinpoint reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "pta/Memory.h"
+
+namespace pinpoint::pta {
+
+std::string MemObject::str() const {
+  if (TheKind == Alloc)
+    return "alloc@" + Site->loc().str();
+  std::string S = "*(" + RootVar->name() + "," + std::to_string(Level) + ")";
+  return S;
+}
+
+MemObject *MemObjectTable::allocObject(const ir::CallStmt *Site,
+                                       ir::Type ContentTy) {
+  auto It = Allocs.find(Site);
+  if (It != Allocs.end())
+    return It->second;
+  auto *O = static_cast<MemObject *>(
+      Mem.allocate(sizeof(MemObject), alignof(MemObject)));
+  new (O) MemObject(Site, ContentTy);
+  Allocs.emplace(Site, O);
+  All.push_back(O);
+  return O;
+}
+
+MemObject *MemObjectTable::rootObject(const ir::Variable *Root, int Level) {
+  auto Key = std::make_pair(Root, Level);
+  auto It = Roots.find(Key);
+  if (It != Roots.end())
+    return It->second;
+  assert(Root->type().pointerDepth() >= Level && "over-deep access path");
+  ir::Type ContentTy = Root->type().deref(Level);
+  auto *O = static_cast<MemObject *>(
+      Mem.allocate(sizeof(MemObject), alignof(MemObject)));
+  new (O) MemObject(Root, Level, ContentTy);
+  Roots.emplace(Key, O);
+  All.push_back(O);
+  return O;
+}
+
+} // namespace pinpoint::pta

@@ -1,0 +1,128 @@
+//===- pta/Memory.h - Abstract memory objects ------------------------------===//
+//
+// Part of the Pinpoint reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Abstract memory objects for the intra-procedural points-to analysis:
+///
+///  * `Alloc` — one cell per malloc() call site;
+///  * `Root`  — the non-local location reached by the access path
+///    `*(root, level)`. When `root` is a formal parameter these are the
+///    locations whose REF/MOD status drives the connector transformation
+///    (paper Definition 3.1); when it is an opaque call receiver they model
+///    callee-returned memory soundily.
+///
+/// Contents of objects are `ContentVal`s: either a real IR value or the
+/// object's *initial* value (what the location held at function entry) —
+/// the thing the connector transform later materialises as an Aux formal
+/// parameter.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PINPOINT_PTA_MEMORY_H
+#define PINPOINT_PTA_MEMORY_H
+
+#include "ir/IR.h"
+#include "smt/Expr.h"
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace pinpoint::pta {
+
+/// An abstract memory object.
+class MemObject {
+public:
+  enum Kind : uint8_t { Alloc, Root };
+
+  Kind kind() const { return TheKind; }
+
+  /// Alloc: the malloc call site.
+  const ir::CallStmt *allocSite() const {
+    assert(TheKind == Alloc);
+    return Site;
+  }
+
+  /// Root: the pointer variable the access path is rooted at.
+  const ir::Variable *root() const {
+    assert(TheKind == Root);
+    return RootVar;
+  }
+  /// Root: the dereference level (k in *(p,k)).
+  int level() const {
+    assert(TheKind == Root);
+    return Level;
+  }
+
+  /// True when this is `*(param, k)` for a formal parameter — the objects
+  /// that participate in Mod/Ref and the connector transform.
+  bool isParamPath() const {
+    return TheKind == Root && RootVar->isParam() && !RootVar->isAuxParam();
+  }
+
+  /// The static type of values stored in this object.
+  ir::Type contentType() const { return ContentTy; }
+
+  std::string str() const;
+
+private:
+  friend class MemObjectTable;
+  MemObject(const ir::CallStmt *Site, ir::Type ContentTy)
+      : TheKind(Alloc), Site(Site), ContentTy(ContentTy) {}
+  MemObject(const ir::Variable *RootVar, int Level, ir::Type ContentTy)
+      : TheKind(Root), RootVar(RootVar), Level(Level), ContentTy(ContentTy) {}
+
+  Kind TheKind;
+  const ir::CallStmt *Site = nullptr;
+  const ir::Variable *RootVar = nullptr;
+  int Level = 0;
+  ir::Type ContentTy = ir::Type::intTy();
+};
+
+/// Interning table for memory objects (per analysed function).
+class MemObjectTable {
+public:
+  explicit MemObjectTable(Arena &Mem) : Mem(Mem) {}
+
+  MemObject *allocObject(const ir::CallStmt *Site, ir::Type ContentTy);
+  MemObject *rootObject(const ir::Variable *Root, int Level);
+
+  const std::vector<MemObject *> &all() const { return All; }
+
+private:
+  Arena &Mem;
+  std::map<const ir::CallStmt *, MemObject *> Allocs;
+  std::map<std::pair<const ir::Variable *, int>, MemObject *> Roots;
+  std::vector<MemObject *> All;
+};
+
+/// A value possibly held in memory: a real IR value, or the initial value
+/// of an object (null IR value).
+struct ContentVal {
+  const ir::Value *V = nullptr; ///< Null means "initial value of Origin".
+  const MemObject *Origin = nullptr; ///< Set when V is null.
+
+  bool isInitial() const { return V == nullptr; }
+  bool operator==(const ContentVal &O) const {
+    return V == O.V && Origin == O.Origin;
+  }
+  bool operator<(const ContentVal &O) const {
+    return V != O.V ? V < O.V : Origin < O.Origin;
+  }
+};
+
+/// A conditional points-to / content entry.
+template <typename T> struct CondEntry {
+  T Item;
+  const smt::Expr *Cond;
+};
+
+using PtsSet = std::vector<CondEntry<const MemObject *>>;
+using ValSet = std::vector<CondEntry<ContentVal>>;
+
+} // namespace pinpoint::pta
+
+#endif // PINPOINT_PTA_MEMORY_H

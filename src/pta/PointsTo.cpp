@@ -1,0 +1,316 @@
+//===- pta/PointsTo.cpp ------------------------------------------------------===//
+//
+// Part of the Pinpoint reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "pta/PointsTo.h"
+
+#include <algorithm>
+
+using namespace pinpoint::ir;
+
+namespace pinpoint::pta {
+
+namespace {
+
+/// Memory environment: contents of each touched object.
+using Env = std::map<const MemObject *, ValSet>;
+
+} // namespace
+
+class PointsToAnalysis {
+public:
+  PointsToAnalysis(const Function &F, SymbolMap &Syms, ConditionMap &Conds,
+                   const PTAConfig &Config)
+      : F(F), Syms(Syms), Conds(Conds), Ctx(Syms.context()),
+        Linear(Syms.context()), Config(Config) {
+    R.ObjectArena = std::make_shared<Arena>();
+    R.Objects = std::make_shared<MemObjectTable>(*R.ObjectArena);
+  }
+
+  PointsToResult run();
+
+private:
+  //===--- Condition plumbing ----------------------------------------------===
+
+  /// Conjoins and prunes; returns null when obviously unsatisfiable.
+  const smt::Expr *conj(const smt::Expr *A, const smt::Expr *B) {
+    const smt::Expr *C = Ctx.mkAnd(A, B);
+    ++R.CondsChecked;
+    if (Config.UseLinearFilter && Linear.isObviouslyUnsat(C)) {
+      ++R.CondsPruned;
+      return nullptr;
+    }
+    return C;
+  }
+
+  template <typename T>
+  static void addEntry(std::vector<CondEntry<T>> &Set, const T &Item,
+                       const smt::Expr *Cond, smt::ExprContext &Ctx) {
+    for (auto &E : Set)
+      if (E.Item == Item) {
+        E.Cond = Ctx.mkOr(E.Cond, Cond);
+        return;
+      }
+    Set.push_back({Item, Cond});
+  }
+
+  //===--- Points-to of values ---------------------------------------------===
+
+  const PtsSet &ptsOfVar(const Variable *V) {
+    auto It = R.VarPts.find(V);
+    if (It != R.VarPts.end())
+      return It->second;
+    PtsSet S;
+    if (V->type().isPointer()) {
+      // Opaque pointer (parameter, call receiver, or untracked): it points
+      // to the access-path object rooted at itself, unless it is an Aux
+      // formal parameter standing for *(root, k) — then to *(root, k+1).
+      auto Aux = Config.AuxParams.find(V);
+      if (Aux != Config.AuxParams.end())
+        S.push_back({R.Objects->rootObject(Aux->second.Root,
+                                           Aux->second.Level + 1),
+                     Ctx.getTrue()});
+      else
+        S.push_back({R.Objects->rootObject(V, 1), Ctx.getTrue()});
+    }
+    return R.VarPts.emplace(V, std::move(S)).first->second;
+  }
+
+  PtsSet ptsOfValue(const Value *V) {
+    if (isa<Constant>(V))
+      return {}; // null / int literals point nowhere.
+    return ptsOfVar(cast<Variable>(V));
+  }
+
+  /// Points-to of a memory content value.
+  PtsSet ptsOfContent(const ContentVal &CV) {
+    if (!CV.isInitial())
+      return ptsOfValue(CV.V);
+    // Initial contents: only root-path objects have known structure —
+    // *(root,k)'s initial value points to *(root,k+1). Initial malloc
+    // contents are undefined and point nowhere.
+    const MemObject *O = CV.Origin;
+    if (O->kind() == MemObject::Root && O->contentType().isPointer())
+      return {{R.Objects->rootObject(O->root(), O->level() + 1),
+               Ctx.getTrue()}};
+    return {};
+  }
+
+  //===--- Memory environment ----------------------------------------------===
+
+  ValSet &contentsOf(Env &E, const MemObject *O) {
+    auto It = E.find(O);
+    if (It != E.end())
+      return It->second;
+    // Lazily materialise the initial contents.
+    ValSet Init{{ContentVal{nullptr, O}, Ctx.getTrue()}};
+    return E.emplace(O, std::move(Init)).first->second;
+  }
+
+  /// Resolves the access path *(Base, K): returns the objects at level K
+  /// with their conditions. Marks no REF/MOD itself.
+  PtsSet resolvePath(Env &E, const Value *Base, uint32_t K) {
+    PtsSet Objs = ptsOfValue(Base);
+    for (uint32_t L = 1; L < K; ++L) {
+      // Read level-L contents, then take their pointees.
+      PtsSet Next;
+      for (auto &[O, OC] : Objs) {
+        for (auto &[CV, CC] : contentsOf(E, O)) {
+          const smt::Expr *C1 = conj(OC, CC);
+          if (!C1)
+            continue;
+          for (auto &[Child, ChC] : ptsOfContent(CV)) {
+            if (const smt::Expr *C2 = conj(C1, ChC))
+              addEntry(Next, Child, C2, Ctx);
+          }
+        }
+      }
+      Objs = std::move(Next);
+    }
+    return Objs;
+  }
+
+  /// Reads the final-level contents of *(Base, K), marking REFs for initial
+  /// reads of parameter paths.
+  ValSet loadPath(Env &E, const Value *Base, uint32_t K) {
+    ValSet Out;
+    for (auto &[O, OC] : resolvePath(E, Base, K)) {
+      for (auto &[CV, CC] : contentsOf(E, O)) {
+        const smt::Expr *C = conj(OC, CC);
+        if (!C)
+          continue;
+        if (CV.isInitial() && CV.Origin->isParamPath())
+          R.Refs.insert({CV.Origin->root(), CV.Origin->level()});
+        addEntry(Out, CV, C, Ctx);
+      }
+    }
+    return Out;
+  }
+
+  /// Writes \p V into *(Base, K) with strong updates where sound.
+  void storePath(Env &E, const Value *Base, uint32_t K, const Value *V) {
+    PtsSet Targets = resolvePath(E, Base, K);
+    for (auto &[O, OC] : Targets) {
+      if (O->isParamPath())
+        R.Mods.insert({O->root(), O->level()});
+      ValSet &S = contentsOf(E, O);
+      if (OC->isTrue() && Targets.size() == 1) {
+        // Strong update: every abstract object is a single cell (arrays are
+        // collapsed at the model level; the paper does the same).
+        S.clear();
+        S.push_back({ContentVal{V, nullptr}, Ctx.getTrue()});
+        continue;
+      }
+      // Conditional strong update: old contents survive under ¬OC.
+      const smt::Expr *NotC = Ctx.mkNot(OC);
+      ValSet Updated;
+      for (auto &[CV, CC] : S)
+        if (const smt::Expr *C = conj(CC, NotC))
+          addEntry(Updated, CV, C, Ctx);
+      addEntry(Updated, ContentVal{V, nullptr}, OC, Ctx);
+      S = std::move(Updated);
+    }
+  }
+
+  //===--- Transfer ---------------------------------------------------------
+
+  void transfer(Env &E, Stmt *S) {
+    switch (S->stmtKind()) {
+    case Stmt::SK_Assign: {
+      auto *A = cast<AssignStmt>(S);
+      if (A->dst()->type().isPointer())
+        R.VarPts[A->dst()] = ptsOfValue(A->src());
+      break;
+    }
+    case Stmt::SK_Phi: {
+      auto *Phi = cast<PhiStmt>(S);
+      if (!Phi->dst()->type().isPointer())
+        break;
+      PtsSet Merged;
+      for (auto &[Pred, V] : Phi->incoming()) {
+        const smt::Expr *Gate = Conds.phiGate(Phi, Pred);
+        for (auto &[O, C] : ptsOfValue(V))
+          if (const smt::Expr *CC = conj(C, Gate))
+            addEntry(Merged, O, CC, Ctx);
+      }
+      R.VarPts[Phi->dst()] = std::move(Merged);
+      break;
+    }
+    case Stmt::SK_Call: {
+      auto *Call = cast<CallStmt>(S);
+      if (Call->calleeName() == intrinsics::Malloc && Call->receiver()) {
+        Type RecvTy = Call->receiver()->type();
+        Type ContentTy =
+            RecvTy.isPointer() ? RecvTy.deref() : Type::intTy();
+        R.VarPts[Call->receiver()] = {
+            {R.Objects->allocObject(Call, ContentTy), Ctx.getTrue()}};
+      }
+      // Other receivers resolve lazily as opaque roots via ptsOfVar.
+      break;
+    }
+    case Stmt::SK_Load: {
+      auto *L = cast<LoadStmt>(S);
+      ValSet Deps = loadPath(E, L->addr(), L->derefs());
+      if (L->dst()->type().isPointer()) {
+        PtsSet Pts;
+        for (auto &[CV, C] : Deps)
+          for (auto &[O, OC] : ptsOfContent(CV))
+            if (const smt::Expr *CC = conj(C, OC))
+              addEntry(Pts, O, CC, Ctx);
+        R.VarPts[L->dst()] = std::move(Pts);
+      }
+      R.LoadDeps[L] = std::move(Deps);
+      break;
+    }
+    case Stmt::SK_Store: {
+      auto *St = cast<StoreStmt>(S);
+      storePath(E, St->addr(), St->derefs(), St->value());
+      break;
+    }
+    default:
+      break;
+    }
+  }
+
+  //===--- Merge ------------------------------------------------------------
+
+  Env mergePreds(const BasicBlock *B,
+                 const std::map<const BasicBlock *, Env> &BlockOut) {
+    const auto &Preds = B->preds();
+    if (Preds.empty())
+      return {};
+    if (Preds.size() == 1) {
+      auto It = BlockOut.find(Preds[0]);
+      return It == BlockOut.end() ? Env{} : It->second;
+    }
+    // Gate each predecessor's contents exactly like a phi operand.
+    const BasicBlock *Region = Conds.domTree().idom(B);
+    Env Out;
+    std::set<const MemObject *> Touched;
+    for (const BasicBlock *P : Preds) {
+      auto It = BlockOut.find(P);
+      if (It == BlockOut.end())
+        continue;
+      for (auto &[O, S] : It->second)
+        Touched.insert(O);
+    }
+    for (const MemObject *O : Touched) {
+      ValSet Merged;
+      for (const BasicBlock *P : Preds) {
+        const smt::Expr *Gate = Ctx.mkAnd(
+            Region ? Conds.reachCond(Region, P) : Ctx.getTrue(),
+            Conds.edgeCond(P, B));
+        auto It = BlockOut.find(P);
+        const ValSet *S = nullptr;
+        ValSet Lazy;
+        if (It != BlockOut.end()) {
+          auto OIt = It->second.find(O);
+          if (OIt != It->second.end())
+            S = &OIt->second;
+        }
+        if (!S) {
+          Lazy.push_back({ContentVal{nullptr, O}, Ctx.getTrue()});
+          S = &Lazy;
+        }
+        for (auto &[CV, C] : *S)
+          if (const smt::Expr *CC = conj(C, Gate))
+            addEntry(Merged, CV, CC, Ctx);
+      }
+      Out.emplace(O, std::move(Merged));
+    }
+    return Out;
+  }
+
+  const Function &F;
+  SymbolMap &Syms;
+  ConditionMap &Conds;
+  smt::ExprContext &Ctx;
+  smt::LinearSolver Linear;
+  PTAConfig Config;
+  PointsToResult R;
+};
+
+PointsToResult PointsToAnalysis::run() {
+  // Seed parameter points-to (lazily materialised anyway, but doing it here
+  // keeps VarPts complete for clients).
+  for (const Variable *P : F.params())
+    (void)ptsOfVar(P);
+
+  std::map<const BasicBlock *, Env> BlockOut;
+  for (BasicBlock *B : reversePostOrder(F)) {
+    Env E = mergePreds(B, BlockOut);
+    for (Stmt *S : B->stmts())
+      transfer(E, S);
+    BlockOut.emplace(B, std::move(E));
+  }
+  return std::move(R);
+}
+
+PointsToResult runPointsTo(const Function &F, SymbolMap &Syms,
+                           ConditionMap &Conds, const PTAConfig &Config) {
+  return PointsToAnalysis(F, Syms, Conds, Config).run();
+}
+
+} // namespace pinpoint::pta

@@ -1,0 +1,373 @@
+//===- seg/SEG.cpp -----------------------------------------------------------===//
+//
+// Part of the Pinpoint reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "seg/SEG.h"
+
+#include <set>
+
+using namespace pinpoint::ir;
+
+namespace pinpoint::seg {
+
+SEG::SEG(const Function &F, SymbolMap &Syms, ConditionMap &Conds,
+         const pta::PointsToResult &PTA)
+    : F(F), Syms(Syms), Conds(Conds), Ctx(Syms.context()) {
+  build(PTA);
+}
+
+void SEG::addFlow(const Value *From, const Variable *To,
+                  const smt::Expr *Cond, bool Direct, const Stmt *Via) {
+  const auto *Var = dyn_cast<Variable>(From);
+  if (!Var)
+    return; // Constants do not flow.
+  FlowOut[Var].push_back({To, Cond, Direct, Via});
+  FlowIn[To].push_back({Var, Cond, Direct, Via});
+  Vertices.insert(Var);
+  Vertices.insert(To);
+  ++EdgeCount;
+}
+
+void SEG::addUse(const Value *V, const Stmt *S, UseKind K, int Index) {
+  if (const auto *Var = dyn_cast<Variable>(V)) {
+    Uses[Var].push_back({S, K, Index});
+    Vertices.insert(Var);
+  }
+}
+
+void SEG::build(const pta::PointsToResult &PTA) {
+  for (const BasicBlock *B : F.blocks()) {
+    for (const Stmt *S : B->stmts()) {
+      switch (S->stmtKind()) {
+      case Stmt::SK_Assign: {
+        const auto *A = cast<AssignStmt>(S);
+        addFlow(A->src(), A->dst(), Ctx.getTrue(), /*Direct=*/true, S);
+        addUse(A->src(), S, UseKind::Operand, -1);
+        break;
+      }
+      case Stmt::SK_Phi: {
+        const auto *Phi = cast<PhiStmt>(S);
+        for (auto &[Pred, V] : Phi->incoming()) {
+          addFlow(V, Phi->dst(), Conds.phiGate(Phi, Pred), /*Direct=*/true,
+                  S);
+          addUse(V, S, UseKind::Operand, -1);
+        }
+        break;
+      }
+      case Stmt::SK_BinOp: {
+        const auto *O = cast<BinOpStmt>(S);
+        addFlow(O->lhs(), O->dst(), Ctx.getTrue(), /*Direct=*/false, S);
+        addFlow(O->rhs(), O->dst(), Ctx.getTrue(), /*Direct=*/false, S);
+        addUse(O->lhs(), S, UseKind::Operand, -1);
+        addUse(O->rhs(), S, UseKind::Operand, -1);
+        break;
+      }
+      case Stmt::SK_UnOp: {
+        const auto *O = cast<UnOpStmt>(S);
+        addFlow(O->src(), O->dst(), Ctx.getTrue(), /*Direct=*/false, S);
+        addUse(O->src(), S, UseKind::Operand, -1);
+        break;
+      }
+      case Stmt::SK_Load: {
+        const auto *L = cast<LoadStmt>(S);
+        addUse(L->addr(), S, UseKind::DerefAddr, -1);
+        // The load's symbolic definition comes from the points-to results:
+        // ∧_j (cond_j ⇒ dst = val_j); initial (opaque) contents leave the
+        // destination unconstrained under their condition.
+        LocalDef D;
+        D.Constraint = Ctx.getTrue();
+        for (auto &[CV, C] : PTA.loadDeps(L)) {
+          if (CV.isInitial())
+            continue;
+          addFlow(CV.V, L->dst(), C, /*Direct=*/true, S);
+          D.Constraint = Ctx.mkAnd(
+              D.Constraint, Ctx.mkImplies(C, valueEq(L->dst(), CV.V)));
+          if (const auto *Var = dyn_cast<Variable>(CV.V))
+            D.Deps.push_back(Var);
+          for (const Variable *GV : gateIRVars(C))
+            D.Deps.push_back(GV);
+        }
+        LocalDefs.emplace(L->dst(), std::move(D));
+        break;
+      }
+      case Stmt::SK_Store: {
+        const auto *St = cast<StoreStmt>(S);
+        addUse(St->addr(), S, UseKind::DerefAddr, -1);
+        addUse(St->value(), S, UseKind::StoreVal, -1);
+        break;
+      }
+      case Stmt::SK_Branch:
+        addUse(cast<BranchStmt>(S)->cond(), S, UseKind::BranchCond, -1);
+        break;
+      case Stmt::SK_Return: {
+        const auto *R = cast<ReturnStmt>(S);
+        for (size_t I = 0; I < R->values().size(); ++I)
+          addUse(R->values()[I], S, UseKind::RetVal, static_cast<int>(I));
+        break;
+      }
+      case Stmt::SK_Call: {
+        const auto *C = cast<CallStmt>(S);
+        Calls.push_back(C);
+        for (size_t I = 0; I < C->args().size(); ++I)
+          addUse(C->args()[I], S, UseKind::CallArg, static_cast<int>(I));
+        break;
+      }
+      case Stmt::SK_Jump:
+        break;
+      }
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===
+// Symbolic definitions
+//===----------------------------------------------------------------------===
+
+/// The boolean formula denoting \p V: bool-typed symbols directly, integer
+/// symbols as (v != 0), constants folded.
+const smt::Expr *SEG::boolExprOf(const Value *V) {
+  const smt::Expr *E = Syms[V];
+  if (E->isBool())
+    return E;
+  return Ctx.mkNe(E, Ctx.getInt(0));
+}
+
+const smt::Expr *SEG::valueEq(const Value *A, const Value *B) {
+  const smt::Expr *EA = Syms[A];
+  const smt::Expr *EB = Syms[B];
+  if (EA->isBool() || EB->isBool()) {
+    const smt::Expr *BA = boolExprOf(A);
+    const smt::Expr *BB = boolExprOf(B);
+    return Ctx.mkAnd(Ctx.mkImplies(BA, BB), Ctx.mkImplies(BB, BA));
+  }
+  return Ctx.mkEq(EA, EB);
+}
+
+SEG::LocalDef SEG::makeLocalDef(const Variable *V) {
+  LocalDef D;
+  D.Constraint = Ctx.getTrue();
+
+  auto dep = [&](const Value *Val) {
+    if (const auto *Var = dyn_cast<Variable>(Val))
+      D.Deps.push_back(Var);
+  };
+  auto iff = [&](const smt::Expr *A, const smt::Expr *B) {
+    return Ctx.mkAnd(Ctx.mkImplies(A, B), Ctx.mkImplies(B, A));
+  };
+
+  if (V->isParam()) {
+    D.OpensParam = true;
+    return D;
+  }
+  const Stmt *Def = V->def();
+  if (!Def)
+    return D; // Unconstrained placeholder.
+
+  switch (Def->stmtKind()) {
+  case Stmt::SK_Assign: {
+    const auto *A = cast<AssignStmt>(Def);
+    D.Constraint = valueEq(V, A->src());
+    dep(A->src());
+    break;
+  }
+  case Stmt::SK_BinOp: {
+    const auto *O = cast<BinOpStmt>(Def);
+    const smt::Expr *L = Syms[O->lhs()];
+    const smt::Expr *R = Syms[O->rhs()];
+    switch (O->op()) {
+    case OpCode::Add:
+    case OpCode::Sub:
+    case OpCode::Mul: {
+      smt::ExprKind K = O->op() == OpCode::Add   ? smt::ExprKind::Add
+                        : O->op() == OpCode::Sub ? smt::ExprKind::Sub
+                                                 : smt::ExprKind::Mul;
+      D.Constraint = Ctx.mkEq(
+          Ctx.toIntExpr(Syms[V]),
+          Ctx.mkArith(K, Ctx.toIntExpr(L), Ctx.toIntExpr(R)));
+      break;
+    }
+    case OpCode::And:
+      D.Constraint =
+          iff(boolExprOf(V), Ctx.mkAnd(boolExprOf(O->lhs()),
+                                       boolExprOf(O->rhs())));
+      break;
+    case OpCode::Or:
+      D.Constraint = iff(boolExprOf(V), Ctx.mkOr(boolExprOf(O->lhs()),
+                                                 boolExprOf(O->rhs())));
+      break;
+    default: { // Comparisons.
+      smt::ExprKind K;
+      switch (O->op()) {
+      case OpCode::Eq:
+        K = smt::ExprKind::Eq;
+        break;
+      case OpCode::Ne:
+        K = smt::ExprKind::Ne;
+        break;
+      case OpCode::Lt:
+        K = smt::ExprKind::Lt;
+        break;
+      case OpCode::Le:
+        K = smt::ExprKind::Le;
+        break;
+      case OpCode::Gt:
+        K = smt::ExprKind::Gt;
+        break;
+      default:
+        K = smt::ExprKind::Ge;
+        break;
+      }
+      const smt::Expr *Cmp;
+      if (L->isBool() || R->isBool()) {
+        // Boolean comparison: only ==/!= make sense; encode via iff.
+        const smt::Expr *BL = boolExprOf(O->lhs());
+        const smt::Expr *BR = boolExprOf(O->rhs());
+        Cmp = K == smt::ExprKind::Ne ? Ctx.mkNot(iff(BL, BR)) : iff(BL, BR);
+      } else {
+        Cmp = Ctx.mkCmp(K, Ctx.toIntExpr(L), Ctx.toIntExpr(R));
+      }
+      D.Constraint = iff(boolExprOf(V), Cmp);
+      break;
+    }
+    }
+    dep(O->lhs());
+    dep(O->rhs());
+    break;
+  }
+  case Stmt::SK_UnOp: {
+    const auto *O = cast<UnOpStmt>(Def);
+    if (O->op() == OpCode::Neg)
+      D.Constraint = Ctx.mkEq(Syms[V], Ctx.mkNeg(Syms[O->src()]));
+    else
+      D.Constraint = iff(boolExprOf(V), Ctx.mkNot(boolExprOf(O->src())));
+    dep(O->src());
+    break;
+  }
+  case Stmt::SK_Phi: {
+    const auto *Phi = cast<PhiStmt>(Def);
+    const smt::Expr *C = Ctx.getTrue();
+    for (auto &[Pred, In] : Phi->incoming()) {
+      const smt::Expr *Gate = Conds.phiGate(Phi, Pred);
+      C = Ctx.mkAnd(C, Ctx.mkImplies(Gate, valueEq(V, In)));
+      dep(In);
+      // Gate variables need their definitions too.
+      for (const Variable *BV : gateIRVars(Gate))
+        D.Deps.push_back(BV);
+    }
+    D.Constraint = C;
+    break;
+  }
+  case Stmt::SK_Load:
+    // Load definitions are precomputed during build(); reaching this means
+    // the load was unreachable — leave unconstrained.
+    break;
+  case Stmt::SK_Call: {
+    const auto *C = cast<CallStmt>(Def);
+    if (C->calleeName() == intrinsics::Malloc) {
+      // Fresh heap cells are non-null.
+      D.Constraint = Ctx.mkNe(Syms[V], Ctx.getInt(0));
+    } else {
+      D.OpenCall = C;
+      if (C->receiver() == V) {
+        D.OpenRecvIndex = -1;
+      } else {
+        for (size_t I = 0; I < C->auxReceivers().size(); ++I)
+          if (C->auxReceivers()[I] == V)
+            D.OpenRecvIndex = static_cast<int>(I);
+      }
+    }
+    break;
+  }
+  default:
+    break;
+  }
+  return D;
+}
+
+std::vector<const Variable *> SEG::gateIRVars(const smt::Expr *E) const {
+  std::vector<uint32_t> SymVars;
+  Ctx.collectVars(E, SymVars);
+  std::vector<const Variable *> Out;
+  for (uint32_t Id : SymVars)
+    if (const Variable *V = Syms.irVar(Id))
+      Out.push_back(V);
+  return Out;
+}
+
+const SEG::LocalDef &SEG::localDef(const Variable *V) {
+  auto It = LocalDefs.find(V);
+  if (It != LocalDefs.end())
+    return It->second;
+  return LocalDefs.emplace(V, makeLocalDef(V)).first->second;
+}
+
+const Closure &SEG::dd(const Variable *V) {
+  auto Found = DDCache.find(V);
+  if (Found != DDCache.end())
+    return Found->second;
+
+  // Iterative closure over dependencies.
+  Closure Out;
+  Out.C = Ctx.getTrue();
+  std::set<const Variable *> Visited;
+  std::vector<const Variable *> Work{V};
+  std::set<const Variable *> OpenParamSet;
+  std::set<std::pair<const CallStmt *, int>> OpenRecvSet;
+
+  while (!Work.empty()) {
+    const Variable *Cur = Work.back();
+    Work.pop_back();
+    if (!Visited.insert(Cur).second)
+      continue;
+
+    const LocalDef &D = localDef(Cur);
+    Out.C = Ctx.mkAnd(Out.C, D.Constraint);
+    if (D.OpensParam)
+      OpenParamSet.insert(Cur);
+    if (D.OpenCall)
+      OpenRecvSet.insert({D.OpenCall, D.OpenRecvIndex});
+    for (const Variable *Dep : D.Deps)
+      Work.push_back(Dep);
+    // Phi constraints reference gate variables inside D.Constraint; their
+    // deps were added in makeLocalDef.
+  }
+
+  Out.OpenParams.assign(OpenParamSet.begin(), OpenParamSet.end());
+  Out.OpenRecvs.assign(OpenRecvSet.begin(), OpenRecvSet.end());
+  return DDCache.emplace(V, std::move(Out)).first->second;
+}
+
+Closure SEG::controlCond(const Stmt *S) {
+  Closure Out;
+  Out.C = Ctx.getTrue();
+  std::set<const Variable *> OpenParamSet;
+  std::set<std::pair<const CallStmt *, int>> OpenRecvSet;
+
+  std::set<const BasicBlock *> Visited;
+  std::vector<const BasicBlock *> Work{S->parent()};
+  while (!Work.empty()) {
+    const BasicBlock *B = Work.back();
+    Work.pop_back();
+    if (!Visited.insert(B).second)
+      continue;
+    for (const ControlDep &CD : Conds.controlDeps(B)) {
+      const smt::Expr *Lit = boolExprOf(CD.BranchVar);
+      Out.C = Ctx.mkAnd(Out.C, CD.Polarity ? Lit : Ctx.mkNot(Lit));
+      const Closure &Sub = dd(CD.BranchVar);
+      Out.C = Ctx.mkAnd(Out.C, Sub.C);
+      OpenParamSet.insert(Sub.OpenParams.begin(), Sub.OpenParams.end());
+      OpenRecvSet.insert(Sub.OpenRecvs.begin(), Sub.OpenRecvs.end());
+      // Walk the chain: the block defining the branch variable has its own
+      // control dependences (Example 3.8).
+      if (CD.BranchVar->def())
+        Work.push_back(CD.BranchVar->def()->parent());
+    }
+  }
+  Out.OpenParams.assign(OpenParamSet.begin(), OpenParamSet.end());
+  Out.OpenRecvs.assign(OpenRecvSet.begin(), OpenRecvSet.end());
+  return Out;
+}
+
+} // namespace pinpoint::seg

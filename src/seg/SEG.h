@@ -1,0 +1,170 @@
+//===- seg/SEG.h - Symbolic Expression Graph (paper Def. 3.2) -------------===//
+//
+// Part of the Pinpoint reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The per-function Symbolic Expression Graph. It is the paper's new kind of
+/// sparse value-flow graph and carries three things:
+///
+///  1. **Value-flow edges** (the data-dependence subgraph Gd): from each SSA
+///     value to the values it defines, labelled with the condition on which
+///     the dependence holds — phi gates from gated SSA, alias conditions
+///     from the quasi path-sensitive points-to analysis. `Direct` edges move
+///     a value unchanged (assign/phi/load-store); operator edges flow
+///     through computations (for taint-style checkers).
+///
+///  2. **Symbolic definitions**: every variable's defining statement as a
+///     constraint over the symbol map (the operator vertices of Fig. 4,
+///     realised as hash-consed smt::Expr nodes). The memoised closure
+///     DD(v@s) of Example 3.7 conjoins everything a value transitively
+///     depends on, leaving function parameters and call receivers *open* —
+///     the holes that Equations (2)/(3) fill during inter-procedural
+///     stitching.
+///
+///  3. **Control dependence** (Gc): CD(v@s) of Example 3.8, the
+///     "efficient path condition" chain of branch literals plus the DD of
+///     each branch variable.
+///
+/// A `SEG` is built once per function after the connector transform; the
+/// global analysis never re-analyses the function body (Section 3.3).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PINPOINT_SEG_SEG_H
+#define PINPOINT_SEG_SEG_H
+
+#include "ir/Conditions.h"
+#include "ir/IR.h"
+#include "pta/PointsTo.h"
+
+#include <map>
+#include <set>
+#include <vector>
+
+namespace pinpoint::seg {
+
+/// How a value is used at a statement (for sink matching and call hops).
+enum class UseKind : uint8_t {
+  DerefAddr, ///< Address operand of a load or store.
+  CallArg,   ///< Argument of a call (Index = position).
+  RetVal,    ///< Member of the return bundle (Index = position).
+  StoreVal,  ///< Value operand of a store.
+  BranchCond,
+  Operand, ///< Operand of an assign/binop/unop/phi.
+};
+
+struct Use {
+  const ir::Stmt *S;
+  UseKind Kind;
+  int Index; ///< Arg / return-bundle position; -1 otherwise.
+};
+
+/// A value-flow edge v → To under condition Cond.
+struct FlowEdge {
+  const ir::Variable *To;
+  const smt::Expr *Cond;
+  bool Direct; ///< True: value moves unchanged; false: through an operator.
+  const ir::Stmt *Via;
+};
+
+/// The constraint closure of a DD/CD query: the formula plus the open ends
+/// whose constraints live in callers (parameters) or callees (receivers).
+struct Closure {
+  const smt::Expr *C = nullptr;
+  std::vector<const ir::Variable *> OpenParams;
+  /// (call, bundle index): -1 = primary return value, i>=0 = i-th aux.
+  std::vector<std::pair<const ir::CallStmt *, int>> OpenRecvs;
+};
+
+class SEG {
+public:
+  /// Builds the SEG for \p F (post-SSA, post-transform) from the final
+  /// points-to results.
+  SEG(const ir::Function &F, ir::SymbolMap &Syms, ir::ConditionMap &Conds,
+      const pta::PointsToResult &PTA);
+
+  const ir::Function &function() const { return F; }
+
+  //===--- Graph access ----------------------------------------------------===
+
+  const std::vector<FlowEdge> &flowsOut(const ir::Variable *V) const {
+    static const std::vector<FlowEdge> None;
+    auto It = FlowOut.find(V);
+    return It == FlowOut.end() ? None : It->second;
+  }
+
+  /// Reverse edges: who flows *into* V (edge.To is then the source).
+  const std::vector<FlowEdge> &flowsIn(const ir::Variable *V) const {
+    static const std::vector<FlowEdge> None;
+    auto It = FlowIn.find(V);
+    return It == FlowIn.end() ? None : It->second;
+  }
+
+  const std::vector<Use> &usesOf(const ir::Variable *V) const {
+    static const std::vector<Use> None;
+    auto It = Uses.find(V);
+    return It == Uses.end() ? None : It->second;
+  }
+
+  /// All call statements in the function (for summary application).
+  const std::vector<const ir::CallStmt *> &calls() const { return Calls; }
+
+  //===--- Constraint queries ----------------------------------------------===
+
+  /// DD(v@s): the memoised data-dependence constraint closure of \p V.
+  const Closure &dd(const ir::Variable *V);
+
+  /// CD(v@s): the control-dependence condition of \p S — branch literals up
+  /// the FOW chain, with the DD closures of the branch variables folded in.
+  Closure controlCond(const ir::Stmt *S);
+
+  /// Equality between two values as a constraint (bool-aware).
+  const smt::Expr *valueEq(const ir::Value *A, const ir::Value *B);
+
+  /// The symbol of \p V (delegates to the symbol map).
+  const smt::Expr *symbol(const ir::Value *V) { return Syms[V]; }
+
+  //===--- Statistics -------------------------------------------------------
+
+  size_t numVertices() const { return Vertices.size(); }
+  size_t numEdges() const { return EdgeCount; }
+
+private:
+  struct LocalDef {
+    const smt::Expr *Constraint; ///< This definition's own equation.
+    std::vector<const ir::Variable *> Deps;
+    bool OpensParam = false;
+    const ir::CallStmt *OpenCall = nullptr;
+    int OpenRecvIndex = 0;
+  };
+
+  void build(const pta::PointsToResult &PTA);
+  void addFlow(const ir::Value *From, const ir::Variable *To,
+               const smt::Expr *Cond, bool Direct, const ir::Stmt *Via);
+  void addUse(const ir::Value *V, const ir::Stmt *S, UseKind K, int Index);
+  const smt::Expr *boolExprOf(const ir::Value *V);
+  LocalDef makeLocalDef(const ir::Variable *V);
+  const LocalDef &localDef(const ir::Variable *V);
+  /// IR variables whose symbols occur in \p E (gate support variables).
+  std::vector<const ir::Variable *> gateIRVars(const smt::Expr *E) const;
+
+  const ir::Function &F;
+  ir::SymbolMap &Syms;
+  ir::ConditionMap &Conds;
+  smt::ExprContext &Ctx;
+
+  std::map<const ir::Variable *, std::vector<FlowEdge>> FlowOut;
+  std::map<const ir::Variable *, std::vector<FlowEdge>> FlowIn;
+  std::map<const ir::Variable *, std::vector<Use>> Uses;
+  std::vector<const ir::CallStmt *> Calls;
+  std::set<const ir::Variable *> Vertices;
+  std::map<const ir::Variable *, LocalDef> LocalDefs;
+  std::map<const ir::Variable *, Closure> DDCache;
+  size_t EdgeCount = 0;
+};
+
+} // namespace pinpoint::seg
+
+#endif // PINPOINT_SEG_SEG_H

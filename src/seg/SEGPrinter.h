@@ -1,0 +1,32 @@
+//===- seg/SEGPrinter.h - Graphviz output for SEGs and CFGs ----------------===//
+//
+// Part of the Pinpoint reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Graphviz dot renderers for debugging and documentation: the CFG of a
+/// function and its Symbolic Expression Graph (value-flow edges with their
+/// condition labels, like the paper's Fig. 4).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PINPOINT_SEG_SEGPRINTER_H
+#define PINPOINT_SEG_SEGPRINTER_H
+
+#include "seg/SEG.h"
+
+#include <string>
+
+namespace pinpoint::seg {
+
+/// Renders the function's CFG as a dot digraph.
+std::string printCFG(const ir::Function &F);
+
+/// Renders the SEG's value-flow subgraph as a dot digraph; edges carry
+/// their conditions, dashed edges flow through operators.
+std::string printSEG(const SEG &G);
+
+} // namespace pinpoint::seg
+
+#endif // PINPOINT_SEG_SEGPRINTER_H

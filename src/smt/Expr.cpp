@@ -1,0 +1,388 @@
+//===- smt/Expr.cpp --------------------------------------------------------===//
+//
+// Part of the Pinpoint reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "smt/Expr.h"
+
+#include <algorithm>
+
+namespace pinpoint::smt {
+
+ExprContext::ExprContext() {
+  TrueExpr = intern(ExprKind::True, {}, 0, 0);
+  FalseExpr = intern(ExprKind::False, {}, 0, 0);
+}
+
+uint64_t ExprContext::hashKey(ExprKind K, std::span<const Expr *const> Ops,
+                              uint32_t Var, int64_t Const) const {
+  uint64_t H = static_cast<uint64_t>(K) * 0x9e3779b97f4a7c15ULL;
+  H ^= (static_cast<uint64_t>(Var) + 1) * 0xbf58476d1ce4e5b9ULL;
+  H ^= static_cast<uint64_t>(Const) * 0x94d049bb133111ebULL;
+  for (const Expr *Op : Ops)
+    H = (H ^ Op->id()) * 0x100000001b3ULL;
+  return H;
+}
+
+const Expr *ExprContext::intern(ExprKind K, std::span<const Expr *const> Ops,
+                                uint32_t Var, int64_t Const) {
+  uint64_t H = hashKey(K, Ops, Var, Const);
+  auto &Bucket = InternTable[H];
+  for (const Expr *E : Bucket) {
+    if (E->Kind != K || E->NumOps != Ops.size())
+      continue;
+    if ((K == ExprKind::BoolVar || K == ExprKind::IntVar) &&
+        E->VarOrConst.Var != Var)
+      continue;
+    if (K == ExprKind::IntConst && E->VarOrConst.Const != Const)
+      continue;
+    bool Same = true;
+    for (unsigned I = 0; I < Ops.size(); ++I)
+      if (E->Ops[I] != Ops[I]) {
+        Same = false;
+        break;
+      }
+    if (Same)
+      return E;
+  }
+
+  const Expr **OpArray = nullptr;
+  if (!Ops.empty()) {
+    OpArray = static_cast<const Expr **>(
+        Mem.allocate(sizeof(Expr *) * Ops.size(), alignof(Expr *)));
+    std::copy(Ops.begin(), Ops.end(), OpArray);
+  }
+  // Expr's constructor is private; ExprContext is a friend, so construct
+  // in-place rather than through Arena::allocObject. Expr is trivially
+  // destructible, so no destructor registration is needed.
+  static_assert(std::is_trivially_destructible_v<Expr>);
+  void *Raw = Mem.allocate(sizeof(Expr), alignof(Expr));
+  Expr *E = new (Raw) Expr(K, NextId++, OpArray, static_cast<uint8_t>(Ops.size()));
+  if (K == ExprKind::BoolVar || K == ExprKind::IntVar)
+    E->VarOrConst.Var = Var;
+  else if (K == ExprKind::IntConst)
+    E->VarOrConst.Const = Const;
+  Bucket.push_back(E);
+  return E;
+}
+
+const Expr *ExprContext::freshBoolVar(std::string Name) {
+  uint32_t Id = static_cast<uint32_t>(VarNames.size());
+  VarNames.push_back(std::move(Name));
+  VarIsBool.push_back(true);
+  return intern(ExprKind::BoolVar, {}, Id, 0);
+}
+
+const Expr *ExprContext::freshIntVar(std::string Name) {
+  uint32_t Id = static_cast<uint32_t>(VarNames.size());
+  VarNames.push_back(std::move(Name));
+  VarIsBool.push_back(false);
+  return intern(ExprKind::IntVar, {}, Id, 0);
+}
+
+const Expr *ExprContext::getInt(int64_t V) {
+  auto It = IntConsts.find(V);
+  if (It != IntConsts.end())
+    return It->second;
+  const Expr *E = intern(ExprKind::IntConst, {}, 0, V);
+  IntConsts.emplace(V, E);
+  return E;
+}
+
+const Expr *ExprContext::mkNot(const Expr *A) {
+  assert(A->isBool() && "mkNot on non-boolean");
+  if (A->isTrue())
+    return FalseExpr;
+  if (A->isFalse())
+    return TrueExpr;
+  if (A->kind() == ExprKind::Not)
+    return A->operand(0);
+  const Expr *Ops[1] = {A};
+  return intern(ExprKind::Not, Ops, 0, 0);
+}
+
+const Expr *ExprContext::mkAnd(const Expr *A, const Expr *B) {
+  assert(A->isBool() && B->isBool() && "mkAnd on non-boolean");
+  if (A->isFalse() || B->isFalse())
+    return FalseExpr;
+  if (A->isTrue())
+    return B;
+  if (B->isTrue())
+    return A;
+  if (A == B)
+    return A;
+  // x ∧ ¬x and ¬x ∧ x fold to false immediately.
+  if ((A->kind() == ExprKind::Not && A->operand(0) == B) ||
+      (B->kind() == ExprKind::Not && B->operand(0) == A))
+    return FalseExpr;
+  if (A->id() > B->id())
+    std::swap(A, B);
+  const Expr *Ops[2] = {A, B};
+  return intern(ExprKind::And, Ops, 0, 0);
+}
+
+const Expr *ExprContext::mkOr(const Expr *A, const Expr *B) {
+  assert(A->isBool() && B->isBool() && "mkOr on non-boolean");
+  if (A->isTrue() || B->isTrue())
+    return TrueExpr;
+  if (A->isFalse())
+    return B;
+  if (B->isFalse())
+    return A;
+  if (A == B)
+    return A;
+  if ((A->kind() == ExprKind::Not && A->operand(0) == B) ||
+      (B->kind() == ExprKind::Not && B->operand(0) == A))
+    return TrueExpr;
+  if (A->id() > B->id())
+    std::swap(A, B);
+  const Expr *Ops[2] = {A, B};
+  return intern(ExprKind::Or, Ops, 0, 0);
+}
+
+const Expr *ExprContext::mkAndN(std::span<const Expr *const> Es) {
+  const Expr *Acc = TrueExpr;
+  for (const Expr *E : Es)
+    Acc = mkAnd(Acc, E);
+  return Acc;
+}
+
+const Expr *ExprContext::mkOrN(std::span<const Expr *const> Es) {
+  const Expr *Acc = FalseExpr;
+  for (const Expr *E : Es)
+    Acc = mkOr(Acc, E);
+  return Acc;
+}
+
+const Expr *ExprContext::mkCmp(ExprKind K, const Expr *A, const Expr *B) {
+  assert(K >= ExprKind::Eq && K <= ExprKind::Ge && "not a comparison");
+  assert(!A->isBool() && !B->isBool() && "comparison on boolean operands");
+  // Constant fold.
+  if (A->kind() == ExprKind::IntConst && B->kind() == ExprKind::IntConst) {
+    int64_t X = A->constValue(), Y = B->constValue();
+    switch (K) {
+    case ExprKind::Eq:
+      return getBool(X == Y);
+    case ExprKind::Ne:
+      return getBool(X != Y);
+    case ExprKind::Lt:
+      return getBool(X < Y);
+    case ExprKind::Le:
+      return getBool(X <= Y);
+    case ExprKind::Gt:
+      return getBool(X > Y);
+    default:
+      return getBool(X >= Y);
+    }
+  }
+  if (A == B) {
+    switch (K) {
+    case ExprKind::Eq:
+    case ExprKind::Le:
+    case ExprKind::Ge:
+      return TrueExpr;
+    case ExprKind::Ne:
+    case ExprKind::Lt:
+    case ExprKind::Gt:
+      return FalseExpr;
+    default:
+      break;
+    }
+  }
+  // Canonicalise symmetric comparisons by operand id.
+  if ((K == ExprKind::Eq || K == ExprKind::Ne) && A->id() > B->id())
+    std::swap(A, B);
+  const Expr *Ops[2] = {A, B};
+  return intern(K, Ops, 0, 0);
+}
+
+const Expr *ExprContext::mkArith(ExprKind K, const Expr *A, const Expr *B) {
+  assert(K >= ExprKind::Add && K <= ExprKind::Mul && "not an arith op");
+  assert(!A->isBool() && !B->isBool() && "arith on boolean operands");
+  if (A->kind() == ExprKind::IntConst && B->kind() == ExprKind::IntConst) {
+    int64_t X = A->constValue(), Y = B->constValue();
+    switch (K) {
+    case ExprKind::Add:
+      return getInt(X + Y);
+    case ExprKind::Sub:
+      return getInt(X - Y);
+    default:
+      return getInt(X * Y);
+    }
+  }
+  if ((K == ExprKind::Add || K == ExprKind::Mul) && A->id() > B->id())
+    std::swap(A, B);
+  const Expr *Ops[2] = {A, B};
+  return intern(K, Ops, 0, 0);
+}
+
+const Expr *ExprContext::mkNeg(const Expr *A) {
+  assert(!A->isBool() && "mkNeg on boolean");
+  if (A->kind() == ExprKind::IntConst)
+    return getInt(-A->constValue());
+  if (A->kind() == ExprKind::Neg)
+    return A->operand(0);
+  const Expr *Ops[1] = {A};
+  return intern(ExprKind::Neg, Ops, 0, 0);
+}
+
+const Expr *ExprContext::mkIte(const Expr *Cond, const Expr *Then,
+                               const Expr *Else) {
+  assert(Cond->isBool() && !Then->isBool() && !Else->isBool());
+  if (Cond->isTrue())
+    return Then;
+  if (Cond->isFalse())
+    return Else;
+  if (Then == Else)
+    return Then;
+  const Expr *Ops[3] = {Cond, Then, Else};
+  return intern(ExprKind::Ite, Ops, 0, 0);
+}
+
+const Expr *ExprContext::substitute(
+    const Expr *E, const std::unordered_map<uint32_t, const Expr *> &Map) {
+  std::unordered_map<const Expr *, const Expr *> Memo;
+  // Iterative post-order over the DAG to avoid deep recursion.
+  std::vector<std::pair<const Expr *, bool>> Stack{{E, false}};
+  while (!Stack.empty()) {
+    auto [Cur, Visited] = Stack.back();
+    Stack.pop_back();
+    if (Memo.count(Cur))
+      continue;
+    if (!Visited) {
+      Stack.push_back({Cur, true});
+      for (const Expr *Op : Cur->operands())
+        if (!Memo.count(Op))
+          Stack.push_back({Op, false});
+      continue;
+    }
+    const Expr *New = Cur;
+    switch (Cur->kind()) {
+    case ExprKind::BoolVar:
+    case ExprKind::IntVar: {
+      auto It = Map.find(Cur->varId());
+      if (It != Map.end())
+        New = It->second;
+      break;
+    }
+    case ExprKind::Not:
+      New = mkNot(Memo[Cur->operand(0)]);
+      break;
+    case ExprKind::And:
+      New = mkAnd(Memo[Cur->operand(0)], Memo[Cur->operand(1)]);
+      break;
+    case ExprKind::Or:
+      New = mkOr(Memo[Cur->operand(0)], Memo[Cur->operand(1)]);
+      break;
+    case ExprKind::Eq:
+    case ExprKind::Ne:
+    case ExprKind::Lt:
+    case ExprKind::Le:
+    case ExprKind::Gt:
+    case ExprKind::Ge:
+      New = mkCmp(Cur->kind(), Memo[Cur->operand(0)], Memo[Cur->operand(1)]);
+      break;
+    case ExprKind::Add:
+    case ExprKind::Sub:
+    case ExprKind::Mul:
+      New = mkArith(Cur->kind(), Memo[Cur->operand(0)], Memo[Cur->operand(1)]);
+      break;
+    case ExprKind::Neg:
+      New = mkNeg(Memo[Cur->operand(0)]);
+      break;
+    case ExprKind::Ite:
+      New = mkIte(toBoolExpr(Memo[Cur->operand(0)]),
+                  toIntExpr(Memo[Cur->operand(1)]),
+                  toIntExpr(Memo[Cur->operand(2)]));
+      break;
+    default:
+      break; // True/False/IntConst are fixed points.
+    }
+    Memo[Cur] = New;
+  }
+  return Memo[E];
+}
+
+void ExprContext::collectVars(const Expr *E,
+                              std::vector<uint32_t> &Out) const {
+  std::vector<const Expr *> Stack{E};
+  std::unordered_map<const Expr *, bool> Seen;
+  while (!Stack.empty()) {
+    const Expr *Cur = Stack.back();
+    Stack.pop_back();
+    if (Seen[Cur])
+      continue;
+    Seen[Cur] = true;
+    if (Cur->kind() == ExprKind::BoolVar || Cur->kind() == ExprKind::IntVar)
+      Out.push_back(Cur->varId());
+    for (const Expr *Op : Cur->operands())
+      Stack.push_back(Op);
+  }
+  std::sort(Out.begin(), Out.end());
+  Out.erase(std::unique(Out.begin(), Out.end()), Out.end());
+}
+
+std::string ExprContext::toString(const Expr *E) const {
+  switch (E->kind()) {
+  case ExprKind::True:
+    return "true";
+  case ExprKind::False:
+    return "false";
+  case ExprKind::BoolVar:
+  case ExprKind::IntVar:
+    return VarNames[E->varId()];
+  case ExprKind::IntConst:
+    return std::to_string(E->constValue());
+  case ExprKind::Not:
+    return "!" + toString(E->operand(0));
+  case ExprKind::Neg:
+    return "-" + toString(E->operand(0));
+  case ExprKind::Ite:
+    return "ite(" + toString(E->operand(0)) + ", " +
+           toString(E->operand(1)) + ", " + toString(E->operand(2)) + ")";
+  default:
+    break;
+  }
+  const char *Op = "?";
+  switch (E->kind()) {
+  case ExprKind::And:
+    Op = " & ";
+    break;
+  case ExprKind::Or:
+    Op = " | ";
+    break;
+  case ExprKind::Eq:
+    Op = " == ";
+    break;
+  case ExprKind::Ne:
+    Op = " != ";
+    break;
+  case ExprKind::Lt:
+    Op = " < ";
+    break;
+  case ExprKind::Le:
+    Op = " <= ";
+    break;
+  case ExprKind::Gt:
+    Op = " > ";
+    break;
+  case ExprKind::Ge:
+    Op = " >= ";
+    break;
+  case ExprKind::Add:
+    Op = " + ";
+    break;
+  case ExprKind::Sub:
+    Op = " - ";
+    break;
+  case ExprKind::Mul:
+    Op = " * ";
+    break;
+  default:
+    break;
+  }
+  return "(" + toString(E->operand(0)) + Op + toString(E->operand(1)) + ")";
+}
+
+} // namespace pinpoint::smt

@@ -1,0 +1,218 @@
+//===- smt/Expr.h - Hash-consed symbolic expression DAG ------------------===//
+//
+// Part of the Pinpoint reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The symbolic expression DAG underlying every condition in the system:
+/// SEG edge labels, gated-SSA gates, control dependences, path conditions and
+/// function summaries are all `Expr` nodes interned in an `ExprContext`.
+///
+/// Hash-consing gives the "compact encoding" property the paper claims for
+/// the SEG (Section 3.2, feature 1): a condition shared by many edges is one
+/// node, and the linear-time solver of Section 3.1.1 memoises its atom sets
+/// per node.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PINPOINT_SMT_EXPR_H
+#define PINPOINT_SMT_EXPR_H
+
+#include "support/Arena.h"
+
+#include <cassert>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace pinpoint::smt {
+
+/// Kinds of expression nodes. Boolean-typed: True..Ge (comparisons produce
+/// bool); integer-typed: IntConst..Neg.
+enum class ExprKind : uint8_t {
+  // Boolean leaves / connectives.
+  True,
+  False,
+  BoolVar,
+  Not,
+  And,
+  Or,
+  // Comparisons (boolean-typed, integer operands).
+  Eq,
+  Ne,
+  Lt,
+  Le,
+  Gt,
+  Ge,
+  // Integer-typed.
+  IntConst,
+  IntVar,
+  Add,
+  Sub,
+  Mul,
+  Neg,
+  Ite, ///< if-then-else over integers (bool cond, int, int).
+};
+
+/// An immutable, interned expression node. Create via ExprContext only.
+class Expr {
+public:
+  ExprKind kind() const { return Kind; }
+  uint32_t id() const { return Id; }
+
+  bool isBool() const {
+    return Kind <= ExprKind::Ge; // True..Ge are boolean-typed.
+  }
+
+  /// For BoolVar / IntVar: the variable id (namespaced per context).
+  uint32_t varId() const {
+    assert(Kind == ExprKind::BoolVar || Kind == ExprKind::IntVar);
+    return VarOrConst.Var;
+  }
+
+  /// For IntConst: the value.
+  int64_t constValue() const {
+    assert(Kind == ExprKind::IntConst);
+    return VarOrConst.Const;
+  }
+
+  std::span<const Expr *const> operands() const { return {Ops, NumOps}; }
+  const Expr *operand(unsigned I) const {
+    assert(I < NumOps);
+    return Ops[I];
+  }
+  unsigned numOperands() const { return NumOps; }
+
+  /// An atom is a boolean-typed node that is not a logical connective:
+  /// BoolVar, True/False are not counted, comparisons are. This matches the
+  /// paper's definition "a bool-type expression without logic operators".
+  bool isAtom() const {
+    return Kind == ExprKind::BoolVar ||
+           (Kind >= ExprKind::Eq && Kind <= ExprKind::Ge);
+  }
+
+  bool isTrue() const { return Kind == ExprKind::True; }
+  bool isFalse() const { return Kind == ExprKind::False; }
+
+private:
+  friend class ExprContext;
+  Expr(ExprKind K, uint32_t Id, const Expr *const *Ops, uint8_t NumOps)
+      : Kind(K), NumOps(NumOps), Id(Id), Ops(Ops) {
+    VarOrConst.Const = 0;
+  }
+
+  ExprKind Kind;
+  uint8_t NumOps = 0;
+  uint32_t Id;
+  union {
+    uint32_t Var;
+    int64_t Const;
+  } VarOrConst;
+  const Expr *const *Ops = nullptr;
+};
+
+/// Owning context: arena, interning table, and variable registry.
+/// All Expr pointers remain valid for the lifetime of the context.
+class ExprContext {
+public:
+  ExprContext();
+  ExprContext(const ExprContext &) = delete;
+  ExprContext &operator=(const ExprContext &) = delete;
+
+  //===--------------------------------------------------------------------===
+  // Variables
+  //===--------------------------------------------------------------------===
+
+  /// Creates a fresh boolean variable and returns its node.
+  const Expr *freshBoolVar(std::string Name);
+  /// Creates a fresh integer variable and returns its node.
+  const Expr *freshIntVar(std::string Name);
+  /// Name of a variable (for printing / Z3 symbols).
+  const std::string &varName(uint32_t VarId) const { return VarNames[VarId]; }
+  bool varIsBool(uint32_t VarId) const { return VarIsBool[VarId]; }
+  uint32_t numVars() const { return static_cast<uint32_t>(VarNames.size()); }
+
+  //===--------------------------------------------------------------------===
+  // Constructors (with local simplification + interning)
+  //===--------------------------------------------------------------------===
+
+  const Expr *getTrue() const { return TrueExpr; }
+  const Expr *getFalse() const { return FalseExpr; }
+  const Expr *getBool(bool B) const { return B ? TrueExpr : FalseExpr; }
+  const Expr *getInt(int64_t V);
+
+  const Expr *mkNot(const Expr *A);
+  const Expr *mkAnd(const Expr *A, const Expr *B);
+  const Expr *mkOr(const Expr *A, const Expr *B);
+  const Expr *mkAndN(std::span<const Expr *const> Es);
+  const Expr *mkOrN(std::span<const Expr *const> Es);
+  const Expr *mkImplies(const Expr *A, const Expr *B) {
+    return mkOr(mkNot(A), B);
+  }
+
+  const Expr *mkCmp(ExprKind K, const Expr *A, const Expr *B);
+  const Expr *mkEq(const Expr *A, const Expr *B) {
+    return mkCmp(ExprKind::Eq, A, B);
+  }
+  const Expr *mkNe(const Expr *A, const Expr *B) {
+    return mkCmp(ExprKind::Ne, A, B);
+  }
+
+  const Expr *mkArith(ExprKind K, const Expr *A, const Expr *B);
+  const Expr *mkNeg(const Expr *A);
+  /// if-then-else over integers; also the sound bool→int coercion
+  /// (mkIte(b, 1, 0)).
+  const Expr *mkIte(const Expr *Cond, const Expr *Then, const Expr *Else);
+  /// Coerces a boolean expression to the integer 0/1 domain; identity on
+  /// integer expressions.
+  const Expr *toIntExpr(const Expr *E) {
+    return E->isBool() ? mkIte(E, getInt(1), getInt(0)) : E;
+  }
+  /// Coerces an integer expression to a boolean (e != 0); identity on
+  /// boolean expressions.
+  const Expr *toBoolExpr(const Expr *E) {
+    return E->isBool() ? E : mkNe(E, getInt(0));
+  }
+
+  //===--------------------------------------------------------------------===
+  // Substitution / cloning
+  //===--------------------------------------------------------------------===
+
+  /// Rewrites \p E, replacing each variable id present in \p Map with the
+  /// mapped expression. Memoised per call.
+  const Expr *substitute(const Expr *E,
+                         const std::unordered_map<uint32_t, const Expr *> &Map);
+
+  /// Collects the distinct variable ids occurring in \p E.
+  void collectVars(const Expr *E, std::vector<uint32_t> &Out) const;
+
+  /// Renders \p E as a string (tests & debugging).
+  std::string toString(const Expr *E) const;
+
+  size_t numNodes() const { return NextId; }
+  size_t bytesUsed() const { return Mem.bytesUsed(); }
+
+private:
+  const Expr *intern(ExprKind K, std::span<const Expr *const> Ops,
+                     uint32_t Var, int64_t Const);
+  uint64_t hashKey(ExprKind K, std::span<const Expr *const> Ops, uint32_t Var,
+                   int64_t Const) const;
+
+  Arena Mem;
+  uint32_t NextId = 0;
+  std::unordered_map<uint64_t, std::vector<const Expr *>> InternTable;
+  std::vector<std::string> VarNames;
+  std::vector<bool> VarIsBool;
+  std::unordered_map<int64_t, const Expr *> IntConsts;
+  const Expr *TrueExpr;
+  const Expr *FalseExpr;
+
+  friend class LinearSolver;
+};
+
+} // namespace pinpoint::smt
+
+#endif // PINPOINT_SMT_EXPR_H

@@ -1,0 +1,110 @@
+//===- smt/LinearSolver.cpp ------------------------------------------------===//
+//
+// Part of the Pinpoint reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "smt/LinearSolver.h"
+
+#include <algorithm>
+
+namespace pinpoint::smt {
+
+std::vector<uint32_t> LinearSolver::unionOf(const std::vector<uint32_t> &A,
+                                            const std::vector<uint32_t> &B) {
+  std::vector<uint32_t> Out;
+  Out.reserve(A.size() + B.size());
+  std::set_union(A.begin(), A.end(), B.begin(), B.end(),
+                 std::back_inserter(Out));
+  return Out;
+}
+
+std::vector<uint32_t>
+LinearSolver::intersectOf(const std::vector<uint32_t> &A,
+                          const std::vector<uint32_t> &B) {
+  std::vector<uint32_t> Out;
+  std::set_intersection(A.begin(), A.end(), B.begin(), B.end(),
+                        std::back_inserter(Out));
+  return Out;
+}
+
+bool LinearSolver::intersects(const std::vector<uint32_t> &A,
+                              const std::vector<uint32_t> &B) {
+  auto IA = A.begin(), IB = B.begin();
+  while (IA != A.end() && IB != B.end()) {
+    if (*IA < *IB)
+      ++IA;
+    else if (*IB < *IA)
+      ++IB;
+    else
+      return true;
+  }
+  return false;
+}
+
+const LinearSolver::PN &LinearSolver::sets(const Expr *E) {
+  auto Found = Cache.find(E);
+  if (Found != Cache.end())
+    return Found->second;
+
+  // Iterative post-order so huge shared DAGs do not overflow the stack.
+  std::vector<std::pair<const Expr *, bool>> Stack{{E, false}};
+  while (!Stack.empty()) {
+    auto [Cur, Visited] = Stack.back();
+    Stack.pop_back();
+    if (Cache.count(Cur))
+      continue;
+    if (!Visited) {
+      Stack.push_back({Cur, true});
+      if (Cur->kind() == ExprKind::Not || Cur->kind() == ExprKind::And ||
+          Cur->kind() == ExprKind::Or)
+        for (const Expr *Op : Cur->operands())
+          if (!Cache.count(Op))
+            Stack.push_back({Op, false});
+      continue;
+    }
+    PN Result;
+    switch (Cur->kind()) {
+    case ExprKind::True:
+    case ExprKind::False:
+      break; // Both sets empty; True/False are not atoms.
+    case ExprKind::Not: {
+      const PN &Sub = Cache[Cur->operand(0)];
+      Result.P = Sub.N;
+      Result.N = Sub.P;
+      break;
+    }
+    case ExprKind::And: {
+      const PN &L = Cache[Cur->operand(0)];
+      const PN &R = Cache[Cur->operand(1)];
+      Result.P = unionOf(L.P, R.P);
+      Result.N = unionOf(L.N, R.N);
+      break;
+    }
+    case ExprKind::Or: {
+      const PN &L = Cache[Cur->operand(0)];
+      const PN &R = Cache[Cur->operand(1)];
+      Result.P = intersectOf(L.P, R.P);
+      Result.N = intersectOf(L.N, R.N);
+      break;
+    }
+    default:
+      // Atoms: boolean variables and comparisons. (Comparisons are treated
+      // as opaque atoms; their arithmetic is the SMT backend's job.)
+      if (Cur->isAtom())
+        Result.P.push_back(Cur->id());
+      break;
+    }
+    Cache.emplace(Cur, std::move(Result));
+  }
+  return Cache[E];
+}
+
+bool LinearSolver::isObviouslyUnsat(const Expr *E) {
+  if (E->isFalse())
+    return true;
+  const PN &S = sets(E);
+  return intersects(S.P, S.N);
+}
+
+} // namespace pinpoint::smt

@@ -1,0 +1,471 @@
+//===- smt/MiniSolver.cpp - Built-in DPLL + theory solver ------------------===//
+//
+// Part of the Pinpoint reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small lazy-SMT solver used when Z3 is unavailable and as an ablation
+/// backend. Pipeline:
+///
+///   1. Tseitin-transform the boolean skeleton into CNF. Theory atoms
+///      (comparisons) become propositional variables.
+///   2. DPLL with unit propagation and chronological backtracking.
+///   3. On a full propositional model, check the implied theory constraints:
+///      union-find over equalities, constant propagation, interval bounds,
+///      and difference-constraint cycles. Inconsistent models are excluded
+///      with a blocking clause and search resumes.
+///
+/// The theory check is refutationally incomplete (e.g. nonlinear terms are
+/// treated as opaque); when it cannot refute, the model is accepted and the
+/// answer is Sat — the soundy choice for a bug finder, mirroring how the
+/// paper tolerates over-approximation everywhere except real UNSAT proofs.
+///
+//===----------------------------------------------------------------------===//
+
+#include "smt/Solver.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <unordered_map>
+#include <vector>
+
+namespace pinpoint::smt {
+namespace {
+
+/// A literal is 2*var+sign (sign 1 = negated).
+using Lit = uint32_t;
+inline Lit mkLit(uint32_t Var, bool Neg) { return Var * 2 + (Neg ? 1 : 0); }
+inline uint32_t litVar(Lit L) { return L >> 1; }
+inline bool litNeg(Lit L) { return L & 1; }
+inline Lit negate(Lit L) { return L ^ 1; }
+
+enum class LBool : uint8_t { False, True, Undef };
+
+class MiniSolver : public Solver {
+public:
+  explicit MiniSolver(ExprContext &Ctx) : Ctx(Ctx) {}
+
+  SatResult checkSat(const Expr *E) override;
+  const char *name() const override { return "mini"; }
+
+private:
+  //===--- CNF construction -----------------------------------------------===
+  uint32_t newPropVar() {
+    uint32_t V = NumVars++;
+    return V;
+  }
+  void addClause(std::vector<Lit> C) { Clauses.push_back(std::move(C)); }
+  Lit encode(const Expr *E);
+
+  //===--- DPLL -----------------------------------------------------------===
+  bool dpll();
+  bool propagate();
+  bool allAssigned() const { return Trail.size() == NumVars; }
+  void assign(uint32_t Var, bool Value) {
+    Assign[Var] = Value ? LBool::True : LBool::False;
+    Trail.push_back(Var);
+  }
+
+  //===--- Theory ---------------------------------------------------------===
+  bool theoryConsistent();
+
+  ExprContext &Ctx;
+  uint32_t NumVars = 0;
+  std::vector<std::vector<Lit>> Clauses;
+  std::vector<LBool> Assign;
+  std::vector<uint32_t> Trail;
+  std::vector<size_t> DecisionStack; // Trail indices at decision points.
+  std::unordered_map<const Expr *, Lit> EncMemo;
+  std::unordered_map<const Expr *, uint32_t> AtomVar; // Theory atom -> var.
+  std::vector<const Expr *> VarAtom;                  // var -> atom or null.
+};
+
+Lit MiniSolver::encode(const Expr *E) {
+  auto It = EncMemo.find(E);
+  if (It != EncMemo.end())
+    return It->second;
+
+  Lit Result;
+  switch (E->kind()) {
+  case ExprKind::True: {
+    uint32_t V = newPropVar();
+    VarAtom.push_back(nullptr);
+    addClause({mkLit(V, false)});
+    Result = mkLit(V, false);
+    break;
+  }
+  case ExprKind::False: {
+    uint32_t V = newPropVar();
+    VarAtom.push_back(nullptr);
+    addClause({mkLit(V, false)});
+    Result = mkLit(V, true);
+    break;
+  }
+  case ExprKind::Not:
+    Result = negate(encode(E->operand(0)));
+    break;
+  case ExprKind::And: {
+    Lit A = encode(E->operand(0));
+    Lit B = encode(E->operand(1));
+    uint32_t V = newPropVar();
+    VarAtom.push_back(nullptr);
+    Lit O = mkLit(V, false);
+    // O <-> A & B.
+    addClause({negate(O), A});
+    addClause({negate(O), B});
+    addClause({O, negate(A), negate(B)});
+    Result = O;
+    break;
+  }
+  case ExprKind::Or: {
+    Lit A = encode(E->operand(0));
+    Lit B = encode(E->operand(1));
+    uint32_t V = newPropVar();
+    VarAtom.push_back(nullptr);
+    Lit O = mkLit(V, false);
+    // O <-> A | B.
+    addClause({negate(O), A, B});
+    addClause({O, negate(A)});
+    addClause({O, negate(B)});
+    Result = O;
+    break;
+  }
+  default: {
+    // Theory atom (BoolVar or comparison).
+    assert(E->isAtom() && "unexpected boolean node");
+    uint32_t V = newPropVar();
+    VarAtom.push_back(E);
+    AtomVar.emplace(E, V);
+    Result = mkLit(V, false);
+    break;
+  }
+  }
+  EncMemo.emplace(E, Result);
+  return Result;
+}
+
+bool MiniSolver::propagate() {
+  // Naive unit propagation to fixpoint; clause DB is small for path
+  // conditions, so scanning is acceptable.
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (const auto &C : Clauses) {
+      int Unassigned = 0;
+      Lit UnitLit = 0;
+      bool Satisfied = false;
+      for (Lit L : C) {
+        LBool V = Assign[litVar(L)];
+        if (V == LBool::Undef) {
+          ++Unassigned;
+          UnitLit = L;
+        } else if ((V == LBool::True) != litNeg(L)) {
+          Satisfied = true;
+          break;
+        }
+      }
+      if (Satisfied)
+        continue;
+      if (Unassigned == 0)
+        return false; // Conflict.
+      if (Unassigned == 1) {
+        assign(litVar(UnitLit), !litNeg(UnitLit));
+        Changed = true;
+      }
+    }
+  }
+  return true;
+}
+
+bool MiniSolver::dpll() {
+  uint64_t Steps = 0;
+  const uint64_t StepLimit = 2'000'000;
+  while (true) {
+    if (++Steps > StepLimit)
+      return true; // Give up exhausting: treat as Sat (soundy).
+    if (!propagate()) {
+      // Backtrack to last decision, flip it.
+      while (!DecisionStack.empty()) {
+        size_t Mark = DecisionStack.back();
+        DecisionStack.pop_back();
+        uint32_t DecVar = Trail[Mark];
+        bool DecVal = Assign[DecVar] == LBool::True;
+        for (size_t I = Trail.size(); I > Mark; --I)
+          Assign[Trail[I - 1]] = LBool::Undef;
+        Trail.resize(Mark);
+        // Flip: assign the negation as an implied (non-decision) value.
+        assign(DecVar, !DecVal);
+        goto continue_outer;
+      }
+      return false; // Conflict at level 0.
+    }
+    if (allAssigned()) {
+      if (theoryConsistent())
+        return true;
+      // Exclude this theory-inconsistent model and continue.
+      std::vector<Lit> Block;
+      for (uint32_t V = 0; V < NumVars; ++V)
+        if (VarAtom[V])
+          Block.push_back(mkLit(V, Assign[V] == LBool::True));
+      if (Block.empty())
+        return true;
+      addClause(std::move(Block));
+      // Restart from scratch (simplest correct policy).
+      std::fill(Assign.begin(), Assign.end(), LBool::Undef);
+      Trail.clear();
+      DecisionStack.clear();
+      continue;
+    }
+    // Decide: first unassigned variable, try true.
+    for (uint32_t V = 0; V < NumVars; ++V)
+      if (Assign[V] == LBool::Undef) {
+        DecisionStack.push_back(Trail.size());
+        assign(V, true);
+        break;
+      }
+  continue_outer:;
+  }
+}
+
+//===----------------------------------------------------------------------===
+// Theory check
+//===----------------------------------------------------------------------===
+
+namespace theory {
+
+/// Term ids: integer variables and constants get nodes; compound terms are
+/// evaluated if ground, otherwise treated opaquely (no refutation through
+/// them).
+struct UnionFind {
+  std::vector<uint32_t> Parent;
+  uint32_t find(uint32_t X) {
+    while (Parent[X] != X) {
+      Parent[X] = Parent[Parent[X]];
+      X = Parent[X];
+    }
+    return X;
+  }
+  void unite(uint32_t A, uint32_t B) { Parent[find(A)] = find(B); }
+  uint32_t makeNode() {
+    Parent.push_back(static_cast<uint32_t>(Parent.size()));
+    return static_cast<uint32_t>(Parent.size() - 1);
+  }
+};
+
+} // namespace theory
+
+bool MiniSolver::theoryConsistent() {
+  // Gather asserted atoms with their polarity.
+  struct Assertion {
+    const Expr *Atom;
+    bool Positive;
+  };
+  std::vector<Assertion> Asserts;
+  for (uint32_t V = 0; V < NumVars; ++V)
+    if (const Expr *A = VarAtom[V])
+      if (A->kind() != ExprKind::BoolVar) // Boolean vars are free.
+        Asserts.push_back({A, Assign[V] == LBool::True});
+
+  // Map terms to nodes: IntVar by varId, IntConst by value. Compound terms
+  // are opaque (id by Expr pointer) — equalities through them still join via
+  // union-find, but arithmetic is not interpreted unless ground.
+  theory::UnionFind UF;
+  std::unordered_map<const Expr *, uint32_t> TermNode;
+  std::unordered_map<uint32_t, int64_t> NodeConst; // root -> value
+  auto node = [&](const Expr *T) {
+    auto It = TermNode.find(T);
+    if (It != TermNode.end())
+      return It->second;
+    uint32_t N = UF.makeNode();
+    TermNode.emplace(T, N);
+    if (T->kind() == ExprKind::IntConst)
+      NodeConst[N] = T->constValue();
+    return N;
+  };
+
+  // Pass 1: merge equalities.
+  for (const auto &A : Asserts) {
+    ExprKind K = A.Atom->kind();
+    bool IsEq = (K == ExprKind::Eq && A.Positive) ||
+                (K == ExprKind::Ne && !A.Positive);
+    if (!IsEq)
+      continue;
+    uint32_t L = node(A.Atom->operand(0));
+    uint32_t R = node(A.Atom->operand(1));
+    uint32_t RL = UF.find(L), RR = UF.find(R);
+    if (RL == RR)
+      continue;
+    auto CL = NodeConst.find(RL), CR = NodeConst.find(RR);
+    if (CL != NodeConst.end() && CR != NodeConst.end() &&
+        CL->second != CR->second)
+      return false; // Two distinct constants equated.
+    int64_t Val = 0;
+    bool HasVal = false;
+    if (CL != NodeConst.end()) {
+      Val = CL->second;
+      HasVal = true;
+    } else if (CR != NodeConst.end()) {
+      Val = CR->second;
+      HasVal = true;
+    }
+    UF.unite(RL, RR);
+    if (HasVal)
+      NodeConst[UF.find(RL)] = Val;
+  }
+
+  // Pass 2: disequalities and orderings.
+  // Bounds per root: [lo, hi].
+  struct Bounds {
+    int64_t Lo = INT64_MIN, Hi = INT64_MAX;
+  };
+  std::unordered_map<uint32_t, Bounds> B;
+  auto boundsOf = [&](uint32_t Root) -> Bounds & {
+    auto [It, New] = B.try_emplace(Root);
+    if (New) {
+      auto C = NodeConst.find(Root);
+      if (C != NodeConst.end()) {
+        It->second.Lo = C->second;
+        It->second.Hi = C->second;
+      }
+    }
+    return It->second;
+  };
+  // Difference edges Root(L) - Root(R) <= C.
+  struct Edge {
+    uint32_t From, To;
+    int64_t W;
+  };
+  std::vector<Edge> Edges;
+
+  for (const auto &A : Asserts) {
+    ExprKind K = A.Atom->kind();
+    if (K == ExprKind::BoolVar)
+      continue;
+    const Expr *LT = A.Atom->operand(0);
+    const Expr *RT = A.Atom->operand(1);
+    uint32_t L = UF.find(node(LT)), R = UF.find(node(RT));
+
+    // Normalise to a positive relation.
+    ExprKind Rel = K;
+    if (!A.Positive) {
+      switch (K) {
+      case ExprKind::Eq:
+        Rel = ExprKind::Ne;
+        break;
+      case ExprKind::Ne:
+        Rel = ExprKind::Eq;
+        break;
+      case ExprKind::Lt:
+        Rel = ExprKind::Ge;
+        break;
+      case ExprKind::Le:
+        Rel = ExprKind::Gt;
+        break;
+      case ExprKind::Gt:
+        Rel = ExprKind::Le;
+        break;
+      case ExprKind::Ge:
+        Rel = ExprKind::Lt;
+        break;
+      default:
+        break;
+      }
+    }
+
+    if (Rel == ExprKind::Eq)
+      continue; // Handled in pass 1.
+    if (Rel == ExprKind::Ne) {
+      if (L == R)
+        return false; // x != x within one equivalence class.
+      continue;
+    }
+
+    // Orderings: push constant bounds or difference edges.
+    auto CL = NodeConst.find(L), CR = NodeConst.find(R);
+    bool LConst = CL != NodeConst.end(), RConst = CR != NodeConst.end();
+    int64_t Adjust = (Rel == ExprKind::Lt || Rel == ExprKind::Gt) ? 1 : 0;
+    if (Rel == ExprKind::Lt || Rel == ExprKind::Le) {
+      // L <= R - adjust.
+      if (RConst) {
+        Bounds &BB = boundsOf(L);
+        BB.Hi = std::min(BB.Hi, CR->second - Adjust);
+      } else if (LConst) {
+        Bounds &BB = boundsOf(R);
+        BB.Lo = std::max(BB.Lo, CL->second + Adjust);
+      } else {
+        Edges.push_back({L, R, -Adjust}); // L - R <= -adjust.
+      }
+    } else { // Gt / Ge: L >= R + adjust.
+      if (RConst) {
+        Bounds &BB = boundsOf(L);
+        BB.Lo = std::max(BB.Lo, CR->second + Adjust);
+      } else if (LConst) {
+        Bounds &BB = boundsOf(R);
+        BB.Hi = std::min(BB.Hi, CL->second - Adjust);
+      } else {
+        Edges.push_back({R, L, -Adjust}); // R - L <= -adjust.
+      }
+    }
+  }
+
+  for (auto &[Root, Bound] : B)
+    if (Bound.Lo > Bound.Hi)
+      return false;
+
+  // Negative-cycle detection over difference edges (Bellman-Ford on the
+  // used roots only). Bound interaction with edges is not modelled; this
+  // only weakens refutation power, never soundness of Unsat.
+  if (!Edges.empty()) {
+    std::unordered_map<uint32_t, int64_t> Dist;
+    for (const Edge &E : Edges) {
+      Dist.try_emplace(E.From, 0);
+      Dist.try_emplace(E.To, 0);
+    }
+    size_t N = Dist.size();
+    for (size_t I = 0; I <= N; ++I) {
+      bool Relaxed = false;
+      for (const Edge &E : Edges) {
+        if (Dist[E.From] + E.W < Dist[E.To]) {
+          Dist[E.To] = Dist[E.From] + E.W;
+          Relaxed = true;
+        }
+      }
+      if (!Relaxed)
+        break;
+      if (I == N)
+        return false; // Negative cycle.
+    }
+  }
+
+  return true;
+}
+
+SatResult MiniSolver::checkSat(const Expr *E) {
+  assert(E->isBool() && "checkSat on non-boolean");
+  NumVars = 0;
+  Clauses.clear();
+  Trail.clear();
+  DecisionStack.clear();
+  EncMemo.clear();
+  AtomVar.clear();
+  VarAtom.clear();
+
+  if (E->isTrue())
+    return SatResult::Sat;
+  if (E->isFalse())
+    return SatResult::Unsat;
+
+  Lit Root = encode(E);
+  addClause({Root});
+  Assign.assign(NumVars, LBool::Undef);
+  return dpll() ? SatResult::Sat : SatResult::Unsat;
+}
+
+} // namespace
+
+std::unique_ptr<Solver> createMiniSolver(ExprContext &Ctx) {
+  return std::make_unique<MiniSolver>(Ctx);
+}
+
+} // namespace pinpoint::smt

@@ -1,0 +1,32 @@
+//===- smt/Solver.cpp ------------------------------------------------------===//
+//
+// Part of the Pinpoint reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "smt/Solver.h"
+
+namespace pinpoint::smt {
+
+SatResult StagedSolver::checkSat(const Expr *E) {
+  ++S.Queries;
+  if (E->isTrue())
+    return SatResult::Sat;
+  if (UseLinearFilter && Linear.isObviouslyUnsat(E)) {
+    ++S.LinearUnsat;
+    return SatResult::Unsat;
+  }
+  ++S.BackendQueries;
+  SatResult R = Backend->checkSat(E);
+  if (R == SatResult::Unsat)
+    ++S.BackendUnsat;
+  return R;
+}
+
+std::unique_ptr<Solver> createDefaultSolver(ExprContext &Ctx) {
+  if (auto Z3 = createZ3Solver(Ctx))
+    return Z3;
+  return createMiniSolver(Ctx);
+}
+
+} // namespace pinpoint::smt

@@ -1,0 +1,93 @@
+//===- smt/Solver.h - SMT backend interface & staged solving --------------===//
+//
+// Part of the Pinpoint reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Satisfiability backends. The paper implements Pinpoint on Z3; this repo
+/// provides the same (when libz3 is present) plus a self-contained
+/// DPLL+theory "MiniSolver" so the system runs everywhere and the linear
+/// filter can be ablated independently of the backend.
+///
+/// `StagedSolver` is the paper's two-stage pipeline: the linear-time filter
+/// of Section 3.1.1 first, the full SMT solver only for conditions the
+/// filter cannot refute. It keeps the counters the ablation benchmark
+/// (bench/ablation_linear_solver) reports.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PINPOINT_SMT_SOLVER_H
+#define PINPOINT_SMT_SOLVER_H
+
+#include "smt/Expr.h"
+#include "smt/LinearSolver.h"
+
+#include <memory>
+
+namespace pinpoint::smt {
+
+enum class SatResult { Sat, Unsat, Unknown };
+
+inline const char *toString(SatResult R) {
+  switch (R) {
+  case SatResult::Sat:
+    return "sat";
+  case SatResult::Unsat:
+    return "unsat";
+  default:
+    return "unknown";
+  }
+}
+
+/// Abstract satisfiability backend for boolean Exprs.
+class Solver {
+public:
+  virtual ~Solver() = default;
+  /// Decides satisfiability of the boolean formula \p E.
+  virtual SatResult checkSat(const Expr *E) = 0;
+  virtual const char *name() const = 0;
+};
+
+/// Creates a Z3-backed solver, or nullptr when built without Z3.
+std::unique_ptr<Solver> createZ3Solver(ExprContext &Ctx);
+
+/// Creates the built-in DPLL + (equality/difference-bounds) theory solver.
+/// Sound for UNSAT; may answer Sat for theory fragments it cannot refute
+/// (the soundy choice for a bug finder).
+std::unique_ptr<Solver> createMiniSolver(ExprContext &Ctx);
+
+/// Z3 if available, MiniSolver otherwise.
+std::unique_ptr<Solver> createDefaultSolver(ExprContext &Ctx);
+
+/// The paper's two-stage solving discipline: linear-time filter, then a full
+/// backend for whatever survives.
+class StagedSolver : public Solver {
+public:
+  StagedSolver(ExprContext &Ctx, std::unique_ptr<Solver> Backend,
+               bool UseLinearFilter = true)
+      : Linear(Ctx), Backend(std::move(Backend)),
+        UseLinearFilter(UseLinearFilter) {}
+
+  SatResult checkSat(const Expr *E) override;
+  const char *name() const override { return "staged"; }
+
+  /// Statistics for the ablation study.
+  struct Stats {
+    uint64_t Queries = 0;        ///< Total checkSat calls.
+    uint64_t LinearUnsat = 0;    ///< Refuted by the linear filter alone.
+    uint64_t BackendQueries = 0; ///< Fell through to the SMT backend.
+    uint64_t BackendUnsat = 0;   ///< Backend answered unsat.
+  };
+  const Stats &stats() const { return S; }
+
+private:
+  LinearSolver Linear;
+  std::unique_ptr<Solver> Backend;
+  bool UseLinearFilter;
+  Stats S;
+};
+
+} // namespace pinpoint::smt
+
+#endif // PINPOINT_SMT_SOLVER_H

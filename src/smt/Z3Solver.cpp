@@ -1,0 +1,165 @@
+//===- smt/Z3Solver.cpp - Z3 backend ---------------------------------------===//
+//
+// Part of the Pinpoint reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Translates the interned Expr DAG into Z3 ASTs (via the C API) and asks Z3
+/// for satisfiability — the same backend the paper's implementation uses.
+/// Translation is memoised per node so shared subformulas are translated
+/// once.
+///
+//===----------------------------------------------------------------------===//
+
+#include "smt/Solver.h"
+
+#if PINPOINT_HAS_Z3
+
+#include <unordered_map>
+#include <vector>
+#include <z3.h>
+
+namespace pinpoint::smt {
+namespace {
+
+class Z3Solver : public Solver {
+public:
+  explicit Z3Solver(ExprContext &Ctx) : Ctx(Ctx) {
+    Z3_config Cfg = Z3_mk_config();
+    Z3_set_param_value(Cfg, "timeout", "10000");
+    Z = Z3_mk_context(Cfg);
+    Z3_del_config(Cfg);
+    IntSort = Z3_mk_int_sort(Z);
+    BoolSort = Z3_mk_bool_sort(Z);
+  }
+
+  ~Z3Solver() override { Z3_del_context(Z); }
+
+  SatResult checkSat(const Expr *E) override {
+    Z3_solver S = Z3_mk_solver(Z);
+    Z3_solver_inc_ref(Z, S);
+    Z3_solver_assert(Z, S, translate(E));
+    Z3_lbool R = Z3_solver_check(Z, S);
+    Z3_solver_dec_ref(Z, S);
+    if (R == Z3_L_TRUE)
+      return SatResult::Sat;
+    if (R == Z3_L_FALSE)
+      return SatResult::Unsat;
+    return SatResult::Unknown;
+  }
+
+  const char *name() const override { return "z3"; }
+
+private:
+  Z3_ast var(uint32_t VarId) {
+    auto It = Vars.find(VarId);
+    if (It != Vars.end())
+      return It->second;
+    Z3_symbol Sym =
+        Z3_mk_string_symbol(Z, Ctx.varName(VarId).c_str());
+    Z3_ast A = Z3_mk_const(Z, Sym, Ctx.varIsBool(VarId) ? BoolSort : IntSort);
+    Vars.emplace(VarId, A);
+    return A;
+  }
+
+  Z3_ast translate(const Expr *E) {
+    auto It = Memo.find(E);
+    if (It != Memo.end())
+      return It->second;
+
+    // Iterative post-order; condition DAGs can be deep.
+    std::vector<std::pair<const Expr *, bool>> Stack{{E, false}};
+    while (!Stack.empty()) {
+      auto [Cur, Visited] = Stack.back();
+      Stack.pop_back();
+      if (Memo.count(Cur))
+        continue;
+      if (!Visited) {
+        Stack.push_back({Cur, true});
+        for (const Expr *Op : Cur->operands())
+          if (!Memo.count(Op))
+            Stack.push_back({Op, false});
+        continue;
+      }
+      Memo[Cur] = translateNode(Cur);
+    }
+    return Memo[E];
+  }
+
+  Z3_ast translateNode(const Expr *E) {
+    auto Op = [&](unsigned I) { return Memo[E->operand(I)]; };
+    switch (E->kind()) {
+    case ExprKind::True:
+      return Z3_mk_true(Z);
+    case ExprKind::False:
+      return Z3_mk_false(Z);
+    case ExprKind::BoolVar:
+    case ExprKind::IntVar:
+      return var(E->varId());
+    case ExprKind::IntConst:
+      return Z3_mk_int64(Z, E->constValue(), IntSort);
+    case ExprKind::Not:
+      return Z3_mk_not(Z, Op(0));
+    case ExprKind::And: {
+      Z3_ast Args[2] = {Op(0), Op(1)};
+      return Z3_mk_and(Z, 2, Args);
+    }
+    case ExprKind::Or: {
+      Z3_ast Args[2] = {Op(0), Op(1)};
+      return Z3_mk_or(Z, 2, Args);
+    }
+    case ExprKind::Eq:
+      return Z3_mk_eq(Z, Op(0), Op(1));
+    case ExprKind::Ne:
+      return Z3_mk_not(Z, Z3_mk_eq(Z, Op(0), Op(1)));
+    case ExprKind::Lt:
+      return Z3_mk_lt(Z, Op(0), Op(1));
+    case ExprKind::Le:
+      return Z3_mk_le(Z, Op(0), Op(1));
+    case ExprKind::Gt:
+      return Z3_mk_gt(Z, Op(0), Op(1));
+    case ExprKind::Ge:
+      return Z3_mk_ge(Z, Op(0), Op(1));
+    case ExprKind::Add: {
+      Z3_ast Args[2] = {Op(0), Op(1)};
+      return Z3_mk_add(Z, 2, Args);
+    }
+    case ExprKind::Sub: {
+      Z3_ast Args[2] = {Op(0), Op(1)};
+      return Z3_mk_sub(Z, 2, Args);
+    }
+    case ExprKind::Mul: {
+      Z3_ast Args[2] = {Op(0), Op(1)};
+      return Z3_mk_mul(Z, 2, Args);
+    }
+    case ExprKind::Neg:
+      return Z3_mk_unary_minus(Z, Op(0));
+    case ExprKind::Ite:
+      return Z3_mk_ite(Z, Op(0), Op(1), Op(2));
+    }
+    return Z3_mk_true(Z); // Unreachable; all kinds covered.
+  }
+
+  ExprContext &Ctx;
+  Z3_context Z;
+  Z3_sort IntSort, BoolSort;
+  std::unordered_map<uint32_t, Z3_ast> Vars;
+  std::unordered_map<const Expr *, Z3_ast> Memo;
+};
+
+} // namespace
+
+std::unique_ptr<Solver> createZ3Solver(ExprContext &Ctx) {
+  return std::make_unique<Z3Solver>(Ctx);
+}
+
+} // namespace pinpoint::smt
+
+#else // !PINPOINT_HAS_Z3
+
+namespace pinpoint::smt {
+std::unique_ptr<Solver> createZ3Solver(ExprContext &) { return nullptr; }
+} // namespace pinpoint::smt
+
+#endif

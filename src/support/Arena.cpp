@@ -1,0 +1,42 @@
+//===- support/Arena.cpp --------------------------------------------------===//
+//
+// Part of the Pinpoint reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Arena.h"
+#include "support/Statistics.h"
+
+#include <algorithm>
+
+#include <cstdlib>
+
+namespace pinpoint {
+
+void Arena::newSlab(size_t MinSize) {
+  size_t Size = MinSlabSize << std::min<size_t>(Slabs.size(), 8);
+  if (Size > MaxSlabSize)
+    Size = MaxSlabSize;
+  if (MinSize > Size)
+    Size = MinSize;
+  char *Slab = static_cast<char *>(std::malloc(Size));
+  Slabs.push_back(Slab);
+  Cur = reinterpret_cast<uintptr_t>(Slab);
+  End = Cur + Size;
+  BytesReserved += Size;
+  MemStats::get().noteArenaBytes(static_cast<int64_t>(Size));
+}
+
+void Arena::reset() {
+  for (auto It = Dtors.rbegin(); It != Dtors.rend(); ++It)
+    It->Fn(It->Obj);
+  Dtors.clear();
+  for (char *Slab : Slabs)
+    std::free(Slab);
+  MemStats::get().noteArenaBytes(-static_cast<int64_t>(BytesReserved));
+  Slabs.clear();
+  Cur = End = 0;
+  BytesUsed = BytesReserved = 0;
+}
+
+} // namespace pinpoint

@@ -1,0 +1,61 @@
+//===- support/Casting.h - LLVM-style isa/cast/dyn_cast ------------------===//
+//
+// Part of the Pinpoint reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Minimal reimplementation of the LLVM casting machinery (isa<>, cast<>,
+/// dyn_cast<>) used throughout the class hierarchies of this project. A class
+/// participates by providing `static bool classof(const Base *)`.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PINPOINT_SUPPORT_CASTING_H
+#define PINPOINT_SUPPORT_CASTING_H
+
+#include <cassert>
+#include <type_traits>
+
+namespace pinpoint {
+
+/// Returns true if \p Val is an instance of type To (per To::classof).
+template <typename To, typename From> inline bool isa(const From *Val) {
+  assert(Val && "isa<> used on a null pointer");
+  return To::classof(Val);
+}
+
+/// Checked downcast: asserts the dynamic type matches.
+template <typename To, typename From> inline To *cast(From *Val) {
+  assert(isa<To>(Val) && "cast<To>() argument of incompatible type");
+  return static_cast<To *>(Val);
+}
+
+template <typename To, typename From> inline const To *cast(const From *Val) {
+  assert(isa<To>(Val) && "cast<To>() argument of incompatible type");
+  return static_cast<const To *>(Val);
+}
+
+/// Downcast that returns null when the dynamic type does not match.
+template <typename To, typename From> inline To *dyn_cast(From *Val) {
+  return isa<To>(Val) ? static_cast<To *>(Val) : nullptr;
+}
+
+template <typename To, typename From>
+inline const To *dyn_cast(const From *Val) {
+  return isa<To>(Val) ? static_cast<const To *>(Val) : nullptr;
+}
+
+/// dyn_cast that also tolerates a null input.
+template <typename To, typename From> inline To *dyn_cast_or_null(From *Val) {
+  return (Val && isa<To>(Val)) ? static_cast<To *>(Val) : nullptr;
+}
+
+template <typename To, typename From>
+inline const To *dyn_cast_or_null(const From *Val) {
+  return (Val && isa<To>(Val)) ? static_cast<const To *>(Val) : nullptr;
+}
+
+} // namespace pinpoint
+
+#endif // PINPOINT_SUPPORT_CASTING_H

@@ -1,0 +1,59 @@
+//===- support/RNG.h - Deterministic random number generation ------------===//
+//
+// Part of the Pinpoint reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A SplitMix64-based deterministic RNG. The synthetic-workload generator
+/// must be reproducible across runs and platforms, so std::mt19937 with
+/// distribution objects (whose outputs are implementation-defined) is not
+/// used; everything here is fully specified.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PINPOINT_SUPPORT_RNG_H
+#define PINPOINT_SUPPORT_RNG_H
+
+#include <cassert>
+#include <cstdint>
+
+namespace pinpoint {
+
+/// Deterministic 64-bit RNG (SplitMix64).
+class RNG {
+public:
+  explicit RNG(uint64_t Seed) : State(Seed) {}
+
+  uint64_t next() {
+    uint64_t Z = (State += 0x9e3779b97f4a7c15ULL);
+    Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
+    return Z ^ (Z >> 31);
+  }
+
+  /// Uniform integer in [0, Bound).
+  uint64_t below(uint64_t Bound) {
+    assert(Bound > 0 && "empty range");
+    return next() % Bound;
+  }
+
+  /// Uniform integer in [Lo, Hi] inclusive.
+  int64_t range(int64_t Lo, int64_t Hi) {
+    assert(Lo <= Hi && "bad range");
+    return Lo + static_cast<int64_t>(below(static_cast<uint64_t>(Hi - Lo + 1)));
+  }
+
+  /// Bernoulli draw with probability Num/Den.
+  bool chance(uint64_t Num, uint64_t Den) { return below(Den) < Num; }
+
+  /// Derives an independent child RNG (for stable per-item streams).
+  RNG fork(uint64_t Salt) { return RNG(next() ^ (Salt * 0x9e3779b97f4a7c15ULL)); }
+
+private:
+  uint64_t State;
+};
+
+} // namespace pinpoint
+
+#endif // PINPOINT_SUPPORT_RNG_H

@@ -1,0 +1,39 @@
+//===- support/SourceLoc.h - Source positions -----------------------------===//
+//
+// Part of the Pinpoint reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Source locations threaded from the lexer through the IR into bug reports;
+/// the evaluation harness matches reports against planted ground truth by
+/// source line.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PINPOINT_SUPPORT_SOURCELOC_H
+#define PINPOINT_SUPPORT_SOURCELOC_H
+
+#include <cstdint>
+#include <string>
+
+namespace pinpoint {
+
+/// A (line, column) position in a module's source text. Line 0 means unknown.
+struct SourceLoc {
+  uint32_t Line = 0;
+  uint32_t Col = 0;
+
+  bool isValid() const { return Line != 0; }
+  bool operator==(const SourceLoc &O) const {
+    return Line == O.Line && Col == O.Col;
+  }
+
+  std::string str() const {
+    return std::to_string(Line) + ":" + std::to_string(Col);
+  }
+};
+
+} // namespace pinpoint
+
+#endif // PINPOINT_SUPPORT_SOURCELOC_H

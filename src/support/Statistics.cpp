@@ -1,0 +1,40 @@
+//===- support/Statistics.cpp ---------------------------------------------===//
+//
+// Part of the Pinpoint reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Statistics.h"
+
+#include <cstdio>
+#include <cstring>
+
+namespace pinpoint {
+
+Counters &Counters::get() {
+  static Counters C;
+  return C;
+}
+
+MemStats &MemStats::get() {
+  static MemStats M;
+  return M;
+}
+
+int64_t MemStats::processPeakRSS() {
+  FILE *F = std::fopen("/proc/self/status", "r");
+  if (!F)
+    return 0;
+  char Line[256];
+  int64_t KB = 0;
+  while (std::fgets(Line, sizeof(Line), F)) {
+    if (std::strncmp(Line, "VmHWM:", 6) == 0) {
+      std::sscanf(Line + 6, "%ld", &KB);
+      break;
+    }
+  }
+  std::fclose(F);
+  return KB * 1024;
+}
+
+} // namespace pinpoint

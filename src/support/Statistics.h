@@ -1,0 +1,69 @@
+//===- support/Statistics.h - Counters, memory and time accounting -------===//
+//
+// Part of the Pinpoint reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lightweight global statistics used by the evaluation harnesses:
+///  * named counters (e.g. "smt.linear.unsat", "seg.vertices");
+///  * live arena-byte accounting, with a high-water mark, used to reproduce
+///    the paper's memory figures (Figs. 8-10, Table 2) deterministically;
+///  * peak-RSS probing from /proc for sanity cross-checks.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PINPOINT_SUPPORT_STATISTICS_H
+#define PINPOINT_SUPPORT_STATISTICS_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace pinpoint {
+
+/// Global named counters. Not thread-safe; the analyses are single-threaded
+/// (the evaluation machine here has one core, and the paper's numbers for a
+/// single checker are per-process anyway).
+class Counters {
+public:
+  static Counters &get();
+
+  void add(const std::string &Name, int64_t Delta = 1) { Map[Name] += Delta; }
+  int64_t value(const std::string &Name) const {
+    auto It = Map.find(Name);
+    return It == Map.end() ? 0 : It->second;
+  }
+  void clear() { Map.clear(); }
+  const std::map<std::string, int64_t> &all() const { return Map; }
+
+private:
+  std::map<std::string, int64_t> Map;
+};
+
+/// Tracks bytes held by all live arenas, with a resettable high-water mark.
+class MemStats {
+public:
+  static MemStats &get();
+
+  void noteArenaBytes(int64_t Delta) {
+    Live += Delta;
+    if (Live > Peak)
+      Peak = Live;
+  }
+  int64_t liveBytes() const { return Live; }
+  int64_t peakBytes() const { return Peak; }
+  void resetPeak() { Peak = Live; }
+
+  /// Reads VmHWM (peak resident set) from /proc/self/status, in bytes.
+  /// Returns 0 if unavailable.
+  static int64_t processPeakRSS();
+
+private:
+  int64_t Live = 0;
+  int64_t Peak = 0;
+};
+
+} // namespace pinpoint
+
+#endif // PINPOINT_SUPPORT_STATISTICS_H

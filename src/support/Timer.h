@@ -1,0 +1,38 @@
+//===- support/Timer.h - Wall-clock timing helpers ------------------------===//
+//
+// Part of the Pinpoint reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Small wall-clock stopwatch used by the benchmark harnesses.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PINPOINT_SUPPORT_TIMER_H
+#define PINPOINT_SUPPORT_TIMER_H
+
+#include <chrono>
+
+namespace pinpoint {
+
+/// A stopwatch that starts on construction.
+class Timer {
+public:
+  Timer() : Start(Clock::now()) {}
+
+  /// Elapsed seconds since construction or last restart().
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - Start).count();
+  }
+  double millis() const { return seconds() * 1e3; }
+  void restart() { Start = Clock::now(); }
+
+private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point Start;
+};
+
+} // namespace pinpoint
+
+#endif // PINPOINT_SUPPORT_TIMER_H

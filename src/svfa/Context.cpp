@@ -1,0 +1,85 @@
+//===- svfa/Context.cpp ------------------------------------------------------===//
+//
+// Part of the Pinpoint reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "svfa/Context.h"
+
+using namespace pinpoint::ir;
+
+namespace pinpoint::svfa {
+
+const Context *ContextTable::push(const Context *Parent,
+                                  const CallStmt *Site) {
+  auto Key = std::make_pair(Parent, Site);
+  auto It = Interned.find(Key);
+  if (It != Interned.end())
+    return It->second.get();
+  auto C = std::make_unique<Context>();
+  C->Parent = Parent;
+  C->Site = Site;
+  C->Depth = depth(Parent) + 1;
+  C->Id = NextId++;
+  Context *Raw = C.get();
+  Contexts.push_back(Raw);
+  Interned.emplace(Key, std::move(C));
+  return Raw;
+}
+
+const smt::Expr *ContextTable::mappedVar(uint32_t SymVarId,
+                                         const Function *Callee,
+                                         const Context *C) {
+  auto Key = std::make_pair(C, SymVarId);
+  auto It = Clones.find(Key);
+  if (It != Clones.end())
+    return It->second;
+
+  const smt::Expr *Repl = nullptr;
+  const Variable *IRVar = Syms.irVar(SymVarId);
+
+  // Formal parameter of the callee: map to the caller-side symbol of the
+  // actual argument (Equation (3)'s vi@si = M(vi@si)).
+  if (IRVar && IRVar->parent() == Callee && IRVar->isParam() && C->Site &&
+      static_cast<size_t>(IRVar->paramIndex()) < C->Site->args().size()) {
+    const Value *Actual = C->Site->args()[IRVar->paramIndex()];
+    const Function *Caller = C->Site->parent()->parent();
+    Repl = symbolIn(Actual, Caller, C->Parent);
+    // Coerce to the formal's sort (e.g. boolean formal, constant actual).
+    Repl = Ctx.varIsBool(SymVarId) ? Ctx.toBoolExpr(Repl)
+                                   : Ctx.toIntExpr(Repl);
+  } else {
+    // Any other variable: α-rename into this context.
+    std::string Name = Ctx.varName(SymVarId) + "#" + std::to_string(C->Id);
+    Repl = Ctx.varIsBool(SymVarId) ? Ctx.freshBoolVar(std::move(Name))
+                                   : Ctx.freshIntVar(std::move(Name));
+  }
+  Clones.emplace(Key, Repl);
+  return Repl;
+}
+
+const smt::Expr *ContextTable::instantiate(const smt::Expr *E,
+                                           const Function *Callee,
+                                           const Context *C) {
+  if (!C)
+    return E; // Top context: identity.
+  std::vector<uint32_t> Vars;
+  Ctx.collectVars(E, Vars);
+  if (Vars.empty())
+    return E;
+  std::unordered_map<uint32_t, const smt::Expr *> Map;
+  for (uint32_t V : Vars)
+    Map[V] = mappedVar(V, Callee, C);
+  return Ctx.substitute(E, Map);
+}
+
+const smt::Expr *ContextTable::symbolIn(const Value *V,
+                                        const Function *Owner,
+                                        const Context *C) {
+  const smt::Expr *Sym = Syms[V];
+  if (!C || isa<Constant>(V))
+    return Sym;
+  return instantiate(Sym, Owner, C);
+}
+
+} // namespace pinpoint::svfa

@@ -1,0 +1,799 @@
+//===- svfa/GlobalSVFA.cpp ----------------------------------------------------===//
+//
+// Part of the Pinpoint reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "svfa/GlobalSVFA.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+using namespace pinpoint::ir;
+
+namespace pinpoint::svfa {
+
+namespace {
+
+/// A variable whose DD closure must be expanded (in a context) when the
+/// final constraint is assembled.
+struct VarRef {
+  const Function *Fn;
+  const Variable *V;
+  const Context *Ctx;
+  bool operator<(const VarRef &O) const {
+    return std::tie(Fn, V, Ctx) < std::tie(O.Fn, O.V, O.Ctx);
+  }
+};
+
+/// A call receiver whose RV summary (Equation 2) must be expanded.
+struct RecvRef {
+  const Function *Fn; ///< Function containing the call.
+  const CallStmt *Call;
+  int BundleIdx; ///< -1 primary, >=0 aux index.
+  const Context *Ctx;
+  bool operator<(const RecvRef &O) const {
+    return std::tie(Fn, Call, BundleIdx, Ctx) <
+           std::tie(O.Fn, O.Call, O.BundleIdx, O.Ctx);
+  }
+};
+
+/// A condition with its unexpanded support and provenance.
+struct CondBundle {
+  const smt::Expr *C = nullptr;
+  std::vector<VarRef> Vars;
+  std::vector<RecvRef> Recvs;
+  int Depth = 0;
+  std::vector<std::string> Path;
+};
+
+/// One VF summary entry (paper Section 3.3.2), in the owning function's
+/// symbol space (context refs relative to it).
+struct VFEntry {
+  const Variable *Param = nullptr; ///< VF1/VF3/VF4.
+  int BundleIdx = -1;              ///< VF1 target / VF2 origin bundle index.
+  CondBundle B;
+  SourceLoc Loc;     ///< Source (VF2/VF3) or sink (VF4) location.
+  std::string LocFn; ///< Function containing Loc (for reporting).
+};
+
+struct FnSummaries {
+  std::vector<VFEntry> VF1, VF2, VF3, VF4;
+};
+
+/// A source event inside the function being analysed.
+struct SourceEvent {
+  const Variable *Val;
+  const Stmt *At;
+  CondBundle B;
+  SourceLoc Loc;
+  std::string LocFn;
+};
+
+/// CFG reachability oracle (per function): can control reach T after S?
+class ReachOracle {
+public:
+  explicit ReachOracle(const Function &F) : F(F) {
+    for (const BasicBlock *B : F.blocks()) {
+      std::set<const BasicBlock *> Seen;
+      std::vector<const BasicBlock *> Work{B};
+      while (!Work.empty()) {
+        const BasicBlock *Cur = Work.back();
+        Work.pop_back();
+        for (const BasicBlock *Succ : Cur->succs())
+          if (Seen.insert(Succ).second)
+            Work.push_back(Succ);
+      }
+      Reach.emplace(B, std::move(Seen));
+    }
+  }
+
+  bool reaches(const Stmt *A, const Stmt *B) const {
+    if (A == B)
+      return false;
+    if (A->parent() == B->parent())
+      return F.stmtOrder(A) < F.stmtOrder(B);
+    return Reach.at(A->parent()).count(B->parent()) > 0;
+  }
+
+private:
+  const Function &F;
+  std::map<const BasicBlock *, std::set<const BasicBlock *>> Reach;
+};
+
+} // namespace
+
+//===----------------------------------------------------------------------===
+// Impl
+//===----------------------------------------------------------------------===
+
+class GlobalSVFA::Impl {
+public:
+  Impl(AnalyzedModule &AM, const checkers::CheckerSpec &Spec,
+       GlobalOptions Opts, Stats &S)
+      : AM(AM), Spec(Spec), Opts(Opts), S(S), Ctx(AM.context()),
+        CT(AM.context(), AM.symbols()), Linear(AM.context()),
+        Solver(AM.context(), smt::createDefaultSolver(AM.context()),
+               Opts.UseLinearFilter) {}
+
+  std::vector<Report> run();
+  const smt::StagedSolver::Stats &solverStats() const {
+    return Solver.stats();
+  }
+
+private:
+  //===--- Small helpers ---------------------------------------------------===
+
+  seg::SEG &segOf(const Function *F) { return *AM.info(F).Seg; }
+
+  /// Conjoins, applying the linear-time filter inline (the engine's use of
+  /// Section 3.1.1: contradictory flows die during the search, before any
+  /// SMT query). With the filter disabled only constructor-level folding
+  /// remains and infeasible candidates survive to the SMT stage.
+  const smt::Expr *conj(const smt::Expr *A, const smt::Expr *B) {
+    const smt::Expr *C = Ctx.mkAnd(A, B);
+    if (C->isFalse())
+      return nullptr;
+    if (Opts.UseLinearFilter && Linear.isObviouslyUnsat(C)) {
+      ++S.LinearPruned;
+      return nullptr;
+    }
+    return C;
+  }
+
+  /// Bool-aware equality of two symbolic expressions.
+  const smt::Expr *exprEq(const smt::Expr *A, const smt::Expr *B) {
+    auto boolify = [&](const smt::Expr *E) {
+      return E->isBool() ? E : Ctx.mkNe(E, Ctx.getInt(0));
+    };
+    if (A->isBool() || B->isBool()) {
+      const smt::Expr *BA = boolify(A), *BB = boolify(B);
+      return Ctx.mkAnd(Ctx.mkImplies(BA, BB), Ctx.mkImplies(BB, BA));
+    }
+    return Ctx.mkEq(A, B);
+  }
+
+  /// Maps a callee return-bundle index to the call-site receiver.
+  const Variable *receiverForBundle(const CallStmt *Call,
+                                    const Function *Callee, int BundleIdx) {
+    bool HasPrimary = !Callee->returnType().isVoid();
+    if (HasPrimary && BundleIdx == 0)
+      return Call->receiver();
+    int AuxIdx = HasPrimary ? BundleIdx - 1 : BundleIdx;
+    if (AuxIdx < 0 ||
+        static_cast<size_t>(AuxIdx) >= Call->auxReceivers().size())
+      return nullptr;
+    return Call->auxReceivers()[AuxIdx];
+  }
+
+  /// BundleIdx for an OpenRecv pair (-1 primary / aux index).
+  static int bundleIndexFor(const Function *Callee, int OpenRecvIdx) {
+    bool HasPrimary = !Callee->returnType().isVoid();
+    if (OpenRecvIdx == -1)
+      return 0;
+    return HasPrimary ? OpenRecvIdx + 1 : OpenRecvIdx;
+  }
+
+  const Value *bundleValue(const Function *Callee, int BundleIdx) {
+    const ReturnStmt *Ret = Callee->returnStmt();
+    if (!Ret || BundleIdx < 0 ||
+        static_cast<size_t>(BundleIdx) >= Ret->values().size())
+      return nullptr;
+    return Ret->values()[BundleIdx];
+  }
+
+  const ReachOracle &reach(const Function *F) {
+    auto It = ReachCache.find(F);
+    if (It != ReachCache.end())
+      return *It->second;
+    return *ReachCache.emplace(F, std::make_unique<ReachOracle>(*F))
+                .first->second;
+  }
+
+  const seg::Closure &controlCondOf(const Function *F, const Stmt *St) {
+    auto Key = std::make_pair(F, St);
+    auto It = CDCache.find(Key);
+    if (It != CDCache.end())
+      return It->second;
+    return CDCache.emplace(Key, segOf(F).controlCond(St)).first->second;
+  }
+
+  /// Rebases a context chain (relative to a callee) onto \p Base.
+  const Context *rebase(const Context *C, const Context *Base) {
+    if (!C)
+      return Base;
+    return CT.push(rebase(C->Parent, Base), C->Site);
+  }
+
+  /// Instantiates a callee-space CondBundle at a call site.
+  bool instantiateBundle(const CondBundle &In, const Function *Callee,
+                         const Context *CallCtx, CondBundle &Out) {
+    const smt::Expr *C = CT.instantiate(In.C, Callee, CallCtx);
+    const smt::Expr *Merged = conj(Out.C, C);
+    if (!Merged)
+      return false;
+    Out.C = Merged;
+    for (const VarRef &R : In.Vars)
+      Out.Vars.push_back({R.Fn, R.V, rebase(R.Ctx, CallCtx)});
+    for (const RecvRef &R : In.Recvs)
+      Out.Recvs.push_back({R.Fn, R.Call, R.BundleIdx, rebase(R.Ctx, CallCtx)});
+    Out.Depth = std::max(Out.Depth, In.Depth + 1);
+    // Path traces are for reporting only; cap them so deep call DAGs do
+    // not drag ever-growing string vectors through the search.
+    for (const std::string &P : In.Path) {
+      if (Out.Path.size() >= 16)
+        break;
+      Out.Path.push_back(P);
+    }
+    return true;
+  }
+
+  /// Folds a DD/CD closure (function-local, top context) into a bundle.
+  bool foldClosure(CondBundle &B, const Function *F, const seg::Closure &D) {
+    const smt::Expr *Merged = conj(B.C, D.C);
+    if (!Merged)
+      return false;
+    B.C = Merged;
+    // Open params of the *top* function stay open (unconstrained).
+    for (auto &[Call, Idx] : D.OpenRecvs)
+      B.Recvs.push_back({F, Call, Idx, nullptr});
+    return true;
+  }
+
+  //===--- Value closure ----------------------------------------------------
+
+  std::map<const Variable *, CondBundle>
+  valueClosure(const Function *F, const Variable *Start,
+               const CondBundle &StartB);
+
+  /// IR variables whose symbols occur in \p E (support for DD expansion).
+  std::vector<const Variable *> gateVars(const smt::Expr *E,
+                                         const Function *F);
+
+  //===--- Per-function analysis --------------------------------------------
+
+  void analyzeFunction(const Function *F);
+  void paramSummaries(const Function *F, FnSummaries &Sum);
+  std::vector<SourceEvent> collectEvents(const Function *F);
+  void processEvent(const Function *F, const SourceEvent &Ev,
+                    FnSummaries &Sum);
+
+  //===--- Candidates -------------------------------------------------------
+
+  void addCandidate(const Function *F, const SourceEvent &Ev,
+                    const CondBundle &B, SourceLoc SinkLoc,
+                    const std::string &SinkFn);
+  const smt::Expr *assemble(const CondBundle &B);
+
+  AnalyzedModule &AM;
+  const checkers::CheckerSpec Spec; // By value: callers often pass temporaries.
+  GlobalOptions Opts;
+  Stats &S;
+  smt::ExprContext &Ctx;
+  ContextTable CT;
+  smt::LinearSolver Linear;
+  smt::StagedSolver Solver;
+
+  std::map<const Function *, FnSummaries> Summaries;
+  std::map<const Function *, std::unique_ptr<ReachOracle>> ReachCache;
+  std::map<std::pair<const Function *, const Stmt *>, seg::Closure> CDCache;
+  std::vector<Report> Reports;
+  std::set<std::tuple<std::string, uint32_t, uint32_t>> Reported;
+};
+
+//===----------------------------------------------------------------------===
+// Value closure
+//===----------------------------------------------------------------------===
+
+std::map<const Variable *, CondBundle>
+GlobalSVFA::Impl::valueClosure(const Function *F, const Variable *Start,
+                               const CondBundle &StartB) {
+  seg::SEG &Seg = segOf(F);
+  std::map<const Variable *, CondBundle> Result;
+  std::vector<std::pair<const Variable *, CondBundle>> Work{{Start, StartB}};
+
+  auto describe = [&](const Variable *V) {
+    return F->name() + "::" + V->name();
+  };
+
+  while (!Work.empty()) {
+    auto [V, B] = std::move(Work.back());
+    Work.pop_back();
+    if (Result.count(V))
+      continue; // First-visit condition wins (see header comment).
+    Result.emplace(V, B);
+    ++S.ClosureSteps;
+
+    // A step along a flow edge: conjoin the edge condition, the control
+    // dependence of the mediating statement (Equation 1's CD terms), and —
+    // for direct edges — the value equality.
+    auto step = [&](const Variable *Next, const seg::FlowEdge &E) {
+      if (Result.count(Next))
+        return;
+      CondBundle NB = B;
+      const smt::Expr *C = conj(NB.C, E.Cond);
+      if (!C)
+        return;
+      NB.C = C;
+      for (const Variable *GV : gateVars(E.Cond, F))
+        NB.Vars.push_back({F, GV, nullptr});
+      if (E.Via) {
+        const seg::Closure &CD = controlCondOf(F, E.Via);
+        if (!foldClosure(NB, F, CD))
+          return;
+      }
+      if (E.Direct) {
+        NB.C = conj(NB.C, exprEq(Seg.symbol(V), Seg.symbol(Next)));
+        if (!NB.C)
+          return;
+      }
+      if (NB.Path.size() < 16)
+        NB.Path.push_back(describe(Next));
+      Work.push_back({Next, std::move(NB)});
+    };
+
+    for (const seg::FlowEdge &E : Seg.flowsOut(V))
+      if (E.Direct || Spec.FlowThroughOperators)
+        step(E.To, E);
+    for (const seg::FlowEdge &E : Seg.flowsIn(V))
+      if (E.Direct || Spec.FlowThroughOperators)
+        step(E.To, E); // FlowIn stores the source var in To.
+
+    // VF1 hops: the value enters a callee and returns.
+    for (const seg::Use &U : Seg.usesOf(V)) {
+      if (U.Kind != seg::UseKind::CallArg)
+        continue;
+      const auto *Call = cast<CallStmt>(U.S);
+      const Function *Callee = Call->callee();
+      if (!Callee || AM.callGraph().inSameSCC(F, Callee) ||
+          !Summaries.count(Callee))
+        continue;
+      for (const VFEntry &E : Summaries.at(Callee).VF1) {
+        if (E.Param->paramIndex() != U.Index ||
+            E.B.Depth + 1 > Opts.MaxContextDepth)
+          continue;
+        const Variable *Recv = receiverForBundle(Call, Callee, E.BundleIdx);
+        if (!Recv || Result.count(Recv))
+          continue;
+        const Context *CallCtx = CT.push(nullptr, Call);
+        CondBundle NB = B;
+        if (!instantiateBundle(E.B, Callee, CallCtx, NB))
+          continue;
+        // Receiver equals the callee's returned bundle value.
+        const Value *RetVal = bundleValue(Callee, E.BundleIdx);
+        if (RetVal) {
+          NB.C = conj(NB.C, exprEq(Seg.symbol(Recv),
+                                   CT.symbolIn(RetVal, Callee, CallCtx)));
+          if (!NB.C)
+            continue;
+          if (const auto *RV = dyn_cast<Variable>(RetVal))
+            NB.Vars.push_back({Callee, RV, CallCtx});
+        }
+        if (NB.Path.size() < 16)
+          NB.Path.push_back("through " + Callee->name() + "()");
+        Work.push_back({Recv, std::move(NB)});
+      }
+    }
+
+    // Backward VF1 hop: V is a receiver — the value may have come from an
+    // actual argument through the callee.
+    if (const auto *Call = dyn_cast_or_null<CallStmt>(
+            V->isParam() ? nullptr : V->def())) {
+      const Function *Callee = Call->callee();
+      if (Callee && !AM.callGraph().inSameSCC(F, Callee) &&
+          Summaries.count(Callee)) {
+        int BundleIdx = -1;
+        bool HasPrimary = !Callee->returnType().isVoid();
+        if (Call->receiver() == V && HasPrimary)
+          BundleIdx = 0;
+        for (size_t I = 0; I < Call->auxReceivers().size(); ++I)
+          if (Call->auxReceivers()[I] == V)
+            BundleIdx = static_cast<int>(I) + (HasPrimary ? 1 : 0);
+        if (BundleIdx >= 0) {
+          for (const VFEntry &E : Summaries.at(Callee).VF1) {
+            if (E.BundleIdx != BundleIdx ||
+                E.B.Depth + 1 > Opts.MaxContextDepth)
+              continue;
+            int ArgIdx = E.Param->paramIndex();
+            if (ArgIdx < 0 ||
+                static_cast<size_t>(ArgIdx) >= Call->args().size())
+              continue;
+            const auto *Actual = dyn_cast<Variable>(Call->args()[ArgIdx]);
+            if (!Actual || Result.count(Actual))
+              continue;
+            const Context *CallCtx = CT.push(nullptr, Call);
+            CondBundle NB = B;
+            if (!instantiateBundle(E.B, Callee, CallCtx, NB))
+              continue;
+            if (NB.Path.size() < 16)
+              NB.Path.push_back("back through " + Callee->name() + "()");
+            Work.push_back({Actual, std::move(NB)});
+          }
+        }
+      }
+    }
+  }
+  return Result;
+}
+
+//===----------------------------------------------------------------------===
+// Per-function analysis
+//===----------------------------------------------------------------------===
+
+std::vector<const Variable *>
+gateVarsImpl(ir::SymbolMap &Syms, smt::ExprContext &Ctx, const smt::Expr *E) {
+  std::vector<uint32_t> SymVars;
+  Ctx.collectVars(E, SymVars);
+  std::vector<const Variable *> Out;
+  for (uint32_t Id : SymVars)
+    if (const Variable *V = Syms.irVar(Id))
+      Out.push_back(V);
+  return Out;
+}
+
+std::vector<const Variable *>
+GlobalSVFA::Impl::gateVars(const smt::Expr *E, const Function *) {
+  return gateVarsImpl(AM.symbols(), Ctx, E);
+}
+
+void GlobalSVFA::Impl::paramSummaries(const Function *F, FnSummaries &Sum) {
+  seg::SEG &Seg = segOf(F);
+  for (const Variable *P : F->params()) {
+    CondBundle Start;
+    Start.C = Ctx.getTrue();
+    Start.Path = {F->name() + "::" + P->name()};
+    auto CL = valueClosure(F, P, Start);
+    for (auto &[V, B] : CL) {
+      for (const seg::Use &U : Seg.usesOf(V)) {
+        // Local sink: VF4. A use may be sink *and* source (double free's
+        // free() call), so fall through afterwards.
+        if (Spec.isSinkUse(U)) {
+          CondBundle NB = B;
+          if (foldClosure(NB, F, controlCondOf(F, U.S))) {
+            Sum.VF4.push_back({P, -1, NB, U.S->loc(), F->name()});
+            ++S.VF4;
+          }
+        }
+        // Return: VF1.
+        if (U.Kind == seg::UseKind::RetVal) {
+          Sum.VF1.push_back({P, U.Index, B, U.S->loc(), F->name()});
+          ++S.VF1;
+          continue;
+        }
+        if (U.Kind != seg::UseKind::CallArg)
+          continue;
+        const auto *Call = cast<CallStmt>(U.S);
+        // Local source call: VF3 (the parameter's value is source-marked,
+        // e.g. freed).
+        if (U.Index == 0 && Spec.SourceArgFns.count(Call->calleeName())) {
+          CondBundle NB = B;
+          if (!foldClosure(NB, F, controlCondOf(F, Call)))
+            continue;
+          Sum.VF3.push_back({P, -1, NB, Call->loc(), F->name()});
+          ++S.VF3;
+          continue;
+        }
+        // Composition through callee VF3/VF4.
+        const Function *Callee = Call->callee();
+        if (!Callee || AM.callGraph().inSameSCC(F, Callee) ||
+            !Summaries.count(Callee))
+          continue;
+        const FnSummaries &CS = Summaries.at(Callee);
+        const Context *CallCtx = CT.push(nullptr, Call);
+        for (const VFEntry &E : CS.VF3) {
+          if (E.Param->paramIndex() != U.Index ||
+              E.B.Depth + 1 > Opts.MaxContextDepth)
+            continue;
+          CondBundle NB = B;
+          if (!instantiateBundle(E.B, Callee, CallCtx, NB))
+            continue;
+          if (!foldClosure(NB, F, controlCondOf(F, Call)))
+            continue;
+          Sum.VF3.push_back({P, -1, NB, E.Loc, E.LocFn});
+          ++S.VF3;
+        }
+        for (const VFEntry &E : CS.VF4) {
+          if (E.Param->paramIndex() != U.Index ||
+              E.B.Depth + 1 > Opts.MaxContextDepth)
+            continue;
+          CondBundle NB = B;
+          if (!instantiateBundle(E.B, Callee, CallCtx, NB))
+            continue;
+          if (!foldClosure(NB, F, controlCondOf(F, Call)))
+            continue;
+          Sum.VF4.push_back({P, -1, NB, E.Loc, E.LocFn});
+          ++S.VF4;
+        }
+      }
+    }
+  }
+}
+
+std::vector<SourceEvent>
+GlobalSVFA::Impl::collectEvents(const Function *F) {
+  std::vector<SourceEvent> Events;
+  seg::SEG &Seg = segOf(F);
+
+  // Null-constant assignments as sources (the null-deref extension).
+  if (Spec.NullConstIsSource) {
+    for (const BasicBlock *B : F->blocks())
+      for (const Stmt *St : B->stmts()) {
+        const auto *A = dyn_cast<AssignStmt>(St);
+        if (!A || A->isSynthetic())
+          continue;
+        const auto *C = dyn_cast<Constant>(A->src());
+        if (!C || !C->isNull())
+          continue;
+        SourceEvent Ev;
+        Ev.Val = A->dst();
+        Ev.At = A;
+        Ev.B.C = Ctx.getTrue();
+        Ev.Loc = A->loc();
+        Ev.LocFn = F->name();
+        Ev.B.Path = {"null at " + F->name() + ":" + A->loc().str()};
+        if (foldClosure(Ev.B, F, controlCondOf(F, A)))
+          Events.push_back(std::move(Ev));
+      }
+  }
+  for (const CallStmt *Call : Seg.calls()) {
+    // Direct sources.
+    if (auto Src = Spec.sourceOf(Call)) {
+      SourceEvent Ev;
+      Ev.Val = *Src;
+      Ev.At = Call;
+      Ev.B.C = Ctx.getTrue();
+      Ev.Loc = Call->loc();
+      Ev.LocFn = F->name();
+      Ev.B.Path = {"source at " + F->name() + ":" + Call->loc().str()};
+      if (foldClosure(Ev.B, F, controlCondOf(F, Call)))
+        Events.push_back(std::move(Ev));
+    }
+    // Sources surfacing from callees.
+    const Function *Callee = Call->callee();
+    if (!Callee || AM.callGraph().inSameSCC(F, Callee) ||
+        !Summaries.count(Callee))
+      continue;
+    const FnSummaries &CS = Summaries.at(Callee);
+    const Context *CallCtx = CT.push(nullptr, Call);
+    for (const VFEntry &E : CS.VF3) {
+      if (E.B.Depth + 1 > Opts.MaxContextDepth)
+        continue;
+      int ArgIdx = E.Param->paramIndex();
+      if (ArgIdx < 0 || static_cast<size_t>(ArgIdx) >= Call->args().size())
+        continue;
+      const auto *Actual = dyn_cast<Variable>(Call->args()[ArgIdx]);
+      if (!Actual)
+        continue;
+      SourceEvent Ev;
+      Ev.Val = Actual;
+      Ev.At = Call;
+      Ev.B.C = Ctx.getTrue();
+      Ev.Loc = E.Loc;
+      Ev.LocFn = E.LocFn;
+      if (!instantiateBundle(E.B, Callee, CallCtx, Ev.B))
+        continue;
+      if (!foldClosure(Ev.B, F, controlCondOf(F, Call)))
+        continue;
+      Events.push_back(std::move(Ev));
+    }
+    for (const VFEntry &E : CS.VF2) {
+      if (E.B.Depth + 1 > Opts.MaxContextDepth)
+        continue;
+      const Variable *Recv = receiverForBundle(Call, Callee, E.BundleIdx);
+      if (!Recv)
+        continue;
+      SourceEvent Ev;
+      Ev.Val = Recv;
+      Ev.At = Call;
+      Ev.B.C = Ctx.getTrue();
+      Ev.Loc = E.Loc;
+      Ev.LocFn = E.LocFn;
+      if (!instantiateBundle(E.B, Callee, CallCtx, Ev.B))
+        continue;
+      if (!foldClosure(Ev.B, F, controlCondOf(F, Call)))
+        continue;
+      // Receiver carries the callee's returned source value.
+      const Value *RetVal = bundleValue(Callee, E.BundleIdx);
+      if (RetVal) {
+        Ev.B.C = conj(Ev.B.C, exprEq(Seg.symbol(Recv),
+                                     CT.symbolIn(RetVal, Callee, CallCtx)));
+        if (!Ev.B.C)
+          continue;
+        if (const auto *RV = dyn_cast<Variable>(RetVal))
+          Ev.B.Vars.push_back({Callee, RV, CallCtx});
+      }
+      Events.push_back(std::move(Ev));
+    }
+  }
+  return Events;
+}
+
+void GlobalSVFA::Impl::processEvent(const Function *F, const SourceEvent &Ev,
+                                    FnSummaries &Sum) {
+  ++S.Events;
+  seg::SEG &Seg = segOf(F);
+  const ReachOracle &RO = reach(F);
+  auto CL = valueClosure(F, Ev.Val, Ev.B);
+
+  for (auto &[V, B] : CL) {
+    for (const seg::Use &U : Seg.usesOf(V)) {
+      bool InOrder = !Spec.TemporalOrder || RO.reaches(Ev.At, U.S);
+      // Local sink.
+      if (Spec.isSinkUse(U) && U.S != Ev.At && InOrder) {
+        CondBundle NB = B;
+        if (!foldClosure(NB, F, controlCondOf(F, U.S)))
+          continue;
+        addCandidate(F, Ev, NB, U.S->loc(), F->name());
+        continue;
+      }
+      // Source escapes through the return bundle: VF2.
+      if (U.Kind == seg::UseKind::RetVal) {
+        VFEntry E;
+        E.BundleIdx = U.Index;
+        E.B = B;
+        E.Loc = Ev.Loc;
+        E.LocFn = Ev.LocFn;
+        Sum.VF2.push_back(std::move(E));
+        ++S.VF2;
+        continue;
+      }
+      // Sink inside a callee: VF4 composition.
+      if (U.Kind == seg::UseKind::CallArg && InOrder) {
+        const auto *Call = cast<CallStmt>(U.S);
+        const Function *Callee = Call->callee();
+        if (!Callee || AM.callGraph().inSameSCC(F, Callee) ||
+            !Summaries.count(Callee))
+          continue;
+        const Context *CallCtx = CT.push(nullptr, Call);
+        for (const VFEntry &E : Summaries.at(Callee).VF4) {
+          if (E.Param->paramIndex() != U.Index ||
+              E.B.Depth + 1 > Opts.MaxContextDepth)
+            continue;
+          CondBundle NB = B;
+          if (!instantiateBundle(E.B, Callee, CallCtx, NB))
+            continue;
+          if (!foldClosure(NB, F, controlCondOf(F, Call)))
+            continue;
+          addCandidate(F, Ev, NB, E.Loc, E.LocFn);
+        }
+      }
+    }
+  }
+}
+
+void GlobalSVFA::Impl::analyzeFunction(const Function *F) {
+  FnSummaries &Sum = Summaries[F];
+  paramSummaries(F, Sum);
+  for (const SourceEvent &Ev : collectEvents(F))
+    processEvent(F, Ev, Sum);
+}
+
+//===----------------------------------------------------------------------===
+// Candidates & constraint assembly (Equations 1-3)
+//===----------------------------------------------------------------------===
+
+const smt::Expr *GlobalSVFA::Impl::assemble(const CondBundle &B) {
+  const smt::Expr *Acc = B.C;
+  std::set<VarRef> SeenVars;
+  std::set<RecvRef> SeenRecvs;
+  std::vector<VarRef> VarWork(B.Vars.begin(), B.Vars.end());
+  std::vector<RecvRef> RecvWork(B.Recvs.begin(), B.Recvs.end());
+
+  while (!VarWork.empty() || !RecvWork.empty()) {
+    if (!VarWork.empty()) {
+      VarRef R = VarWork.back();
+      VarWork.pop_back();
+      if (!SeenVars.insert(R).second)
+        continue;
+      const seg::Closure &D = segOf(R.Fn).dd(R.V);
+      Acc = Ctx.mkAnd(Acc, CT.instantiate(D.C, R.Fn, R.Ctx));
+      for (const Variable *P : D.OpenParams) {
+        if (!R.Ctx)
+          continue; // Top-level params stay open.
+        if (P->paramIndex() < 0 ||
+            static_cast<size_t>(P->paramIndex()) >= R.Ctx->Site->args().size())
+          continue;
+        const auto *Actual =
+            dyn_cast<Variable>(R.Ctx->Site->args()[P->paramIndex()]);
+        if (!Actual)
+          continue;
+        const Function *Caller = R.Ctx->Site->parent()->parent();
+        VarWork.push_back({Caller, Actual, R.Ctx->Parent});
+      }
+      for (auto &[Call, Idx] : D.OpenRecvs)
+        RecvWork.push_back({R.Fn, Call, Idx, R.Ctx});
+      continue;
+    }
+
+    RecvRef R = RecvWork.back();
+    RecvWork.pop_back();
+    if (!SeenRecvs.insert(R).second)
+      continue;
+    if (ContextTable::depth(R.Ctx) + 1 > Opts.MaxContextDepth)
+      continue; // Beyond the depth limit: leave unconstrained (soundy).
+    const Function *Caller = R.Call->parent()->parent();
+    const Function *Callee = R.Call->callee();
+    if (!Callee || AM.callGraph().inSameSCC(Caller, Callee) ||
+        !Summaries.count(Callee))
+      continue;
+    int BundleIdx = bundleIndexFor(Callee, R.BundleIdx);
+    const Variable *Recv = receiverForBundle(R.Call, Callee, BundleIdx);
+    const Value *RetVal = bundleValue(Callee, BundleIdx);
+    if (!Recv || !RetVal)
+      continue;
+    const Context *ChildCtx = CT.push(R.Ctx, R.Call);
+    // RV summary (Equation 2): receiver equals the callee's return value,
+    // whose own constraints are expanded in the child context.
+    Acc = Ctx.mkAnd(Acc, exprEq(CT.symbolIn(Recv, R.Fn, R.Ctx),
+                                CT.symbolIn(RetVal, Callee, ChildCtx)));
+    if (const auto *RV = dyn_cast<Variable>(RetVal))
+      VarWork.push_back({Callee, RV, ChildCtx});
+  }
+  return Acc;
+}
+
+void GlobalSVFA::Impl::addCandidate(const Function *F, const SourceEvent &Ev,
+                                    const CondBundle &B, SourceLoc SinkLoc,
+                                    const std::string &SinkFn) {
+  auto Key = std::make_tuple(Spec.Name + Ev.LocFn + SinkFn, Ev.Loc.Line,
+                             SinkLoc.Line);
+  // Deduplicate only *surviving* reports: an infeasible candidate for the
+  // same (source, sink) must not shadow a feasible one reached through a
+  // different value-flow path.
+  if (Reported.count(Key))
+    return;
+  ++S.Candidates;
+
+  Report R;
+  R.Checker = Spec.Name;
+  R.SourceFn = Ev.LocFn;
+  R.Source = Ev.Loc;
+  R.Sink = SinkLoc;
+  R.SinkFn = SinkFn;
+  R.Path = B.Path;
+
+  if (Opts.PathSensitive) {
+    const smt::Expr *Full = assemble(B);
+    R.Verdict = Solver.checkSat(Full);
+    if (R.Verdict == smt::SatResult::Unsat) {
+      ++S.SolverUnsat;
+      return; // Infeasible path: not a bug.
+    }
+    ++S.SolverSat;
+  }
+  Reported.insert(Key);
+  Reports.push_back(std::move(R));
+}
+
+std::vector<Report> GlobalSVFA::Impl::run() {
+  for (const Function *F : AM.bottomUpOrder())
+    analyzeFunction(F);
+  return std::move(Reports);
+}
+
+//===----------------------------------------------------------------------===
+// Facade
+//===----------------------------------------------------------------------===
+
+GlobalSVFA::GlobalSVFA(AnalyzedModule &AM, const checkers::CheckerSpec &Spec,
+                       GlobalOptions Opts)
+    : P(std::make_unique<Impl>(AM, Spec, Opts, S)) {}
+
+GlobalSVFA::~GlobalSVFA() = default;
+
+std::vector<Report> GlobalSVFA::run() { return P->run(); }
+
+const smt::StagedSolver::Stats &GlobalSVFA::solverStats() const {
+  return P->solverStats();
+}
+
+std::vector<Report> checkModule(ir::Module &M, smt::ExprContext &Ctx,
+                                const checkers::CheckerSpec &Spec,
+                                GlobalOptions Opts) {
+  AnalyzedModule AM(M, Ctx);
+  GlobalSVFA Engine(AM, Spec, Opts);
+  return Engine.run();
+}
+
+} // namespace pinpoint::svfa

@@ -1,0 +1,83 @@
+//===- svfa/Pipeline.h - Bottom-up module analysis pipeline ---------------===//
+//
+// Part of the Pinpoint reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Drives the per-function stages of Pinpoint's architecture (paper Fig. 6)
+/// bottom-up over the call graph:
+///
+///   SSA → call-site rewriting (callees' connectors) → local quasi
+///   path-sensitive points-to (pass 1) → Mod/Ref → interface transform
+///   (Aux params / returns) → points-to pass 2 → SEG.
+///
+/// The result, `AnalyzedModule`, owns per-function condition maps, final
+/// points-to results, connector interfaces and SEGs — everything the global
+/// value-flow stage (GlobalSVFA) and the checkers consume.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PINPOINT_SVFA_PIPELINE_H
+#define PINPOINT_SVFA_PIPELINE_H
+
+#include "ir/CallGraph.h"
+#include "ir/Conditions.h"
+#include "seg/SEG.h"
+#include "transform/Connectors.h"
+
+#include <map>
+#include <memory>
+
+namespace pinpoint::svfa {
+
+/// Everything the pipeline derives for one function.
+struct AnalyzedFunction {
+  ir::Function *F = nullptr;
+  std::unique_ptr<ir::ConditionMap> Conds;
+  pta::PointsToResult PTA; ///< Final (post-transform) points-to results.
+  transform::FunctionInterface Interface;
+  std::unique_ptr<seg::SEG> Seg;
+};
+
+struct PipelineOptions {
+  /// Quasi path sensitivity in the local points-to stages (ablation knob).
+  bool UseLinearFilter = true;
+};
+
+/// Owns the analysed state of a whole module.
+class AnalyzedModule {
+public:
+  AnalyzedModule(ir::Module &M, smt::ExprContext &Ctx,
+                 const PipelineOptions &Opts = {});
+
+  ir::Module &module() { return M; }
+  const ir::CallGraph &callGraph() const { return *CG; }
+  ir::SymbolMap &symbols() { return Syms; }
+  smt::ExprContext &context() { return Ctx; }
+
+  AnalyzedFunction &info(const ir::Function *F) { return Fns.at(F); }
+  const AnalyzedFunction &info(const ir::Function *F) const {
+    return Fns.at(F);
+  }
+
+  /// Functions in bottom-up order (same as the call graph's).
+  const std::vector<ir::Function *> &bottomUpOrder() const {
+    return CG->bottomUpOrder();
+  }
+
+  /// Aggregate SEG statistics (for the scalability benchmarks).
+  size_t totalSEGEdges() const;
+  size_t totalSEGVertices() const;
+
+private:
+  ir::Module &M;
+  smt::ExprContext &Ctx;
+  ir::SymbolMap Syms;
+  std::unique_ptr<ir::CallGraph> CG;
+  std::map<const ir::Function *, AnalyzedFunction> Fns;
+};
+
+} // namespace pinpoint::svfa
+
+#endif // PINPOINT_SVFA_PIPELINE_H

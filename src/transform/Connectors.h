@@ -1,0 +1,75 @@
+//===- transform/Connectors.h - The connector model (paper Fig. 3) --------===//
+//
+// Part of the Pinpoint reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The semantic-preserving function transformation of Section 3.1.2. For
+/// each function the Mod/Ref results of the local points-to analysis are
+/// materialised on the interface:
+///
+///  * every REF'd access path *(p, k) rooted at a formal parameter becomes
+///    an **Aux formal parameter** F with an entry store `*(p,k) ← F`;
+///  * every MOD'd access path *(q, r) becomes an **Aux return value** R with
+///    a pre-return load `R ← *(q,r)` appended to the return bundle;
+///  * call sites of transformed callees get the mirrored plumbing:
+///    `A ← *(u,k)` loads before the call (passed as extra arguments) and
+///    `*(u,r) ← C` stores of the extra receivers after it (Fig. 3(b)).
+///
+/// These input/output connectors are what lets values of interest flow in
+/// and out of a function scope on demand, instead of cloning MOD/REF
+/// summaries into every caller.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PINPOINT_TRANSFORM_CONNECTORS_H
+#define PINPOINT_TRANSFORM_CONNECTORS_H
+
+#include "ir/CallGraph.h"
+#include "ir/IR.h"
+#include "pta/PointsTo.h"
+
+#include <map>
+#include <vector>
+
+namespace pinpoint::transform {
+
+/// The connector interface of a transformed function.
+struct FunctionInterface {
+  /// REF'd access paths, ordered by (parameter index, level); parallel to
+  /// AuxParams.
+  std::vector<pta::ParamPath> RefPaths;
+  std::vector<ir::Variable *> AuxParams; ///< The F_i.
+
+  /// MOD'd access paths, same ordering; parallel to AuxReturns and to the
+  /// extra entries of the return bundle.
+  std::vector<pta::ParamPath> ModPaths;
+  std::vector<ir::Variable *> AuxReturns; ///< The R_p.
+
+  /// Bindings for the second points-to pass: F_i ↦ *(root, level).
+  std::map<const ir::Variable *, pta::AuxBinding> auxBindings() const {
+    std::map<const ir::Variable *, pta::AuxBinding> Out;
+    for (size_t I = 0; I < RefPaths.size(); ++I)
+      Out[AuxParams[I]] = {RefPaths[I].first, RefPaths[I].second};
+    return Out;
+  }
+};
+
+/// Applies Fig. 3(a) to \p F (already in SSA): adds Aux formal parameters
+/// and Aux return values for the REF/MOD sets in \p PTA, inserting the
+/// entry stores and exit loads. Returns the new interface.
+FunctionInterface applyInterfaceTransform(ir::Function &F,
+                                          const pta::PointsToResult &PTA);
+
+/// Applies Fig. 3(b) to every call in \p F whose callee has an interface in
+/// \p Interfaces. Intra-SCC (recursive) calls are left untouched — the
+/// paper unrolls call-graph cycles once. Returns the number of rewritten
+/// call sites.
+unsigned rewriteCallSites(
+    ir::Function &F, const ir::CallGraph &CG,
+    const std::map<const ir::Function *, FunctionInterface> &Interfaces);
+
+} // namespace pinpoint::transform
+
+#endif // PINPOINT_TRANSFORM_CONNECTORS_H

@@ -1,0 +1,57 @@
+//===- workload/Evaluate.cpp ----------------------------------------------------===//
+//
+// Part of the Pinpoint reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workload/Evaluate.h"
+
+#include <set>
+
+namespace pinpoint::workload {
+
+EvalResult evaluate(const std::vector<PlantedBug> &Bugs,
+                    const std::vector<ReportView> &Reports,
+                    BugChecker Checker) {
+  EvalResult R;
+  std::set<size_t> MatchedBugs;
+
+  auto matches = [](const PlantedBug &B, const ReportView &Rep) {
+    // Source must match exactly; the sink may legitimately be attributed to
+    // a nearby statement of the same pattern, so allow a small window.
+    return B.SourceLine == Rep.SourceLine &&
+           (B.SinkLine == Rep.SinkLine ||
+            (Rep.SinkLine >= B.SinkLine - 1 &&
+             Rep.SinkLine <= B.SinkLine + 1));
+  };
+
+  for (const ReportView &Rep : Reports) {
+    if (Rep.Checker != Checker)
+      continue;
+    ++R.Reports;
+    bool Matched = false;
+    for (size_t I = 0; I < Bugs.size(); ++I) {
+      const PlantedBug &B = Bugs[I];
+      if (B.Checker != Checker || !matches(B, Rep))
+        continue;
+      Matched = true;
+      MatchedBugs.insert(I);
+      if (B.Kind == BugKind::Feasible)
+        ++R.TruePositives;
+      else
+        ++R.FalsePositives; // Infeasible or environment-guarded plant.
+      break;
+    }
+    if (!Matched)
+      ++R.FalsePositives; // Spurious report outside the ground truth.
+  }
+
+  for (size_t I = 0; I < Bugs.size(); ++I)
+    if (Bugs[I].Checker == Checker && Bugs[I].Kind == BugKind::Feasible &&
+        !MatchedBugs.count(I))
+      ++R.FalseNegatives;
+
+  return R;
+}
+
+} // namespace pinpoint::workload

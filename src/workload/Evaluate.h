@@ -1,0 +1,57 @@
+//===- workload/Evaluate.h - Ground-truth report classification -----------===//
+//
+// Part of the Pinpoint reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Classifies tool reports against a workload's planted ground truth by
+/// source/sink line match. Replaces the original study's manual triage with
+/// a mechanical oracle: feasible bugs are true positives; infeasible or
+/// environment-guarded plants (and unmatched reports) are false positives;
+/// unreported feasible plants are false negatives.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PINPOINT_WORKLOAD_EVALUATE_H
+#define PINPOINT_WORKLOAD_EVALUATE_H
+
+#include "workload/Generator.h"
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace pinpoint::workload {
+
+/// Minimal view of a tool report for classification.
+struct ReportView {
+  uint32_t SourceLine;
+  uint32_t SinkLine;
+  BugChecker Checker;
+};
+
+struct EvalResult {
+  int TruePositives = 0;
+  int FalsePositives = 0;
+  int FalseNegatives = 0;
+  int Reports = 0;
+
+  double fpRate() const {
+    return Reports == 0 ? 0.0
+                        : static_cast<double>(FalsePositives) / Reports;
+  }
+  double recall() const {
+    int Total = TruePositives + FalseNegatives;
+    return Total == 0 ? 1.0 : static_cast<double>(TruePositives) / Total;
+  }
+};
+
+/// Classifies \p Reports of one checker against \p Bugs.
+EvalResult evaluate(const std::vector<PlantedBug> &Bugs,
+                    const std::vector<ReportView> &Reports,
+                    BugChecker Checker);
+
+} // namespace pinpoint::workload
+
+#endif // PINPOINT_WORKLOAD_EVALUATE_H

@@ -1,0 +1,487 @@
+//===- workload/Generator.cpp --------------------------------------------------===//
+//
+// Part of the Pinpoint reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workload/Generator.h"
+#include "support/RNG.h"
+
+namespace pinpoint::workload {
+
+namespace {
+
+/// Emits source text while tracking line numbers.
+class Emitter {
+public:
+  /// Emits one line (no embedded newlines) and returns its line number.
+  uint32_t line(const std::string &Text) {
+    Out += Text;
+    Out += '\n';
+    return Line++;
+  }
+  void blank() { line(""); }
+
+  const std::string &text() const { return Out; }
+  uint32_t currentLine() const { return Line; }
+
+private:
+  std::string Out;
+  uint32_t Line = 1;
+};
+
+class Generator {
+public:
+  Generator(const WorkloadConfig &Cfg) : Cfg(Cfg), Rand(Cfg.Seed) {}
+
+  Workload run();
+
+private:
+  std::string uid(const std::string &Base) {
+    return Base + "_" + std::to_string(NextId++);
+  }
+
+  //===--- Filler ----------------------------------------------------------===
+
+  /// Central pointer-plumbing helpers shared by the whole subject — the
+  /// memcpy/container-utility pattern of real code. A context-insensitive
+  /// global points-to analysis merges every caller's slots and values at
+  /// the hub formals (the "pointer trap"), so FSVFG memory edges grow
+  /// quadratically; Pinpoint analyses each hub once and keeps callers
+  /// separate through connectors.
+  void emitHubs();
+  std::string hubPut() { return "hub_put_" + std::to_string(Rand.below(NumHubs)); }
+  std::string hubGet() { return "hub_get_" + std::to_string(Rand.below(NumHubs)); }
+  std::string hubNew() { return "new_cell_" + std::to_string(Rand.below(NumHubs)); }
+
+  /// An arithmetic helper (~7 lines); returns its name.
+  std::string emitMathFiller();
+  /// A pointer-plumbing helper that loads/stores through a heap cell and a
+  /// parameter (~10 lines) — alias-noise food for a global analysis.
+  std::string emitPtrFiller();
+  /// A call-chain wrapper over previously generated fillers.
+  std::string emitChainFiller();
+
+  //===--- Bug patterns ----------------------------------------------------===
+
+  void plantUAF(BugKind K);
+  void plantDoubleFree();
+  void plantTaint(BugChecker C, BugKind K);
+  void emitAliasNoise();
+
+  /// Registers a planted bug.
+  void record(BugKind K, BugChecker C, const std::string &Shape,
+              uint32_t Src, uint32_t Snk) {
+    W.Bugs.push_back({K, C, Shape, Src, Snk});
+  }
+
+  const WorkloadConfig &Cfg;
+  RNG Rand;
+  Emitter E;
+  Workload W;
+  unsigned NextId = 0;
+  static constexpr uint64_t NumHubs = 2;
+  std::vector<std::string> MathFillers, PtrFillers, ChainFillers;
+};
+
+void Generator::emitHubs() {
+  for (uint64_t H = 0; H < NumHubs; ++H) {
+    std::string N = std::to_string(H);
+    // A central allocator: one malloc site serving the whole subject, like
+    // a pool/arena/constructor helper in real code. A context-insensitive
+    // analysis gives every caller the *same* abstract cell, so all their
+    // stores and loads alias pairwise (the quadratic FSVFG blow-up);
+    // Pinpoint sees an opaque callee-returned pointer per caller.
+    E.line("int **new_cell_" + N + "() {");
+    E.line("  int **c = malloc();");
+    E.line("  return c;");
+    E.line("}");
+    E.line("int *hub_put_" + N + "(int **slot, int *v) {");
+    E.line("  *slot = v;");
+    E.line("  return v;");
+    E.line("}");
+    E.line("int *hub_get_" + N + "(int **slot) {");
+    E.line("  int *r = *slot;");
+    E.line("  return r;");
+    E.line("}");
+    E.blank();
+  }
+}
+
+//===----------------------------------------------------------------------===
+// Filler
+//===----------------------------------------------------------------------===
+
+std::string Generator::emitMathFiller() {
+  std::string Name = uid("calc");
+  int64_t A = Rand.range(1, 9), B = Rand.range(2, 7), C = Rand.range(10, 90);
+  E.line("int " + Name + "(int a, int b) {");
+  E.line("  int c = a * " + std::to_string(A) + " + b;");
+  E.line("  if (c > " + std::to_string(C) + ") {");
+  E.line("    c = c - " + std::to_string(B) + ";");
+  E.line("  } else {");
+  E.line("    c = c + " + std::to_string(B) + ";");
+  E.line("  }");
+  E.line("  return c;");
+  E.line("}");
+  E.blank();
+  MathFillers.push_back(Name);
+  return Name;
+}
+
+std::string Generator::emitPtrFiller() {
+  std::string Name = uid("shuffle");
+  E.line("int " + Name + "(int *p, int *q, bool sel) {");
+  E.line("  int **cell = " + hubNew() + "();");
+  E.line("  *cell = p;");
+  E.line("  if (sel) {");
+  E.line("    *cell = q;");
+  E.line("  }");
+  E.line("  int *got = *cell;");
+  E.line("  int v = *got;");
+  E.line("  *q = v + 1;");
+  E.line("  return v;");
+  E.line("}");
+  E.blank();
+  PtrFillers.push_back(Name);
+  return Name;
+}
+
+std::string Generator::emitChainFiller() {
+  // Pointer-carrying call trees over shared data: each new chain function
+  // stores through its parameter and calls two previously generated chains
+  // with the same pointer. Connector interfaces stay constant-size
+  // (everything collapses to *(p,1)), while inlining-style MOD/REF
+  // summaries multiply along every call path.
+  std::string Name = uid("chain");
+  E.line("int " + Name + "(int *p, int x) {");
+  E.line("  *p = x;");
+  if (ChainFillers.empty()) {
+    E.line("  int a = *p + 1;");
+    E.line("  int b = x - 1;");
+  } else {
+    const std::string &C1 = ChainFillers[Rand.below(ChainFillers.size())];
+    const std::string &C2 = ChainFillers[Rand.below(ChainFillers.size())];
+    E.line("  int a = " + C1 + "(p, x + 1);");
+    E.line("  int b = " + C2 + "(p, a);");
+  }
+  E.line("  if (a > b) {");
+  E.line("    return a - b;");
+  E.line("  }");
+  E.line("  return b + *p;");
+  E.line("}");
+  E.blank();
+  ChainFillers.push_back(Name);
+  return Name;
+}
+
+//===----------------------------------------------------------------------===
+// Use-after-free patterns
+//===----------------------------------------------------------------------===
+
+void Generator::plantUAF(BugKind K) {
+  std::string Id = uid("uaf");
+  int Shape = static_cast<int>(Rand.below(4));
+
+  // Guard pair: feasible bugs share a guard on both sides; infeasible ones
+  // get complementary guards; env-guarded ones use a "config" int the
+  // oracle knows is never large.
+  std::string SrcGuard, SnkGuard;
+  switch (K) {
+  case BugKind::Feasible:
+    SrcGuard = "flag";
+    SnkGuard = "flag";
+    break;
+  case BugKind::Infeasible:
+    // The paper observes that >90% of infeasible path conditions are "easy"
+    // (syntactic a ∧ ¬a); the plant mix mirrors that 9:1 split, leaving the
+    // arithmetic contradictions for the SMT stage.
+    if (Rand.chance(9, 10)) {
+      SrcGuard = "flag";
+      SnkGuard = "!flag";
+    } else {
+      SrcGuard = "lvl > 5";
+      SnkGuard = "lvl < 2";
+    }
+    break;
+  case BugKind::EnvGuarded:
+    SrcGuard = "cfg > 100";
+    SnkGuard = "cfg > 100";
+    break;
+  }
+
+  uint32_t Src = 0, Snk = 0;
+  switch (Shape) {
+  case 0: { // Intra-procedural, aliased copy.
+    E.line("int " + Id + "(int *p, bool flag, int lvl, int cfg) {");
+    E.line("  int *alias = p;");
+    E.line("  int out = 0;");
+    E.line("  if (" + SrcGuard + ") {");
+    Src = E.line("    free(alias);");
+    E.line("  }");
+    E.line("  if (" + SnkGuard + ") {");
+    Snk = E.line("    out = *p;");
+    E.line("  }");
+    E.line("  return out;");
+    E.line("}");
+    record(K, BugChecker::UseAfterFree, "intra-alias", Src, Snk);
+    break;
+  }
+  case 1: { // Through a heap cell.
+    E.line("int " + Id + "(int *p, bool flag, int lvl, int cfg) {");
+    E.line("  int **cell = malloc();");
+    E.line("  *cell = p;");
+    E.line("  int out = 0;");
+    E.line("  if (" + SrcGuard + ") {");
+    Src = E.line("    free(p);");
+    E.line("  }");
+    E.line("  int *got = *cell;");
+    E.line("  if (" + SnkGuard + ") {");
+    Snk = E.line("    out = *got;");
+    E.line("  }");
+    E.line("  return out;");
+    E.line("}");
+    record(K, BugChecker::UseAfterFree, "intra-heap", Src, Snk);
+    break;
+  }
+  case 2: { // Free in a callee chain (VF3), use in the caller.
+    int Depth = 1 + static_cast<int>(Rand.below(
+                        static_cast<uint64_t>(Cfg.CallDepth)));
+    std::string Prev = Id + "_d0";
+    E.line("void " + Prev + "(int *h) {");
+    Src = E.line("  free(h);");
+    E.line("}");
+    for (int D = 1; D < Depth; ++D) {
+      std::string Cur = Id + "_d" + std::to_string(D);
+      E.line("void " + Cur + "(int *h) {");
+      E.line("  " + Prev + "(h);");
+      E.line("}");
+      Prev = Cur;
+    }
+    E.line("int " + Id + "(int *p, bool flag, int lvl, int cfg) {");
+    E.line("  int out = 0;");
+    E.line("  if (" + SrcGuard + ") {");
+    E.line("    " + Prev + "(p);");
+    E.line("  }");
+    E.line("  if (" + SnkGuard + ") {");
+    Snk = E.line("    out = *p;");
+    E.line("  }");
+    E.line("  return out;");
+    E.line("}");
+    record(K, BugChecker::UseAfterFree, "interproc-vf3", Src, Snk);
+    break;
+  }
+  default: { // The paper's Fig. 1 shape: freed pointer escapes through *q.
+    std::string Callee = Id + "_bar";
+    E.line("void " + Callee + "(int **q, bool inner) {");
+    E.line("  int *fresh = malloc();");
+    E.line("  if (*q != 0) {");
+    E.line("    *q = fresh;");
+    Src = E.line("    free(fresh);");
+    E.line("  }");
+    E.line("}");
+    E.line("int " + Id + "(int *a, bool flag, int lvl, int cfg) {");
+    E.line("  int **ptr = malloc();");
+    E.line("  *ptr = a;");
+    E.line("  int out = 0;");
+    E.line("  if (" + SrcGuard + ") {");
+    E.line("    " + Callee + "(ptr, flag);");
+    E.line("  }");
+    E.line("  int *f = *ptr;");
+    E.line("  if (" + SnkGuard + ") {");
+    Snk = E.line("    out = *f;");
+    E.line("  }");
+    E.line("  return out;");
+    E.line("}");
+    record(K, BugChecker::UseAfterFree, "connector-escape", Src, Snk);
+    break;
+  }
+  }
+  E.blank();
+}
+
+void Generator::plantDoubleFree() {
+  std::string Id = uid("df");
+  if (Rand.chance(1, 2)) {
+    E.line("void " + Id + "(int *p, bool flag) {");
+    uint32_t Src = E.line("  free(p);");
+    E.line("  int *r = p;");
+    uint32_t Snk = E.line("  free(r);");
+    E.line("}");
+    record(BugKind::Feasible, BugChecker::DoubleFree, "intra", Src, Snk);
+  } else {
+    std::string Callee = Id + "_rel";
+    E.line("void " + Callee + "(int *h) {");
+    uint32_t Src = E.line("  free(h);");
+    E.line("}");
+    E.line("void " + Id + "(int *p, bool flag) {");
+    E.line("  " + Callee + "(p);");
+    uint32_t Snk = E.line("  " + Callee + "(p);");
+    E.line("}");
+    // Both the source and sink resolve to the free inside the callee; the
+    // engine reports the callee's free line for both ends.
+    record(BugKind::Feasible, BugChecker::DoubleFree, "interproc", Src, Src);
+    (void)Snk;
+  }
+  E.blank();
+}
+
+//===----------------------------------------------------------------------===
+// Taint patterns
+//===----------------------------------------------------------------------===
+
+void Generator::plantTaint(BugChecker C, BugKind K) {
+  std::string Id = uid(C == BugChecker::PathTraversal ? "pt" : "dt");
+  const char *SourceFn =
+      C == BugChecker::PathTraversal ? "fgetc" : "getpass";
+  const char *SinkFn = C == BugChecker::PathTraversal ? "fopen" : "sendto";
+
+  std::string SrcGuard, SnkGuard;
+  switch (K) {
+  case BugKind::Feasible:
+    SrcGuard = "flag";
+    SnkGuard = "flag";
+    break;
+  case BugKind::Infeasible:
+    SrcGuard = "flag";
+    SnkGuard = "!flag";
+    break;
+  case BugKind::EnvGuarded:
+    SrcGuard = "cfg > 100";
+    SnkGuard = "cfg > 100";
+    break;
+  }
+
+  uint32_t Src = 0, Snk = 0;
+  if (Rand.chance(1, 2)) {
+    // Direct, branch-guarded.
+    E.line("void " + Id + "(bool flag, int cfg) {");
+    E.line("  int data = 0;");
+    E.line("  if (" + SrcGuard + ") {");
+    Src = E.line("    data = " + std::string(SourceFn) + "();");
+    E.line("  }");
+    E.line("  int cooked = data + 7;");
+    E.line("  if (" + SnkGuard + ") {");
+    Snk = E.line("    " + std::string(SinkFn) + "(cooked);");
+    E.line("  }");
+    E.line("}");
+    record(K, C, "taint-direct", Src, Snk);
+  } else {
+    // Through a callee and the heap.
+    std::string Reader = Id + "_read";
+    E.line("int " + Reader + "() {");
+    Src = E.line("  int raw = " + std::string(SourceFn) + "();");
+    E.line("  return raw;");
+    E.line("}");
+    E.line("void " + Id + "(bool flag, int cfg) {");
+    E.line("  int *cell = malloc();");
+    E.line("  if (" + SrcGuard + ") {");
+    E.line("    *cell = " + Reader + "();");
+    E.line("  } else {");
+    E.line("    *cell = 5;");
+    E.line("  }");
+    E.line("  int out = *cell;");
+    E.line("  if (" + SnkGuard + ") {");
+    Snk = E.line("    " + std::string(SinkFn) + "(out);");
+    E.line("  }");
+    E.line("}");
+    record(K, C, "taint-heap", Src, Snk);
+  }
+  E.blank();
+}
+
+//===----------------------------------------------------------------------===
+// Alias noise
+//===----------------------------------------------------------------------===
+
+void Generator::emitAliasNoise() {
+  // A cluster of functions passing pointers around and storing/loading
+  // through them: a flow-insensitive global analysis merges all of this
+  // into fat may-alias classes, multiplying FSVFG memory edges.
+  std::string Id = uid("noise");
+  E.line("void " + Id + "_sink(int **a, int **b, int *v) {");
+  E.line("  *a = v;");
+  E.line("  *b = v;");
+  E.line("}");
+  E.line("int " + Id + "(int *x, int *y, bool s) {");
+  E.line("  int **m = " + hubNew() + "();");
+  E.line("  int **n = " + hubNew() + "();");
+  E.line("  *m = x;");
+  E.line("  *n = y;");
+  E.line("  " + Id + "_sink(m, n, x);");
+  E.line("  " + Id + "_sink(n, m, y);");
+  E.line("  int *r1 = *m;");
+  E.line("  int *r2 = *n;");
+  E.line("  int acc = *r1 + *r2;");
+  E.line("  if (s) {");
+  E.line("    acc = acc + *r1;");
+  E.line("  }");
+  E.line("  return acc;");
+  E.line("}");
+  E.blank();
+}
+
+//===----------------------------------------------------------------------===
+// Driver
+//===----------------------------------------------------------------------===
+
+Workload Generator::run() {
+  E.line("// Auto-generated subject; seed " + std::to_string(Cfg.Seed));
+  E.blank();
+
+  emitHubs();
+
+  // Seed fillers so chains have callees.
+  emitMathFiller();
+  emitPtrFiller();
+
+  for (int I = 0; I < Cfg.FeasibleUAF; ++I)
+    plantUAF(BugKind::Feasible);
+  for (int I = 0; I < Cfg.InfeasibleUAF; ++I)
+    plantUAF(BugKind::Infeasible);
+  for (int I = 0; I < Cfg.EnvGuardedUAF; ++I)
+    plantUAF(BugKind::EnvGuarded);
+  for (int I = 0; I < Cfg.FeasibleDF; ++I)
+    plantDoubleFree();
+  for (int I = 0; I < Cfg.FeasibleTaint; ++I) {
+    plantTaint(BugChecker::PathTraversal, BugKind::Feasible);
+    plantTaint(BugChecker::DataTransmission, BugKind::Feasible);
+  }
+  for (int I = 0; I < Cfg.InfeasibleTaint; ++I) {
+    plantTaint(BugChecker::PathTraversal, BugKind::Infeasible);
+    plantTaint(BugChecker::DataTransmission, BugKind::Infeasible);
+  }
+  for (int I = 0; I < Cfg.EnvGuardedTaint; ++I) {
+    plantTaint(BugChecker::PathTraversal, BugKind::EnvGuarded);
+    plantTaint(BugChecker::DataTransmission, BugKind::EnvGuarded);
+  }
+  for (int I = 0; I < Cfg.AliasNoise; ++I)
+    emitAliasNoise();
+
+  // Fill to the size target.
+  while (E.currentLine() <= Cfg.TargetLoC) {
+    switch (Rand.below(3)) {
+    case 0:
+      emitMathFiller();
+      break;
+    case 1:
+      emitPtrFiller();
+      break;
+    default:
+      emitChainFiller();
+      break;
+    }
+  }
+
+  W.Source = E.text();
+  W.LoC = E.currentLine() - 1;
+  return std::move(W);
+}
+
+} // namespace
+
+Workload generate(const WorkloadConfig &Config) {
+  return Generator(Config).run();
+}
+
+} // namespace pinpoint::workload

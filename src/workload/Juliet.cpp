@@ -1,0 +1,87 @@
+//===- workload/Juliet.cpp ------------------------------------------------------===//
+//
+// Part of the Pinpoint reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workload/Juliet.h"
+
+namespace pinpoint::workload {
+
+std::vector<JulietCase> generateJulietSuite(int CasesPerFamily) {
+  std::vector<JulietCase> Cases;
+  int CaseId = 0;
+
+  // Bad cases: one feasible bug, every shape reachable via seeds.
+  auto addBad = [&](BugChecker C, uint64_t Seed) {
+    WorkloadConfig Cfg;
+    Cfg.Seed = Seed;
+    Cfg.TargetLoC = 1; // No filler beyond the pattern itself.
+    Cfg.AliasNoise = 0;
+    Cfg.CallDepth = 3;
+    switch (C) {
+    case BugChecker::UseAfterFree:
+      Cfg.FeasibleUAF = 1;
+      break;
+    case BugChecker::DoubleFree:
+      Cfg.FeasibleDF = 1;
+      break;
+    case BugChecker::PathTraversal:
+    case BugChecker::DataTransmission:
+      Cfg.FeasibleTaint = 1;
+      break;
+    }
+    Workload W = generate(Cfg);
+    Cases.push_back({"bad_" + std::to_string(CaseId++), std::move(W.Source),
+                     true, std::move(W.Bugs), C});
+  };
+
+  // Good cases: the same shapes with contradictory guards (runtime-
+  // infeasible), or plain bug-free code.
+  auto addGoodInfeasible = [&](BugChecker C, uint64_t Seed) {
+    WorkloadConfig Cfg;
+    Cfg.Seed = Seed;
+    Cfg.TargetLoC = 1;
+    Cfg.AliasNoise = 0;
+    switch (C) {
+    case BugChecker::UseAfterFree:
+      Cfg.InfeasibleUAF = 1;
+      break;
+    case BugChecker::DoubleFree:
+      // No infeasible DF shape in the generator; use UAF's.
+      Cfg.InfeasibleUAF = 1;
+      break;
+    case BugChecker::PathTraversal:
+    case BugChecker::DataTransmission:
+      Cfg.InfeasibleTaint = 1;
+      break;
+    }
+    Workload W = generate(Cfg);
+    Cases.push_back({"good_inf_" + std::to_string(CaseId++),
+                     std::move(W.Source), false, std::move(W.Bugs), C});
+  };
+
+  auto addGoodClean = [&](BugChecker C, uint64_t Seed) {
+    WorkloadConfig Cfg;
+    Cfg.Seed = Seed;
+    Cfg.TargetLoC = 60; // Filler only.
+    Cfg.AliasNoise = 1;
+    Workload W = generate(Cfg);
+    Cases.push_back({"good_clean_" + std::to_string(CaseId++),
+                     std::move(W.Source), false, {}, C});
+  };
+
+  const BugChecker Checkers[] = {BugChecker::UseAfterFree,
+                                 BugChecker::DoubleFree};
+  for (BugChecker C : Checkers)
+    for (int I = 0; I < CasesPerFamily; ++I) {
+      uint64_t Seed = 0x70000 + static_cast<uint64_t>(I) * 131 +
+                      static_cast<uint64_t>(C) * 7919;
+      addBad(C, Seed);
+      addGoodInfeasible(C, Seed + 1);
+      addGoodClean(C, Seed + 2);
+    }
+  return Cases;
+}
+
+} // namespace pinpoint::workload

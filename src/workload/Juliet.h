@@ -1,0 +1,42 @@
+//===- workload/Juliet.h - Juliet-style recall suite -----------------------===//
+//
+// Part of the Pinpoint reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A Juliet-Test-Suite-style corpus for measuring recall against ground
+/// truth (paper Section 5.1.2): families of use-after-free / double-free
+/// flaw patterns, each instantiated many times, as
+///
+///  * *bad* cases — one feasible planted bug each (recall numerator);
+///  * *good* cases — the same shapes with contradictory guards (a
+///    path-sensitive tool must stay silent) or bug-free code.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PINPOINT_WORKLOAD_JULIET_H
+#define PINPOINT_WORKLOAD_JULIET_H
+
+#include "workload/Generator.h"
+
+#include <string>
+#include <vector>
+
+namespace pinpoint::workload {
+
+struct JulietCase {
+  std::string Name;
+  std::string Source;
+  bool IsBad;                  ///< True: contains exactly one real bug.
+  std::vector<PlantedBug> Bugs;
+  BugChecker Checker;
+};
+
+/// Generates the suite: every (shape × guard × checker) family instantiated
+/// \p CasesPerFamily times, bad and good variants.
+std::vector<JulietCase> generateJulietSuite(int CasesPerFamily = 8);
+
+} // namespace pinpoint::workload
+
+#endif // PINPOINT_WORKLOAD_JULIET_H

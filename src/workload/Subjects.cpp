@@ -1,0 +1,76 @@
+//===- workload/Subjects.cpp ----------------------------------------------------===//
+//
+// Part of the Pinpoint reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workload/Subjects.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace pinpoint::workload {
+
+const std::vector<Subject> &table1Subjects() {
+  // Sizes and report counts from Table 1 of the paper; Pinpoint's two false
+  // positives (MySQL, Firefox) appear as EnvGuarded plants.
+  static const std::vector<Subject> Subjects = {
+      {"mcf", "SPEC", 2, 0, 0},
+      {"bzip2", "SPEC", 3, 0, 0},
+      {"gzip", "SPEC", 6, 0, 0},
+      {"parser", "SPEC", 8, 0, 0},
+      {"vpr", "SPEC", 11, 0, 0},
+      {"crafty", "SPEC", 13, 0, 0},
+      {"twolf", "SPEC", 18, 0, 0},
+      {"eon", "SPEC", 22, 0, 0},
+      {"gap", "SPEC", 36, 0, 0},
+      {"vortex", "SPEC", 49, 0, 0},
+      {"perkbmk", "SPEC", 73, 0, 0},
+      {"gcc", "SPEC", 135, 0, 0},
+      {"webassembly", "OpenSource", 23, 1, 0},
+      {"darknet", "OpenSource", 24, 0, 0},
+      {"html5-parser", "OpenSource", 31, 0, 0},
+      {"tmux", "OpenSource", 40, 0, 0},
+      {"libssh", "OpenSource", 44, 1, 0},
+      {"goacess", "OpenSource", 48, 1, 0},
+      {"shadowsocks", "OpenSource", 53, 2, 0},
+      {"swoole", "OpenSource", 54, 0, 0},
+      {"libuv", "OpenSource", 62, 0, 0},
+      {"transmission", "OpenSource", 88, 1, 0},
+      {"git", "OpenSource", 185, 0, 0},
+      {"vim", "OpenSource", 333, 0, 0},
+      {"wrk", "OpenSource", 340, 0, 0},
+      {"libicu", "OpenSource", 537, 1, 0},
+      {"php", "OpenSource", 863, 0, 0},
+      {"ffmpeg", "OpenSource", 967, 0, 0},
+      {"mysql", "OpenSource", 2030, 4, 1},
+      {"firefox", "OpenSource", 7998, 1, 1},
+  };
+  return Subjects;
+}
+
+WorkloadConfig configFor(const Subject &S, double Scale) {
+  WorkloadConfig Cfg;
+  Cfg.Seed = 0x5eed0000 + static_cast<uint64_t>(S.PaperKLoC * 7);
+  Cfg.TargetLoC = static_cast<size_t>(
+      std::max(300.0, S.PaperKLoC * 1000.0 * Scale));
+  Cfg.FeasibleUAF = S.FeasibleUAF;
+  Cfg.EnvGuardedUAF = S.EnvGuardedUAF;
+  // Infeasible plants and alias noise scale with subject size: they feed
+  // the layered baseline's false positives and graph blow-up.
+  Cfg.InfeasibleUAF = 2 + static_cast<int>(Cfg.TargetLoC / 400);
+  Cfg.AliasNoise = 2 + static_cast<int>(Cfg.TargetLoC / 300);
+  Cfg.CallDepth = 4;
+  return Cfg;
+}
+
+double benchScaleFromEnv(double Def) {
+  if (const char *Env = std::getenv("PINPOINT_BENCH_SCALE")) {
+    double V = std::atof(Env);
+    if (V > 0)
+      return V;
+  }
+  return Def;
+}
+
+} // namespace pinpoint::workload

@@ -1,0 +1,51 @@
+//===- workload/Subjects.h - The paper's 30-subject benchmark table -------===//
+//
+// Part of the Pinpoint reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The thirty subjects of the paper's evaluation (SPEC CINT2000 plus
+/// eighteen open-source projects, Table 1), emulated as generated MiniC
+/// subjects: each entry carries the paper-reported size and a bug-planting
+/// profile mirroring Table 1's Pinpoint column (confirmed bugs; the MySQL
+/// and Firefox false positives become environment-guarded plants).
+///
+/// Generated sizes are `PaperKLoC × 1000 × Scale` lines; the benchmarks
+/// default Scale so the whole table runs on a small machine and raise it
+/// via the PINPOINT_BENCH_SCALE environment variable.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PINPOINT_WORKLOAD_SUBJECTS_H
+#define PINPOINT_WORKLOAD_SUBJECTS_H
+
+#include "workload/Generator.h"
+
+#include <vector>
+
+namespace pinpoint::workload {
+
+struct Subject {
+  const char *Name;
+  const char *Origin; ///< "SPEC" or "OpenSource".
+  double PaperKLoC;   ///< Size reported in the paper.
+  int FeasibleUAF;    ///< Table 1 true positives.
+  int EnvGuardedUAF;  ///< Table 1 false positives (env-guarded plants).
+};
+
+/// The thirty subjects in Table 1 order (by size within each origin).
+const std::vector<Subject> &table1Subjects();
+
+/// Builds the generator config for a subject at the given scale
+/// (lines = PaperKLoC * 1000 * Scale, with a floor so tiny subjects still
+/// exercise the pipeline). Infeasible plants and alias noise grow with
+/// size, giving the layered baseline its Table 1 report counts.
+WorkloadConfig configFor(const Subject &S, double Scale);
+
+/// Reads PINPOINT_BENCH_SCALE (default \p Def).
+double benchScaleFromEnv(double Def);
+
+} // namespace pinpoint::workload
+
+#endif // PINPOINT_WORKLOAD_SUBJECTS_H

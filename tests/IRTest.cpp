@@ -1,0 +1,426 @@
+//===- tests/IRTest.cpp - IR, dominators, SSA, call graph, conditions ------===//
+//
+// Part of the Pinpoint reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "frontend/Parser.h"
+#include "ir/CallGraph.h"
+#include "ir/Conditions.h"
+#include "ir/Dominators.h"
+#include "ir/SSA.h"
+#include "ir/Verifier.h"
+#include "smt/Solver.h"
+
+#include <gtest/gtest.h>
+
+namespace pinpoint::ir {
+namespace {
+
+std::unique_ptr<Module> parse(std::string_view Src) {
+  auto M = std::make_unique<Module>();
+  std::vector<frontend::Diag> Diags;
+  bool OK = frontend::parseModule(Src, *M, Diags);
+  for (auto &D : Diags)
+    ADD_FAILURE() << D.str();
+  EXPECT_TRUE(OK);
+  return M;
+}
+
+std::unique_ptr<Module> parseSSA(std::string_view Src) {
+  auto M = parse(Src);
+  for (Function *F : M->functions()) {
+    F->recomputeCFGEdges();
+    constructSSA(*F);
+  }
+  return M;
+}
+
+//===----------------------------------------------------------------------===
+// Types
+//===----------------------------------------------------------------------===
+
+TEST(Types, DerefReducesDepth) {
+  Type T = Type::ptrTy(3);
+  EXPECT_EQ(T.deref().pointerDepth(), 2);
+  EXPECT_EQ(T.deref(3), Type::intTy());
+  EXPECT_EQ(T.str(), "int***");
+}
+
+//===----------------------------------------------------------------------===
+// Dominators
+//===----------------------------------------------------------------------===
+
+TEST(Dominators, DiamondIdoms) {
+  auto M = parse(R"(
+    int f(int a) {
+      int x = 0;
+      if (a > 0) { x = 1; } else { x = 2; }
+      return x;
+    })");
+  Function *F = M->function("f");
+  F->recomputeCFGEdges();
+  DomTree DT(*F);
+
+  BasicBlock *Entry = F->entry();
+  // Find then/else/join by structure.
+  auto *Br = cast<BranchStmt>(Entry->terminator());
+  BasicBlock *Then = Br->trueBlock();
+  BasicBlock *Else = Br->falseBlock();
+  ASSERT_EQ(Then->succs().size(), 1u);
+  BasicBlock *Join = Then->succs()[0];
+
+  EXPECT_EQ(DT.idom(Then), Entry);
+  EXPECT_EQ(DT.idom(Else), Entry);
+  EXPECT_EQ(DT.idom(Join), Entry);
+  EXPECT_TRUE(DT.dominates(Entry, Join));
+  EXPECT_FALSE(DT.dominates(Then, Join));
+  EXPECT_TRUE(DT.dominates(Join, Join));
+
+  // Dominance frontier of then/else is the join.
+  ASSERT_EQ(DT.frontier(Then).size(), 1u);
+  EXPECT_EQ(DT.frontier(Then)[0], Join);
+}
+
+TEST(Dominators, PostDominators) {
+  auto M = parse(R"(
+    int f(int a) {
+      int x = 0;
+      if (a > 0) { x = 1; }
+      return x;
+    })");
+  Function *F = M->function("f");
+  F->recomputeCFGEdges();
+  DomTree PDT(*F, DomTree::Direction::Post);
+  BasicBlock *Entry = F->entry();
+  auto *Br = cast<BranchStmt>(Entry->terminator());
+  BasicBlock *Then = Br->trueBlock();
+  BasicBlock *Join = Br->falseBlock(); // No else: false edge goes to join.
+
+  EXPECT_TRUE(PDT.dominates(F->exitBlock(), Entry));
+  EXPECT_TRUE(PDT.dominates(Join, Then));
+  EXPECT_FALSE(PDT.dominates(Then, Entry));
+}
+
+TEST(Dominators, RPOStartsAtEntry) {
+  auto M = parse("int f(int a) { if (a > 0) { a = 1; } return a; }");
+  Function *F = M->function("f");
+  F->recomputeCFGEdges();
+  auto RPO = reversePostOrder(*F);
+  ASSERT_FALSE(RPO.empty());
+  EXPECT_EQ(RPO[0], F->entry());
+  // RPO is topological on this acyclic CFG: each block precedes its succs.
+  std::map<BasicBlock *, size_t> Pos;
+  for (size_t I = 0; I < RPO.size(); ++I)
+    Pos[RPO[I]] = I;
+  for (BasicBlock *B : RPO)
+    for (BasicBlock *S : B->succs())
+      EXPECT_LT(Pos[B], Pos[S]);
+}
+
+//===----------------------------------------------------------------------===
+// SSA
+//===----------------------------------------------------------------------===
+
+TEST(SSA, VerifiesAfterConstruction) {
+  auto M = parseSSA(R"(
+    int f(int a, int b) {
+      int x = 0;
+      if (a > b) { x = a; } else { x = b; }
+      int y = x + 1;
+      if (y > 10) { y = 10; }
+      return y;
+    })");
+  auto Errs = verifyModule(*M, /*ExpectSSA=*/true);
+  EXPECT_EQ(Errs.size(), 0u) << (Errs.empty() ? "" : Errs[0]);
+}
+
+TEST(SSA, PlacesPhiAtJoin) {
+  auto M = parseSSA(R"(
+    int f(int a) {
+      int x = 0;
+      if (a > 0) { x = 1; } else { x = 2; }
+      return x;
+    })");
+  Function *F = M->function("f");
+  int Phis = 0;
+  for (BasicBlock *B : F->blocks())
+    for (Stmt *S : B->stmts())
+      if (auto *Phi = dyn_cast<PhiStmt>(S)) {
+        ++Phis;
+        EXPECT_EQ(Phi->incoming().size(), 2u);
+      }
+  EXPECT_GE(Phis, 1);
+}
+
+TEST(SSA, NoPhiForStraightLine) {
+  auto M = parseSSA(R"(
+    int f(int a) {
+      int x = a;
+      x = x + 1;
+      x = x + 2;
+      return x;
+    })");
+  Function *F = M->function("f");
+  for (BasicBlock *B : F->blocks())
+    for (Stmt *S : B->stmts())
+      EXPECT_FALSE(isa<PhiStmt>(S));
+  EXPECT_EQ(verifyModule(*M, true).size(), 0u);
+}
+
+TEST(SSA, SingleDefInOneBranchStillGetsPhi) {
+  // x defined in entry and redefined in the then-branch only: the join
+  // still needs a phi.
+  auto M = parseSSA(R"(
+    int f(int a) {
+      int x = 0;
+      if (a > 0) { x = 1; }
+      return x;
+    })");
+  Function *F = M->function("f");
+  int Phis = 0;
+  for (BasicBlock *B : F->blocks())
+    for (Stmt *S : B->stmts())
+      if (isa<PhiStmt>(S))
+        ++Phis;
+  EXPECT_GE(Phis, 1);
+  EXPECT_EQ(verifyModule(*M, true).size(), 0u);
+}
+
+TEST(SSA, ParamsKeepTheirIdentity) {
+  auto M = parseSSA("int f(int a) { return a; }");
+  Function *F = M->function("f");
+  Variable *A = F->params()[0];
+  auto *Ret = F->returnStmt();
+  ASSERT_NE(Ret, nullptr);
+  ASSERT_EQ(Ret->values().size(), 1u);
+  // retval = a; return retval — the assignment's source is still `a`.
+  bool FoundParamUse = false;
+  for (BasicBlock *B : F->blocks())
+    for (Stmt *S : B->stmts())
+      if (auto *As = dyn_cast<AssignStmt>(S))
+        if (As->src() == A)
+          FoundParamUse = true;
+  EXPECT_TRUE(FoundParamUse);
+}
+
+TEST(SSA, DefPointersAreSet) {
+  auto M = parseSSA(R"(
+    int f(int a) {
+      int x = a + 1;
+      return x;
+    })");
+  Function *F = M->function("f");
+  for (BasicBlock *B : F->blocks())
+    for (Stmt *S : B->stmts())
+      if (Variable *D = S->definedVar())
+        EXPECT_EQ(D->def(), S);
+}
+
+TEST(SSA, StmtOrderIsTopological) {
+  auto M = parseSSA(R"(
+    int f(int a) {
+      int x = 0;
+      if (a > 0) { x = 1; } else { x = 2; }
+      return x;
+    })");
+  Function *F = M->function("f");
+  ASSERT_TRUE(F->hasStmtOrder());
+  // Defs precede uses in the order.
+  for (BasicBlock *B : F->blocks())
+    for (Stmt *S : B->stmts()) {
+      if (auto *As = dyn_cast<AssignStmt>(S))
+        if (auto *V = dyn_cast<Variable>(As->src()))
+          if (V->def())
+            EXPECT_LT(F->stmtOrder(V->def()), F->stmtOrder(S));
+    }
+}
+
+//===----------------------------------------------------------------------===
+// CallGraph
+//===----------------------------------------------------------------------===
+
+TEST(CallGraphTest, BottomUpOrderPutsCalleesFirst) {
+  auto M = parse(R"(
+    void leaf() { }
+    void mid() { leaf(); }
+    void top() { mid(); leaf(); }
+  )");
+  CallGraph CG(*M);
+  auto &Order = CG.bottomUpOrder();
+  std::map<std::string, size_t> Pos;
+  for (size_t I = 0; I < Order.size(); ++I)
+    Pos[Order[I]->name()] = I;
+  EXPECT_LT(Pos["leaf"], Pos["mid"]);
+  EXPECT_LT(Pos["mid"], Pos["top"]);
+  EXPECT_EQ(CG.numSCCs(), 3u);
+}
+
+TEST(CallGraphTest, ResolvesCalleePointers) {
+  auto M = parse(R"(
+    void callee() { }
+    void caller() { callee(); unknown_external(); }
+  )");
+  Function *Caller = M->function("caller");
+  CallGraph CG(*M);
+  EXPECT_EQ(CG.callees(Caller).size(), 1u);
+  EXPECT_EQ(CG.callers(M->function("callee")).size(), 1u);
+}
+
+TEST(CallGraphTest, RecursionFormsSCC) {
+  auto M = parse(R"(
+    void a() { b(); }
+    void b() { a(); }
+    void main2() { a(); }
+  )");
+  CallGraph CG(*M);
+  EXPECT_TRUE(CG.inSameSCC(M->function("a"), M->function("b")));
+  EXPECT_FALSE(CG.inSameSCC(M->function("a"), M->function("main2")));
+  EXPECT_EQ(CG.numSCCs(), 2u);
+}
+
+//===----------------------------------------------------------------------===
+// Conditions (gated SSA + control dependence)
+//===----------------------------------------------------------------------===
+
+class ConditionsTest : public ::testing::Test {
+protected:
+  smt::ExprContext Ctx;
+};
+
+TEST_F(ConditionsTest, PhiGatesAreComplementary) {
+  auto M = parseSSA(R"(
+    int f(int a) {
+      int x = 0;
+      if (a > 0) { x = 1; } else { x = 2; }
+      return x;
+    })");
+  Function *F = M->function("f");
+  SymbolMap Syms(Ctx);
+  ConditionMap CM(*F, Syms);
+
+  const PhiStmt *Phi = nullptr;
+  for (BasicBlock *B : F->blocks())
+    for (Stmt *S : B->stmts())
+      if (auto *P = dyn_cast<PhiStmt>(S))
+        Phi = P;
+  ASSERT_NE(Phi, nullptr);
+  ASSERT_EQ(Phi->incoming().size(), 2u);
+
+  const smt::Expr *G0 = CM.phiGate(Phi, Phi->incoming()[0].first);
+  const smt::Expr *G1 = CM.phiGate(Phi, Phi->incoming()[1].first);
+  // Gates must be θ and ¬θ for a diamond.
+  EXPECT_EQ(Ctx.mkOr(G0, G1), Ctx.getTrue());
+  EXPECT_EQ(Ctx.mkAnd(G0, G1), Ctx.getFalse());
+}
+
+TEST_F(ConditionsTest, EdgeCondsUseBranchVariable) {
+  auto M = parseSSA(R"(
+    int f(bool t) {
+      int x = 0;
+      if (t) { x = 1; }
+      return x;
+    })");
+  Function *F = M->function("f");
+  SymbolMap Syms(Ctx);
+  ConditionMap CM(*F, Syms);
+
+  auto *Br = cast<BranchStmt>(F->entry()->terminator());
+  const smt::Expr *TrueEdge = CM.edgeCond(F->entry(), Br->trueBlock());
+  const smt::Expr *FalseEdge = CM.edgeCond(F->entry(), Br->falseBlock());
+  EXPECT_EQ(TrueEdge, Syms[Br->cond()]);
+  EXPECT_EQ(FalseEdge, Ctx.mkNot(TrueEdge));
+}
+
+TEST_F(ConditionsTest, ReachCondOfJoinIsTrue) {
+  auto M = parseSSA(R"(
+    int f(bool t) {
+      int x = 0;
+      if (t) { x = 1; } else { x = 2; }
+      return x;
+    })");
+  Function *F = M->function("f");
+  SymbolMap Syms(Ctx);
+  ConditionMap CM(*F, Syms);
+  // The join and exit are reached unconditionally: θ ∨ ¬θ folds to true.
+  EXPECT_EQ(CM.canonicalPathCond(F->exitBlock()), Ctx.getTrue());
+}
+
+TEST_F(ConditionsTest, ReachCondOfBranchSideIsLiteral) {
+  auto M = parseSSA(R"(
+    int f(bool t) {
+      int x = 0;
+      if (t) { x = 1; }
+      return x;
+    })");
+  Function *F = M->function("f");
+  SymbolMap Syms(Ctx);
+  ConditionMap CM(*F, Syms);
+  auto *Br = cast<BranchStmt>(F->entry()->terminator());
+  const smt::Expr *RC = CM.canonicalPathCond(Br->trueBlock());
+  EXPECT_EQ(RC, Syms[Br->cond()]);
+}
+
+TEST_F(ConditionsTest, ControlDepsOfNestedBranches) {
+  auto M = parseSSA(R"(
+    int f(bool t, bool u) {
+      int x = 0;
+      if (t) {
+        if (u) { x = 1; }
+      }
+      return x;
+    })");
+  Function *F = M->function("f");
+  SymbolMap Syms(Ctx);
+  ConditionMap CM(*F, Syms);
+
+  auto *OuterBr = cast<BranchStmt>(F->entry()->terminator());
+  BasicBlock *OuterThen = OuterBr->trueBlock();
+  auto *InnerBr = cast<BranchStmt>(OuterThen->terminator());
+  BasicBlock *InnerThen = InnerBr->trueBlock();
+
+  // Inner then-block is control dependent on the inner branch (true edge);
+  // the outer then-block on the outer branch.
+  const auto &CDInner = CM.controlDeps(InnerThen);
+  ASSERT_EQ(CDInner.size(), 1u);
+  EXPECT_EQ(CDInner[0].BranchVar, cast<Variable>(InnerBr->cond()));
+  EXPECT_TRUE(CDInner[0].Polarity);
+
+  const auto &CDOuter = CM.controlDeps(OuterThen);
+  ASSERT_EQ(CDOuter.size(), 1u);
+  EXPECT_EQ(CDOuter[0].BranchVar, cast<Variable>(OuterBr->cond()));
+
+  // The exit block is control dependent on nothing.
+  EXPECT_TRUE(CM.controlDeps(F->exitBlock()).empty());
+}
+
+TEST_F(ConditionsTest, JoinBlockHasNoControlDeps) {
+  auto M = parseSSA(R"(
+    int f(bool t) {
+      int x = 0;
+      if (t) { x = 1; } else { x = 2; }
+      return x;
+    })");
+  Function *F = M->function("f");
+  SymbolMap Syms(Ctx);
+  ConditionMap CM(*F, Syms);
+  auto *Br = cast<BranchStmt>(F->entry()->terminator());
+  BasicBlock *Join = Br->trueBlock()->succs()[0];
+  EXPECT_TRUE(CM.controlDeps(Join).empty());
+  EXPECT_EQ(CM.controlDeps(Br->trueBlock()).size(), 1u);
+  EXPECT_EQ(CM.controlDeps(Br->falseBlock()).size(), 1u);
+}
+
+TEST_F(ConditionsTest, SymbolMapTypesFollowIR) {
+  auto M = parseSSA("int f(bool t, int x, int *p) { return x; }");
+  Function *F = M->function("f");
+  SymbolMap Syms(Ctx);
+  EXPECT_TRUE(Syms[F->params()[0]]->isBool());
+  EXPECT_FALSE(Syms[F->params()[1]]->isBool());
+  EXPECT_FALSE(Syms[F->params()[2]]->isBool()); // Pointers are int terms.
+  // Stable mapping.
+  EXPECT_EQ(Syms[F->params()[0]], Syms[F->params()[0]]);
+}
+
+} // namespace
+} // namespace pinpoint::ir

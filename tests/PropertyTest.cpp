@@ -1,0 +1,220 @@
+//===- tests/PropertyTest.cpp - Parameterised property sweeps --------------===//
+//
+// Part of the Pinpoint reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Property-style tests swept over seeds with TEST_P: solver agreement on
+/// random formulas, pipeline invariants on random workloads, and the
+/// end-to-end precision/recall contract of the whole system.
+///
+//===----------------------------------------------------------------------===//
+
+#include "frontend/Parser.h"
+#include "ir/Verifier.h"
+#include "smt/LinearSolver.h"
+#include "smt/Solver.h"
+#include "support/RNG.h"
+#include "svfa/GlobalSVFA.h"
+#include "workload/Evaluate.h"
+
+#include <gtest/gtest.h>
+
+using namespace pinpoint::ir;
+
+namespace pinpoint {
+namespace {
+
+//===----------------------------------------------------------------------===
+// Random formula generation
+//===----------------------------------------------------------------------===
+
+class FormulaGen {
+public:
+  FormulaGen(smt::ExprContext &Ctx, uint64_t Seed) : Ctx(Ctx), Rand(Seed) {
+    for (int I = 0; I < 4; ++I) {
+      Bools.push_back(Ctx.freshBoolVar("b" + std::to_string(I)));
+      Ints.push_back(Ctx.freshIntVar("i" + std::to_string(I)));
+    }
+  }
+
+  const smt::Expr *gen(int Depth) {
+    if (Depth == 0) {
+      switch (Rand.below(3)) {
+      case 0:
+        return Bools[Rand.below(Bools.size())];
+      case 1:
+        return Ctx.mkCmp(
+            static_cast<smt::ExprKind>(
+                static_cast<int>(smt::ExprKind::Eq) + Rand.below(6)),
+            Ints[Rand.below(Ints.size())],
+            Ctx.getInt(Rand.range(-3, 3)));
+      default:
+        return Ctx.mkCmp(smt::ExprKind::Lt, Ints[Rand.below(Ints.size())],
+                         Ints[Rand.below(Ints.size())]);
+      }
+    }
+    switch (Rand.below(3)) {
+    case 0:
+      return Ctx.mkAnd(gen(Depth - 1), gen(Depth - 1));
+    case 1:
+      return Ctx.mkOr(gen(Depth - 1), gen(Depth - 1));
+    default:
+      return Ctx.mkNot(gen(Depth - 1));
+    }
+  }
+
+private:
+  smt::ExprContext &Ctx;
+  RNG Rand;
+  std::vector<const smt::Expr *> Bools, Ints;
+};
+
+class SolverAgreement : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SolverAgreement, LinearFilterIsSoundWrtZ3) {
+  // Whatever the linear filter declares obviously-UNSAT must really be
+  // UNSAT (checked against the trusted backend).
+  smt::ExprContext Ctx;
+  auto Z3 = smt::createZ3Solver(Ctx);
+  if (!Z3)
+    GTEST_SKIP() << "built without Z3";
+  smt::LinearSolver Linear(Ctx);
+  FormulaGen Gen(Ctx, GetParam());
+  for (int I = 0; I < 40; ++I) {
+    const smt::Expr *F = Gen.gen(4);
+    if (Linear.isObviouslyUnsat(F))
+      EXPECT_EQ(Z3->checkSat(F), smt::SatResult::Unsat)
+          << Ctx.toString(F);
+  }
+}
+
+TEST_P(SolverAgreement, MiniSolverAgreesWithZ3) {
+  // The built-in solver must agree with Z3 whenever it gives a definite
+  // answer on these formulas (its theory covers them).
+  smt::ExprContext Ctx;
+  auto Z3 = smt::createZ3Solver(Ctx);
+  if (!Z3)
+    GTEST_SKIP() << "built without Z3";
+  auto Mini = smt::createMiniSolver(Ctx);
+  FormulaGen Gen(Ctx, GetParam() ^ 0x5a5a);
+  for (int I = 0; I < 25; ++I) {
+    const smt::Expr *F = Gen.gen(3);
+    smt::SatResult RZ = Z3->checkSat(F);
+    smt::SatResult RM = Mini->checkSat(F);
+    if (RZ == smt::SatResult::Unknown || RM == smt::SatResult::Unknown)
+      continue;
+    // Mini may answer Sat where the theory is too weak, but must never
+    // claim Unsat for a satisfiable formula.
+    if (RM == smt::SatResult::Unsat)
+      EXPECT_EQ(RZ, smt::SatResult::Unsat) << Ctx.toString(F);
+    if (RZ == smt::SatResult::Sat)
+      EXPECT_EQ(RM, smt::SatResult::Sat) << Ctx.toString(F);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SolverAgreement,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+//===----------------------------------------------------------------------===
+// Pipeline invariants over random workloads
+//===----------------------------------------------------------------------===
+
+class PipelineProperty : public ::testing::TestWithParam<uint64_t> {
+protected:
+  workload::Workload makeWorkload() {
+    workload::WorkloadConfig Cfg;
+    Cfg.Seed = GetParam();
+    Cfg.TargetLoC = 600;
+    Cfg.FeasibleUAF = 2;
+    Cfg.InfeasibleUAF = 3;
+    Cfg.FeasibleDF = 1;
+    Cfg.FeasibleTaint = 1;
+    Cfg.AliasNoise = 3;
+    return workload::generate(Cfg);
+  }
+};
+
+TEST_P(PipelineProperty, GeneratedModulesStayWellFormedThroughPipeline) {
+  workload::Workload W = makeWorkload();
+  Module M;
+  std::vector<frontend::Diag> Diags;
+  ASSERT_TRUE(frontend::parseModule(W.Source, M, Diags));
+  smt::ExprContext Ctx;
+  svfa::AnalyzedModule AM(M, Ctx);
+  // After SSA + connectors + call rewriting, every function still passes
+  // the strict SSA verifier.
+  auto Errs = verifyModule(M, /*ExpectSSA=*/true);
+  EXPECT_TRUE(Errs.empty()) << (Errs.empty() ? "" : Errs[0]);
+}
+
+TEST_P(PipelineProperty, LoadDepConditionsAreSatisfiable) {
+  // The quasi path-sensitive points-to must never emit a dependence whose
+  // condition the SMT solver refutes: the linear filter only prunes, never
+  // invents.
+  workload::Workload W = makeWorkload();
+  Module M;
+  std::vector<frontend::Diag> Diags;
+  ASSERT_TRUE(frontend::parseModule(W.Source, M, Diags));
+  smt::ExprContext Ctx;
+  svfa::AnalyzedModule AM(M, Ctx);
+  auto Solver = smt::createDefaultSolver(Ctx);
+  int Checked = 0;
+  for (Function *F : M.functions()) {
+    const auto &PTA = AM.info(F).PTA;
+    for (BasicBlock *B : F->blocks())
+      for (Stmt *S : B->stmts())
+        if (auto *L = dyn_cast<LoadStmt>(S))
+          for (auto &[CV, C] : PTA.loadDeps(L)) {
+            if (Checked++ > 200)
+              return; // Bound the SMT work per sweep instance.
+            EXPECT_NE(Solver->checkSat(C), smt::SatResult::Unsat)
+                << F->name() << ": " << Ctx.toString(C);
+          }
+  }
+}
+
+TEST_P(PipelineProperty, EndToEndPrecisionContract) {
+  // The system contract on every workload: all feasible plants found, no
+  // infeasible plant reported.
+  workload::Workload W = makeWorkload();
+  Module M;
+  std::vector<frontend::Diag> Diags;
+  ASSERT_TRUE(frontend::parseModule(W.Source, M, Diags));
+  smt::ExprContext Ctx;
+  auto Reports =
+      svfa::checkModule(M, Ctx, checkers::useAfterFreeChecker());
+  std::vector<workload::ReportView> Views;
+  for (const auto &R : Reports)
+    Views.push_back({R.Source.Line, R.Sink.Line,
+                     workload::BugChecker::UseAfterFree});
+  auto Eval = workload::evaluate(W.Bugs, Views,
+                                 workload::BugChecker::UseAfterFree);
+  EXPECT_EQ(Eval.FalseNegatives, 0);
+  EXPECT_EQ(Eval.FalsePositives, 0); // No env-guarded plants in this config.
+}
+
+TEST_P(PipelineProperty, ReportsAreDeterministic) {
+  workload::Workload W = makeWorkload();
+  auto runOnce = [&] {
+    Module M;
+    std::vector<frontend::Diag> Diags;
+    frontend::parseModule(W.Source, M, Diags);
+    smt::ExprContext Ctx;
+    auto Reports =
+        svfa::checkModule(M, Ctx, checkers::useAfterFreeChecker());
+    std::vector<std::pair<uint32_t, uint32_t>> Keys;
+    for (const auto &R : Reports)
+      Keys.push_back({R.Source.Line, R.Sink.Line});
+    std::sort(Keys.begin(), Keys.end());
+    return Keys;
+  };
+  EXPECT_EQ(runOnce(), runOnce());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PipelineProperty,
+                         ::testing::Values(11, 22, 33, 44, 55, 66));
+
+} // namespace
+} // namespace pinpoint

@@ -1,0 +1,203 @@
+//===- tests/SmtExprTest.cpp - Unit tests for the Expr DAG -----------------===//
+//
+// Part of the Pinpoint reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "smt/Expr.h"
+
+#include <gtest/gtest.h>
+
+namespace pinpoint::smt {
+namespace {
+
+class ExprTest : public ::testing::Test {
+protected:
+  ExprContext Ctx;
+};
+
+TEST_F(ExprTest, HashConsingDeduplicates) {
+  const Expr *A = Ctx.freshBoolVar("a");
+  const Expr *B = Ctx.freshBoolVar("b");
+  const Expr *E1 = Ctx.mkAnd(A, B);
+  const Expr *E2 = Ctx.mkAnd(A, B);
+  EXPECT_EQ(E1, E2);
+}
+
+TEST_F(ExprTest, AndIsCanonicalisedByOperandOrder) {
+  const Expr *A = Ctx.freshBoolVar("a");
+  const Expr *B = Ctx.freshBoolVar("b");
+  EXPECT_EQ(Ctx.mkAnd(A, B), Ctx.mkAnd(B, A));
+  EXPECT_EQ(Ctx.mkOr(A, B), Ctx.mkOr(B, A));
+}
+
+TEST_F(ExprTest, BooleanSimplifications) {
+  const Expr *A = Ctx.freshBoolVar("a");
+  EXPECT_EQ(Ctx.mkAnd(Ctx.getTrue(), A), A);
+  EXPECT_EQ(Ctx.mkAnd(Ctx.getFalse(), A), Ctx.getFalse());
+  EXPECT_EQ(Ctx.mkOr(Ctx.getFalse(), A), A);
+  EXPECT_EQ(Ctx.mkOr(Ctx.getTrue(), A), Ctx.getTrue());
+  EXPECT_EQ(Ctx.mkAnd(A, A), A);
+  EXPECT_EQ(Ctx.mkOr(A, A), A);
+}
+
+TEST_F(ExprTest, DoubleNegationCancels) {
+  const Expr *A = Ctx.freshBoolVar("a");
+  EXPECT_EQ(Ctx.mkNot(Ctx.mkNot(A)), A);
+  EXPECT_EQ(Ctx.mkNot(Ctx.getTrue()), Ctx.getFalse());
+}
+
+TEST_F(ExprTest, ContradictionFoldsToFalse) {
+  const Expr *A = Ctx.freshBoolVar("a");
+  EXPECT_EQ(Ctx.mkAnd(A, Ctx.mkNot(A)), Ctx.getFalse());
+  EXPECT_EQ(Ctx.mkOr(A, Ctx.mkNot(A)), Ctx.getTrue());
+}
+
+TEST_F(ExprTest, IntConstInterning) {
+  EXPECT_EQ(Ctx.getInt(42), Ctx.getInt(42));
+  EXPECT_NE(Ctx.getInt(42), Ctx.getInt(43));
+}
+
+TEST_F(ExprTest, ComparisonConstantFolding) {
+  const Expr *C1 = Ctx.getInt(1);
+  const Expr *C2 = Ctx.getInt(2);
+  EXPECT_EQ(Ctx.mkCmp(ExprKind::Lt, C1, C2), Ctx.getTrue());
+  EXPECT_EQ(Ctx.mkCmp(ExprKind::Gt, C1, C2), Ctx.getFalse());
+  EXPECT_EQ(Ctx.mkCmp(ExprKind::Eq, C1, C1), Ctx.getTrue());
+  EXPECT_EQ(Ctx.mkCmp(ExprKind::Ne, C1, C2), Ctx.getTrue());
+}
+
+TEST_F(ExprTest, ReflexiveComparisonsFold) {
+  const Expr *X = Ctx.freshIntVar("x");
+  EXPECT_EQ(Ctx.mkCmp(ExprKind::Eq, X, X), Ctx.getTrue());
+  EXPECT_EQ(Ctx.mkCmp(ExprKind::Ne, X, X), Ctx.getFalse());
+  EXPECT_EQ(Ctx.mkCmp(ExprKind::Le, X, X), Ctx.getTrue());
+  EXPECT_EQ(Ctx.mkCmp(ExprKind::Lt, X, X), Ctx.getFalse());
+}
+
+TEST_F(ExprTest, ArithConstantFolding) {
+  const Expr *C2 = Ctx.getInt(2);
+  const Expr *C3 = Ctx.getInt(3);
+  EXPECT_EQ(Ctx.mkArith(ExprKind::Add, C2, C3), Ctx.getInt(5));
+  EXPECT_EQ(Ctx.mkArith(ExprKind::Sub, C2, C3), Ctx.getInt(-1));
+  EXPECT_EQ(Ctx.mkArith(ExprKind::Mul, C2, C3), Ctx.getInt(6));
+  EXPECT_EQ(Ctx.mkNeg(C3), Ctx.getInt(-3));
+}
+
+TEST_F(ExprTest, NegNegCancels) {
+  const Expr *X = Ctx.freshIntVar("x");
+  EXPECT_EQ(Ctx.mkNeg(Ctx.mkNeg(X)), X);
+}
+
+TEST_F(ExprTest, AtomClassification) {
+  const Expr *A = Ctx.freshBoolVar("a");
+  const Expr *X = Ctx.freshIntVar("x");
+  const Expr *Cmp = Ctx.mkCmp(ExprKind::Lt, X, Ctx.getInt(5));
+  EXPECT_TRUE(A->isAtom());
+  EXPECT_TRUE(Cmp->isAtom());
+  EXPECT_FALSE(Ctx.mkAnd(A, Cmp)->isAtom());
+  EXPECT_FALSE(Ctx.getTrue()->isAtom());
+  EXPECT_FALSE(X->isAtom()); // Int-typed, not a boolean atom.
+}
+
+TEST_F(ExprTest, SubstituteReplacesVariables) {
+  const Expr *X = Ctx.freshIntVar("x");
+  const Expr *Y = Ctx.freshIntVar("y");
+  const Expr *F = Ctx.mkCmp(ExprKind::Lt, X, Y);
+  std::unordered_map<uint32_t, const Expr *> Map{{X->varId(), Ctx.getInt(1)}};
+  const Expr *G = Ctx.substitute(F, Map);
+  EXPECT_EQ(G, Ctx.mkCmp(ExprKind::Lt, Ctx.getInt(1), Y));
+}
+
+TEST_F(ExprTest, SubstituteSimplifiesResult) {
+  const Expr *X = Ctx.freshIntVar("x");
+  const Expr *F = Ctx.mkCmp(ExprKind::Lt, X, Ctx.getInt(5));
+  std::unordered_map<uint32_t, const Expr *> Map{{X->varId(), Ctx.getInt(1)}};
+  EXPECT_EQ(Ctx.substitute(F, Map), Ctx.getTrue());
+}
+
+TEST_F(ExprTest, SubstituteIsIdentityWithoutHits) {
+  const Expr *A = Ctx.freshBoolVar("a");
+  const Expr *B = Ctx.freshBoolVar("b");
+  const Expr *F = Ctx.mkOr(A, Ctx.mkNot(B));
+  std::unordered_map<uint32_t, const Expr *> Empty;
+  EXPECT_EQ(Ctx.substitute(F, Empty), F);
+}
+
+TEST_F(ExprTest, CollectVarsFindsAllDistinctVars) {
+  const Expr *A = Ctx.freshBoolVar("a");
+  const Expr *X = Ctx.freshIntVar("x");
+  const Expr *F =
+      Ctx.mkAnd(A, Ctx.mkAnd(Ctx.mkCmp(ExprKind::Lt, X, Ctx.getInt(3)), A));
+  std::vector<uint32_t> Vars;
+  Ctx.collectVars(F, Vars);
+  EXPECT_EQ(Vars.size(), 2u);
+}
+
+TEST_F(ExprTest, ToStringRoundTripsStructure) {
+  const Expr *A = Ctx.freshBoolVar("a");
+  const Expr *X = Ctx.freshIntVar("x");
+  const Expr *F = Ctx.mkAnd(A, Ctx.mkCmp(ExprKind::Ge, X, Ctx.getInt(0)));
+  std::string S = Ctx.toString(F);
+  EXPECT_NE(S.find("a"), std::string::npos);
+  EXPECT_NE(S.find("x"), std::string::npos);
+  EXPECT_NE(S.find(">="), std::string::npos);
+}
+
+TEST_F(ExprTest, MkAndNFoldsSpans) {
+  const Expr *A = Ctx.freshBoolVar("a");
+  const Expr *B = Ctx.freshBoolVar("b");
+  const Expr *C = Ctx.freshBoolVar("c");
+  const Expr *Es[3] = {A, B, C};
+  const Expr *F = Ctx.mkAndN(Es);
+  EXPECT_EQ(F, Ctx.mkAnd(Ctx.mkAnd(A, B), C));
+  EXPECT_EQ(Ctx.mkAndN({}), Ctx.getTrue());
+  EXPECT_EQ(Ctx.mkOrN({}), Ctx.getFalse());
+}
+
+TEST_F(ExprTest, NodeCountGrowsOnlyForNewStructure) {
+  const Expr *A = Ctx.freshBoolVar("a");
+  const Expr *B = Ctx.freshBoolVar("b");
+  size_t N0 = Ctx.numNodes();
+  Ctx.mkAnd(A, B);
+  size_t N1 = Ctx.numNodes();
+  Ctx.mkAnd(A, B);
+  Ctx.mkAnd(B, A);
+  EXPECT_EQ(Ctx.numNodes(), N1);
+  EXPECT_EQ(N1, N0 + 1);
+}
+
+
+TEST_F(ExprTest, IteFoldsConstantsAndEqualArms) {
+  const Expr *B = Ctx.freshBoolVar("b");
+  const Expr *X = Ctx.freshIntVar("x");
+  EXPECT_EQ(Ctx.mkIte(Ctx.getTrue(), X, Ctx.getInt(0)), X);
+  EXPECT_EQ(Ctx.mkIte(Ctx.getFalse(), X, Ctx.getInt(0)), Ctx.getInt(0));
+  EXPECT_EQ(Ctx.mkIte(B, X, X), X);
+  const Expr *I = Ctx.mkIte(B, X, Ctx.getInt(0));
+  EXPECT_EQ(I->kind(), ExprKind::Ite);
+  EXPECT_FALSE(I->isBool());
+}
+
+TEST_F(ExprTest, BoolIntCoercionHelpers) {
+  const Expr *B = Ctx.freshBoolVar("b");
+  const Expr *X = Ctx.freshIntVar("x");
+  EXPECT_EQ(Ctx.toIntExpr(X), X);
+  EXPECT_EQ(Ctx.toBoolExpr(B), B);
+  const Expr *BI = Ctx.toIntExpr(B);
+  EXPECT_EQ(BI->kind(), ExprKind::Ite);
+  const Expr *XB = Ctx.toBoolExpr(X);
+  EXPECT_TRUE(XB->isBool());
+  EXPECT_TRUE(XB->isAtom());
+}
+
+TEST_F(ExprTest, SubstituteThroughIte) {
+  const Expr *B = Ctx.freshBoolVar("b");
+  const Expr *X = Ctx.freshIntVar("x");
+  const Expr *I = Ctx.mkIte(B, X, Ctx.getInt(0));
+  std::unordered_map<uint32_t, const Expr *> Map{{B->varId(), Ctx.getTrue()}};
+  EXPECT_EQ(Ctx.substitute(I, Map), X);
+}
+
+} // namespace
+} // namespace pinpoint::smt

@@ -1,0 +1,167 @@
+//===- tests/SpecialCheckersTest.cpp - Null-deref & leak checker tests -----===//
+//
+// Part of the Pinpoint reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "checkers/SpecialCheckers.h"
+#include "frontend/Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace pinpoint::ir;
+
+namespace pinpoint::checkers {
+namespace {
+
+class SpecialTest : public ::testing::Test {
+protected:
+  void analyze(std::string_view Src) {
+    M = std::make_unique<Module>();
+    std::vector<frontend::Diag> Diags;
+    ASSERT_TRUE(frontend::parseModule(Src, *M, Diags))
+        << (Diags.empty() ? "?" : Diags[0].str());
+    AM = std::make_unique<svfa::AnalyzedModule>(*M, Ctx);
+  }
+
+  std::vector<svfa::Report> run(const CheckerSpec &Spec) {
+    svfa::GlobalSVFA Engine(*AM, Spec);
+    return Engine.run();
+  }
+
+  smt::ExprContext Ctx;
+  std::unique_ptr<Module> M;
+  std::unique_ptr<svfa::AnalyzedModule> AM;
+};
+
+//===----------------------------------------------------------------------===
+// Null dereference
+//===----------------------------------------------------------------------===
+
+TEST_F(SpecialTest, NullDerefDirect) {
+  analyze(R"(
+    int f() {
+      int *p = null;
+      return *p;
+    })");
+  auto Reports = run(nullDerefChecker());
+  ASSERT_EQ(Reports.size(), 1u);
+  EXPECT_EQ(Reports[0].Checker, "null-deref");
+}
+
+TEST_F(SpecialTest, NullGuardedByComplementaryBranchIsClean) {
+  analyze(R"(
+    int f(bool bad) {
+      int *p = malloc();
+      if (bad) { p = null; }
+      int v = 0;
+      if (!bad) { v = *p; }
+      return v;
+    })");
+  EXPECT_TRUE(run(nullDerefChecker()).empty());
+}
+
+TEST_F(SpecialTest, NullOnSameBranchIsReported) {
+  analyze(R"(
+    int f(bool bad) {
+      int *p = malloc();
+      if (bad) { p = null; }
+      int v = 0;
+      if (bad) { v = *p; }
+      return v;
+    })");
+  EXPECT_EQ(run(nullDerefChecker()).size(), 1u);
+}
+
+TEST_F(SpecialTest, NullAcrossCallViaVF3) {
+  analyze(R"(
+    void poison(int **q) {
+      *q = null;
+    }
+    int f() {
+      int **h = malloc();
+      int *x = malloc();
+      *h = x;
+      poison(h);
+      int *p = *h;
+      return *p;
+    })");
+  auto Reports = run(nullDerefChecker());
+  ASSERT_EQ(Reports.size(), 1u);
+  EXPECT_EQ(Reports[0].SourceFn, "poison");
+}
+
+//===----------------------------------------------------------------------===
+// Memory leak
+//===----------------------------------------------------------------------===
+
+TEST_F(SpecialTest, LeakWhenNeverConsumed) {
+  analyze(R"(
+    void f() {
+      int *p = malloc();
+      *p = 1;
+    })");
+  auto Reports = checkMemoryLeaks(*AM);
+  ASSERT_EQ(Reports.size(), 1u);
+  EXPECT_EQ(Reports[0].Checker, "memory-leak");
+}
+
+TEST_F(SpecialTest, NoLeakWhenFreed) {
+  analyze(R"(
+    void f() {
+      int *p = malloc();
+      free(p);
+    })");
+  EXPECT_TRUE(checkMemoryLeaks(*AM).empty());
+}
+
+TEST_F(SpecialTest, NoLeakWhenReturned) {
+  analyze("int *f() { int *p = malloc(); return p; }");
+  EXPECT_TRUE(checkMemoryLeaks(*AM).empty());
+}
+
+TEST_F(SpecialTest, NoLeakWhenStoredAway) {
+  analyze(R"(
+    void stash(int **slot, int *v) { *slot = v; }
+    void f(int **registry) {
+      int *p = malloc();
+      *registry = p;
+    })");
+  EXPECT_TRUE(checkMemoryLeaks(*AM).empty());
+}
+
+TEST_F(SpecialTest, NoLeakWhenPassedToCallee) {
+  analyze(R"(
+    void take(int *v) { free(v); }
+    void f() {
+      int *p = malloc();
+      take(p);
+    })");
+  EXPECT_TRUE(checkMemoryLeaks(*AM).empty());
+}
+
+TEST_F(SpecialTest, LeakFollowsCopies) {
+  analyze(R"(
+    void f() {
+      int *p = malloc();
+      int *q = p;
+      *q = 3;
+    })");
+  EXPECT_EQ(checkMemoryLeaks(*AM).size(), 1u);
+}
+
+TEST_F(SpecialTest, MultipleLeaksAllReported) {
+  analyze(R"(
+    void f() {
+      int *a = malloc();
+      int *b = malloc();
+      int *c = malloc();
+      free(b);
+      *a = 1;
+      *c = 2;
+    })");
+  EXPECT_EQ(checkMemoryLeaks(*AM).size(), 2u);
+}
+
+} // namespace
+} // namespace pinpoint::checkers

@@ -1,0 +1,256 @@
+//===- tests/WorkloadTest.cpp - Generator / oracle / suite tests -----------===//
+//
+// Part of the Pinpoint reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "frontend/Parser.h"
+#include "svfa/GlobalSVFA.h"
+#include "workload/Evaluate.h"
+#include "workload/Juliet.h"
+#include "workload/Subjects.h"
+
+#include <gtest/gtest.h>
+
+namespace pinpoint::workload {
+namespace {
+
+std::vector<ReportView> toViews(const std::vector<svfa::Report> &Reports,
+                                BugChecker C) {
+  std::vector<ReportView> Out;
+  for (const auto &R : Reports)
+    Out.push_back({R.Source.Line, R.Sink.Line, C});
+  return Out;
+}
+
+std::vector<svfa::Report> runChecker(const std::string &Source,
+                                     const checkers::CheckerSpec &Spec) {
+  ir::Module M;
+  std::vector<frontend::Diag> Diags;
+  bool OK = frontend::parseModule(Source, M, Diags);
+  for (auto &D : Diags)
+    ADD_FAILURE() << D.str();
+  EXPECT_TRUE(OK) << "generated source must parse";
+  smt::ExprContext Ctx;
+  return svfa::checkModule(M, Ctx, Spec);
+}
+
+TEST(Generator, IsDeterministic) {
+  WorkloadConfig Cfg;
+  Cfg.Seed = 99;
+  Cfg.TargetLoC = 500;
+  Cfg.FeasibleUAF = 2;
+  Workload A = generate(Cfg);
+  Workload B = generate(Cfg);
+  EXPECT_EQ(A.Source, B.Source);
+  EXPECT_EQ(A.Bugs.size(), B.Bugs.size());
+}
+
+TEST(Generator, HitsSizeTarget) {
+  WorkloadConfig Cfg;
+  Cfg.TargetLoC = 2000;
+  Workload W = generate(Cfg);
+  EXPECT_GE(W.LoC, 2000u);
+  EXPECT_LT(W.LoC, 2400u); // Within one template of the target.
+}
+
+TEST(Generator, GeneratedSourceParses) {
+  for (uint64_t Seed : {1ull, 7ull, 42ull, 12345ull}) {
+    WorkloadConfig Cfg;
+    Cfg.Seed = Seed;
+    Cfg.TargetLoC = 800;
+    Cfg.FeasibleUAF = 3;
+    Cfg.InfeasibleUAF = 3;
+    Cfg.EnvGuardedUAF = 1;
+    Cfg.FeasibleDF = 2;
+    Cfg.FeasibleTaint = 2;
+    Workload W = generate(Cfg);
+    ir::Module M;
+    std::vector<frontend::Diag> Diags;
+    EXPECT_TRUE(frontend::parseModule(W.Source, M, Diags))
+        << "seed " << Seed << ": "
+        << (Diags.empty() ? "?" : Diags[0].str());
+  }
+}
+
+TEST(Generator, PlantsRequestedBugCounts) {
+  WorkloadConfig Cfg;
+  Cfg.FeasibleUAF = 4;
+  Cfg.InfeasibleUAF = 3;
+  Cfg.EnvGuardedUAF = 2;
+  Cfg.FeasibleDF = 2;
+  Workload W = generate(Cfg);
+  int Feas = 0, Inf = 0, Env = 0, DF = 0;
+  for (const auto &B : W.Bugs) {
+    if (B.Checker == BugChecker::DoubleFree)
+      ++DF;
+    else if (B.Kind == BugKind::Feasible)
+      ++Feas;
+    else if (B.Kind == BugKind::Infeasible)
+      ++Inf;
+    else
+      ++Env;
+  }
+  EXPECT_EQ(Feas, 4);
+  EXPECT_EQ(Inf, 3);
+  EXPECT_EQ(Env, 2);
+  EXPECT_EQ(DF, 2);
+}
+
+TEST(GeneratorEndToEnd, PinpointFindsFeasibleAndPrunesInfeasible) {
+  WorkloadConfig Cfg;
+  Cfg.Seed = 2024;
+  Cfg.TargetLoC = 600;
+  Cfg.FeasibleUAF = 4;
+  Cfg.InfeasibleUAF = 4;
+  Cfg.EnvGuardedUAF = 1;
+  Workload W = generate(Cfg);
+
+  auto Reports = runChecker(W.Source, checkers::useAfterFreeChecker());
+  auto Eval = evaluate(W.Bugs, toViews(Reports, BugChecker::UseAfterFree),
+                       BugChecker::UseAfterFree);
+
+  EXPECT_EQ(Eval.FalseNegatives, 0) << "all feasible plants found";
+  EXPECT_EQ(Eval.TruePositives, 4);
+  // Infeasible plants must be pruned by path sensitivity; the env-guarded
+  // plant is reported (it is statically feasible) and counts as the FP.
+  EXPECT_EQ(Eval.FalsePositives, 1);
+}
+
+TEST(GeneratorEndToEnd, PathInsensitiveModeReportsInfeasiblePlants) {
+  WorkloadConfig Cfg;
+  Cfg.Seed = 77;
+  Cfg.TargetLoC = 400;
+  Cfg.FeasibleUAF = 2;
+  Cfg.InfeasibleUAF = 3;
+  Workload W = generate(Cfg);
+
+  ir::Module M;
+  std::vector<frontend::Diag> Diags;
+  ASSERT_TRUE(frontend::parseModule(W.Source, M, Diags));
+  smt::ExprContext Ctx;
+  svfa::GlobalOptions O;
+  O.PathSensitive = false;
+  auto Reports = svfa::checkModule(M, Ctx, checkers::useAfterFreeChecker(), O);
+  auto Eval = evaluate(W.Bugs, toViews(Reports, BugChecker::UseAfterFree),
+                       BugChecker::UseAfterFree);
+  EXPECT_GT(Eval.FalsePositives, 0) << "ablation must report infeasible plants";
+  EXPECT_EQ(Eval.FalseNegatives, 0);
+}
+
+TEST(GeneratorEndToEnd, TaintPlantsAreFoundByTaintCheckers) {
+  WorkloadConfig Cfg;
+  Cfg.Seed = 5;
+  Cfg.TargetLoC = 300;
+  Cfg.FeasibleTaint = 2;
+  Cfg.InfeasibleTaint = 1;
+  Workload W = generate(Cfg);
+
+  auto PT = runChecker(W.Source, checkers::pathTraversalChecker());
+  auto EvalPT = evaluate(W.Bugs, toViews(PT, BugChecker::PathTraversal),
+                         BugChecker::PathTraversal);
+  EXPECT_EQ(EvalPT.FalseNegatives, 0);
+  EXPECT_EQ(EvalPT.FalsePositives, 0);
+
+  auto DT = runChecker(W.Source, checkers::dataTransmissionChecker());
+  auto EvalDT = evaluate(W.Bugs, toViews(DT, BugChecker::DataTransmission),
+                         BugChecker::DataTransmission);
+  EXPECT_EQ(EvalDT.FalseNegatives, 0);
+}
+
+TEST(Subjects, TableMatchesPaperShape) {
+  const auto &Subjects = table1Subjects();
+  ASSERT_EQ(Subjects.size(), 30u);
+  int TotalTP = 0, TotalFP = 0;
+  for (const auto &S : Subjects) {
+    TotalTP += S.FeasibleUAF;
+    TotalFP += S.EnvGuardedUAF;
+  }
+  // Table 1: 12 true positives, 2 false positives, 14 reports.
+  EXPECT_EQ(TotalTP, 12);
+  EXPECT_EQ(TotalFP, 2);
+  // Ordered by size within origin.
+  EXPECT_STREQ(Subjects.front().Name, "mcf");
+  EXPECT_STREQ(Subjects.back().Name, "firefox");
+}
+
+TEST(Subjects, ConfigScalesWithSize) {
+  const auto &Subjects = table1Subjects();
+  WorkloadConfig Small = configFor(Subjects[0], 0.01);
+  WorkloadConfig Large = configFor(Subjects[29], 0.01);
+  EXPECT_LT(Small.TargetLoC, Large.TargetLoC);
+  EXPECT_LT(Small.AliasNoise, Large.AliasNoise);
+}
+
+TEST(Juliet, SuiteHasBadAndGoodCases) {
+  auto Suite = generateJulietSuite(3);
+  int Bad = 0, Good = 0;
+  for (const auto &C : Suite) {
+    (C.IsBad ? Bad : Good)++;
+    ir::Module M;
+    std::vector<frontend::Diag> Diags;
+    EXPECT_TRUE(frontend::parseModule(C.Source, M, Diags)) << C.Name;
+    if (C.IsBad)
+      EXPECT_FALSE(C.Bugs.empty());
+  }
+  EXPECT_GT(Bad, 0);
+  EXPECT_EQ(Good, 2 * Bad);
+}
+
+TEST(Juliet, FullRecallOnBadCases) {
+  // The paper reports 1421/1421 on Juliet; our oracle must agree on a
+  // sampled slice of the suite.
+  auto Suite = generateJulietSuite(4);
+  for (const auto &C : Suite) {
+    auto Spec = C.Checker == BugChecker::DoubleFree
+                    ? checkers::doubleFreeChecker()
+                    : checkers::useAfterFreeChecker();
+    if (!C.IsBad)
+      continue;
+    auto Reports = runChecker(C.Source, Spec);
+    auto Eval = evaluate(C.Bugs, toViews(Reports, C.Checker), C.Checker);
+    EXPECT_EQ(Eval.FalseNegatives, 0) << C.Name;
+  }
+}
+
+TEST(Juliet, NoReportsOnGoodCases) {
+  auto Suite = generateJulietSuite(4);
+  for (const auto &C : Suite) {
+    if (C.IsBad)
+      continue;
+    auto Spec = C.Checker == BugChecker::DoubleFree
+                    ? checkers::doubleFreeChecker()
+                    : checkers::useAfterFreeChecker();
+    auto Reports = runChecker(C.Source, Spec);
+    EXPECT_TRUE(Reports.empty()) << C.Name;
+  }
+}
+
+TEST(Evaluate, ClassifiesCorrectly) {
+  std::vector<PlantedBug> Bugs = {
+      {BugKind::Feasible, BugChecker::UseAfterFree, "s", 10, 20},
+      {BugKind::Infeasible, BugChecker::UseAfterFree, "s", 30, 40},
+  };
+  std::vector<ReportView> Reports = {
+      {10, 20, BugChecker::UseAfterFree}, // TP.
+      {30, 40, BugChecker::UseAfterFree}, // FP (infeasible plant).
+      {99, 100, BugChecker::UseAfterFree}, // FP (spurious).
+  };
+  EvalResult R = evaluate(Bugs, Reports, BugChecker::UseAfterFree);
+  EXPECT_EQ(R.TruePositives, 1);
+  EXPECT_EQ(R.FalsePositives, 2);
+  EXPECT_EQ(R.FalseNegatives, 0);
+  EXPECT_NEAR(R.fpRate(), 2.0 / 3.0, 1e-9);
+  EXPECT_NEAR(R.recall(), 1.0, 1e-9);
+}
+
+TEST(Evaluate, SinkLineWindowTolerance) {
+  std::vector<PlantedBug> Bugs = {
+      {BugKind::Feasible, BugChecker::UseAfterFree, "s", 10, 20}};
+  std::vector<ReportView> Reports = {{10, 21, BugChecker::UseAfterFree}};
+  EvalResult R = evaluate(Bugs, Reports, BugChecker::UseAfterFree);
+  EXPECT_EQ(R.TruePositives, 1);
+}
+
+} // namespace
+} // namespace pinpoint::workload
