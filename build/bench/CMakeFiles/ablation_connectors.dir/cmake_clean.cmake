@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_connectors.dir/ablation_connectors.cpp.o"
+  "CMakeFiles/ablation_connectors.dir/ablation_connectors.cpp.o.d"
+  "ablation_connectors"
+  "ablation_connectors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_connectors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

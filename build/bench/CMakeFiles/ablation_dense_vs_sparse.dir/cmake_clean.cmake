@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_dense_vs_sparse.dir/ablation_dense_vs_sparse.cpp.o"
+  "CMakeFiles/ablation_dense_vs_sparse.dir/ablation_dense_vs_sparse.cpp.o.d"
+  "ablation_dense_vs_sparse"
+  "ablation_dense_vs_sparse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_dense_vs_sparse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

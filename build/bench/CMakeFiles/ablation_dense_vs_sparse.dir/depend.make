@@ -1,0 +1,2 @@
+# Empty dependencies file for ablation_dense_vs_sparse.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_linear_solver.dir/ablation_linear_solver.cpp.o"
+  "CMakeFiles/ablation_linear_solver.dir/ablation_linear_solver.cpp.o.d"
+  "ablation_linear_solver"
+  "ablation_linear_solver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_linear_solver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

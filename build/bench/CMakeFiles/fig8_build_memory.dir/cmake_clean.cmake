@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_build_memory.dir/fig8_build_memory.cpp.o"
+  "CMakeFiles/fig8_build_memory.dir/fig8_build_memory.cpp.o.d"
+  "fig8_build_memory"
+  "fig8_build_memory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_build_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

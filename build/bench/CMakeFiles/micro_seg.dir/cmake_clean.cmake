@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_seg.dir/micro_seg.cpp.o"
+  "CMakeFiles/micro_seg.dir/micro_seg.cpp.o.d"
+  "micro_seg"
+  "micro_seg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_seg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

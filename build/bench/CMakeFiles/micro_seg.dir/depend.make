@@ -1,0 +1,2 @@
+# Empty dependencies file for micro_seg.
+# This may be replaced when dependencies are built.

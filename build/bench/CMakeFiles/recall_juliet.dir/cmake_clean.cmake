@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/recall_juliet.dir/recall_juliet.cpp.o"
+  "CMakeFiles/recall_juliet.dir/recall_juliet.cpp.o.d"
+  "recall_juliet"
+  "recall_juliet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/recall_juliet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for recall_juliet.
+# This may be replaced when dependencies are built.

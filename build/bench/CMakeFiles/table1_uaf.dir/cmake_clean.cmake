@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_uaf.dir/table1_uaf.cpp.o"
+  "CMakeFiles/table1_uaf.dir/table1_uaf.cpp.o.d"
+  "table1_uaf"
+  "table1_uaf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_uaf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_taint.dir/table2_taint.cpp.o"
+  "CMakeFiles/table2_taint.dir/table2_taint.cpp.o.d"
+  "table2_taint"
+  "table2_taint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_taint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_other_tools.dir/table3_other_tools.cpp.o"
+  "CMakeFiles/table3_other_tools.dir/table3_other_tools.cpp.o.d"
+  "table3_other_tools"
+  "table3_other_tools.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_other_tools.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

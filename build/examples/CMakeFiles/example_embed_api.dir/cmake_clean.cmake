@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_embed_api.dir/embed_api.cpp.o"
+  "CMakeFiles/example_embed_api.dir/embed_api.cpp.o.d"
+  "example_embed_api"
+  "example_embed_api.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_embed_api.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_taint_audit.dir/taint_audit.cpp.o"
+  "CMakeFiles/example_taint_audit.dir/taint_audit.cpp.o.d"
+  "example_taint_audit"
+  "example_taint_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_taint_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_uaf_hunting.dir/uaf_hunting.cpp.o"
+  "CMakeFiles/example_uaf_hunting.dir/uaf_hunting.cpp.o.d"
+  "example_uaf_hunting"
+  "example_uaf_hunting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_uaf_hunting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

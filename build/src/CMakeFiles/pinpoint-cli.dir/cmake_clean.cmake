@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pinpoint-cli.dir/tools/PinpointMain.cpp.o"
+  "CMakeFiles/pinpoint-cli.dir/tools/PinpointMain.cpp.o.d"
+  "pinpoint"
+  "pinpoint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pinpoint-cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,51 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/Andersen.cpp" "src/CMakeFiles/pinpoint.dir/baselines/Andersen.cpp.o" "gcc" "src/CMakeFiles/pinpoint.dir/baselines/Andersen.cpp.o.d"
+  "/root/repo/src/baselines/DenseIFDS.cpp" "src/CMakeFiles/pinpoint.dir/baselines/DenseIFDS.cpp.o" "gcc" "src/CMakeFiles/pinpoint.dir/baselines/DenseIFDS.cpp.o.d"
+  "/root/repo/src/baselines/FSVFG.cpp" "src/CMakeFiles/pinpoint.dir/baselines/FSVFG.cpp.o" "gcc" "src/CMakeFiles/pinpoint.dir/baselines/FSVFG.cpp.o.d"
+  "/root/repo/src/baselines/IntraProc.cpp" "src/CMakeFiles/pinpoint.dir/baselines/IntraProc.cpp.o" "gcc" "src/CMakeFiles/pinpoint.dir/baselines/IntraProc.cpp.o.d"
+  "/root/repo/src/checkers/Checkers.cpp" "src/CMakeFiles/pinpoint.dir/checkers/Checkers.cpp.o" "gcc" "src/CMakeFiles/pinpoint.dir/checkers/Checkers.cpp.o.d"
+  "/root/repo/src/checkers/SpecialCheckers.cpp" "src/CMakeFiles/pinpoint.dir/checkers/SpecialCheckers.cpp.o" "gcc" "src/CMakeFiles/pinpoint.dir/checkers/SpecialCheckers.cpp.o.d"
+  "/root/repo/src/frontend/Lexer.cpp" "src/CMakeFiles/pinpoint.dir/frontend/Lexer.cpp.o" "gcc" "src/CMakeFiles/pinpoint.dir/frontend/Lexer.cpp.o.d"
+  "/root/repo/src/frontend/Parser.cpp" "src/CMakeFiles/pinpoint.dir/frontend/Parser.cpp.o" "gcc" "src/CMakeFiles/pinpoint.dir/frontend/Parser.cpp.o.d"
+  "/root/repo/src/ir/CallGraph.cpp" "src/CMakeFiles/pinpoint.dir/ir/CallGraph.cpp.o" "gcc" "src/CMakeFiles/pinpoint.dir/ir/CallGraph.cpp.o.d"
+  "/root/repo/src/ir/Conditions.cpp" "src/CMakeFiles/pinpoint.dir/ir/Conditions.cpp.o" "gcc" "src/CMakeFiles/pinpoint.dir/ir/Conditions.cpp.o.d"
+  "/root/repo/src/ir/Dominators.cpp" "src/CMakeFiles/pinpoint.dir/ir/Dominators.cpp.o" "gcc" "src/CMakeFiles/pinpoint.dir/ir/Dominators.cpp.o.d"
+  "/root/repo/src/ir/IR.cpp" "src/CMakeFiles/pinpoint.dir/ir/IR.cpp.o" "gcc" "src/CMakeFiles/pinpoint.dir/ir/IR.cpp.o.d"
+  "/root/repo/src/ir/SSA.cpp" "src/CMakeFiles/pinpoint.dir/ir/SSA.cpp.o" "gcc" "src/CMakeFiles/pinpoint.dir/ir/SSA.cpp.o.d"
+  "/root/repo/src/ir/Verifier.cpp" "src/CMakeFiles/pinpoint.dir/ir/Verifier.cpp.o" "gcc" "src/CMakeFiles/pinpoint.dir/ir/Verifier.cpp.o.d"
+  "/root/repo/src/pta/Memory.cpp" "src/CMakeFiles/pinpoint.dir/pta/Memory.cpp.o" "gcc" "src/CMakeFiles/pinpoint.dir/pta/Memory.cpp.o.d"
+  "/root/repo/src/pta/PointsTo.cpp" "src/CMakeFiles/pinpoint.dir/pta/PointsTo.cpp.o" "gcc" "src/CMakeFiles/pinpoint.dir/pta/PointsTo.cpp.o.d"
+  "/root/repo/src/seg/SEG.cpp" "src/CMakeFiles/pinpoint.dir/seg/SEG.cpp.o" "gcc" "src/CMakeFiles/pinpoint.dir/seg/SEG.cpp.o.d"
+  "/root/repo/src/seg/SEGPrinter.cpp" "src/CMakeFiles/pinpoint.dir/seg/SEGPrinter.cpp.o" "gcc" "src/CMakeFiles/pinpoint.dir/seg/SEGPrinter.cpp.o.d"
+  "/root/repo/src/smt/Expr.cpp" "src/CMakeFiles/pinpoint.dir/smt/Expr.cpp.o" "gcc" "src/CMakeFiles/pinpoint.dir/smt/Expr.cpp.o.d"
+  "/root/repo/src/smt/LinearSolver.cpp" "src/CMakeFiles/pinpoint.dir/smt/LinearSolver.cpp.o" "gcc" "src/CMakeFiles/pinpoint.dir/smt/LinearSolver.cpp.o.d"
+  "/root/repo/src/smt/MiniSolver.cpp" "src/CMakeFiles/pinpoint.dir/smt/MiniSolver.cpp.o" "gcc" "src/CMakeFiles/pinpoint.dir/smt/MiniSolver.cpp.o.d"
+  "/root/repo/src/smt/Solver.cpp" "src/CMakeFiles/pinpoint.dir/smt/Solver.cpp.o" "gcc" "src/CMakeFiles/pinpoint.dir/smt/Solver.cpp.o.d"
+  "/root/repo/src/smt/Z3Solver.cpp" "src/CMakeFiles/pinpoint.dir/smt/Z3Solver.cpp.o" "gcc" "src/CMakeFiles/pinpoint.dir/smt/Z3Solver.cpp.o.d"
+  "/root/repo/src/support/Arena.cpp" "src/CMakeFiles/pinpoint.dir/support/Arena.cpp.o" "gcc" "src/CMakeFiles/pinpoint.dir/support/Arena.cpp.o.d"
+  "/root/repo/src/support/Statistics.cpp" "src/CMakeFiles/pinpoint.dir/support/Statistics.cpp.o" "gcc" "src/CMakeFiles/pinpoint.dir/support/Statistics.cpp.o.d"
+  "/root/repo/src/svfa/Context.cpp" "src/CMakeFiles/pinpoint.dir/svfa/Context.cpp.o" "gcc" "src/CMakeFiles/pinpoint.dir/svfa/Context.cpp.o.d"
+  "/root/repo/src/svfa/GlobalSVFA.cpp" "src/CMakeFiles/pinpoint.dir/svfa/GlobalSVFA.cpp.o" "gcc" "src/CMakeFiles/pinpoint.dir/svfa/GlobalSVFA.cpp.o.d"
+  "/root/repo/src/svfa/Pipeline.cpp" "src/CMakeFiles/pinpoint.dir/svfa/Pipeline.cpp.o" "gcc" "src/CMakeFiles/pinpoint.dir/svfa/Pipeline.cpp.o.d"
+  "/root/repo/src/transform/Connectors.cpp" "src/CMakeFiles/pinpoint.dir/transform/Connectors.cpp.o" "gcc" "src/CMakeFiles/pinpoint.dir/transform/Connectors.cpp.o.d"
+  "/root/repo/src/workload/Evaluate.cpp" "src/CMakeFiles/pinpoint.dir/workload/Evaluate.cpp.o" "gcc" "src/CMakeFiles/pinpoint.dir/workload/Evaluate.cpp.o.d"
+  "/root/repo/src/workload/Generator.cpp" "src/CMakeFiles/pinpoint.dir/workload/Generator.cpp.o" "gcc" "src/CMakeFiles/pinpoint.dir/workload/Generator.cpp.o.d"
+  "/root/repo/src/workload/Juliet.cpp" "src/CMakeFiles/pinpoint.dir/workload/Juliet.cpp.o" "gcc" "src/CMakeFiles/pinpoint.dir/workload/Juliet.cpp.o.d"
+  "/root/repo/src/workload/Subjects.cpp" "src/CMakeFiles/pinpoint.dir/workload/Subjects.cpp.o" "gcc" "src/CMakeFiles/pinpoint.dir/workload/Subjects.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

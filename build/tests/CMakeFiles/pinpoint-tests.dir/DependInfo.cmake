@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/BaselineTest.cpp" "tests/CMakeFiles/pinpoint-tests.dir/BaselineTest.cpp.o" "gcc" "tests/CMakeFiles/pinpoint-tests.dir/BaselineTest.cpp.o.d"
+  "/root/repo/tests/CheckerEdgeTest.cpp" "tests/CMakeFiles/pinpoint-tests.dir/CheckerEdgeTest.cpp.o" "gcc" "tests/CMakeFiles/pinpoint-tests.dir/CheckerEdgeTest.cpp.o.d"
+  "/root/repo/tests/CheckerTest.cpp" "tests/CMakeFiles/pinpoint-tests.dir/CheckerTest.cpp.o" "gcc" "tests/CMakeFiles/pinpoint-tests.dir/CheckerTest.cpp.o.d"
+  "/root/repo/tests/ContextTest.cpp" "tests/CMakeFiles/pinpoint-tests.dir/ContextTest.cpp.o" "gcc" "tests/CMakeFiles/pinpoint-tests.dir/ContextTest.cpp.o.d"
+  "/root/repo/tests/FrontendTest.cpp" "tests/CMakeFiles/pinpoint-tests.dir/FrontendTest.cpp.o" "gcc" "tests/CMakeFiles/pinpoint-tests.dir/FrontendTest.cpp.o.d"
+  "/root/repo/tests/IRTest.cpp" "tests/CMakeFiles/pinpoint-tests.dir/IRTest.cpp.o" "gcc" "tests/CMakeFiles/pinpoint-tests.dir/IRTest.cpp.o.d"
+  "/root/repo/tests/PointsToTest.cpp" "tests/CMakeFiles/pinpoint-tests.dir/PointsToTest.cpp.o" "gcc" "tests/CMakeFiles/pinpoint-tests.dir/PointsToTest.cpp.o.d"
+  "/root/repo/tests/PrinterTest.cpp" "tests/CMakeFiles/pinpoint-tests.dir/PrinterTest.cpp.o" "gcc" "tests/CMakeFiles/pinpoint-tests.dir/PrinterTest.cpp.o.d"
+  "/root/repo/tests/PropertyTest.cpp" "tests/CMakeFiles/pinpoint-tests.dir/PropertyTest.cpp.o" "gcc" "tests/CMakeFiles/pinpoint-tests.dir/PropertyTest.cpp.o.d"
+  "/root/repo/tests/SEGTest.cpp" "tests/CMakeFiles/pinpoint-tests.dir/SEGTest.cpp.o" "gcc" "tests/CMakeFiles/pinpoint-tests.dir/SEGTest.cpp.o.d"
+  "/root/repo/tests/SmtExprTest.cpp" "tests/CMakeFiles/pinpoint-tests.dir/SmtExprTest.cpp.o" "gcc" "tests/CMakeFiles/pinpoint-tests.dir/SmtExprTest.cpp.o.d"
+  "/root/repo/tests/SmtSolverTest.cpp" "tests/CMakeFiles/pinpoint-tests.dir/SmtSolverTest.cpp.o" "gcc" "tests/CMakeFiles/pinpoint-tests.dir/SmtSolverTest.cpp.o.d"
+  "/root/repo/tests/SpecialCheckersTest.cpp" "tests/CMakeFiles/pinpoint-tests.dir/SpecialCheckersTest.cpp.o" "gcc" "tests/CMakeFiles/pinpoint-tests.dir/SpecialCheckersTest.cpp.o.d"
+  "/root/repo/tests/SupportTest.cpp" "tests/CMakeFiles/pinpoint-tests.dir/SupportTest.cpp.o" "gcc" "tests/CMakeFiles/pinpoint-tests.dir/SupportTest.cpp.o.d"
+  "/root/repo/tests/TransformTest.cpp" "tests/CMakeFiles/pinpoint-tests.dir/TransformTest.cpp.o" "gcc" "tests/CMakeFiles/pinpoint-tests.dir/TransformTest.cpp.o.d"
+  "/root/repo/tests/WorkloadTest.cpp" "tests/CMakeFiles/pinpoint-tests.dir/WorkloadTest.cpp.o" "gcc" "tests/CMakeFiles/pinpoint-tests.dir/WorkloadTest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pinpoint.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
