@@ -27,6 +27,8 @@ std::vector<svfa::Report> checkMemoryLeaks(svfa::AnalyzedModule &AM) {
   std::vector<svfa::Report> Out;
 
   for (const Function *F : AM.bottomUpOrder()) {
+    if (!AM.info(F).Seg)
+      continue; // Pipeline-degraded function: nothing to scan.
     seg::SEG &Seg = *AM.info(F).Seg;
     for (const CallStmt *Call : Seg.calls()) {
       if (Call->calleeName() != intrinsics::Malloc || !Call->receiver())

@@ -299,11 +299,19 @@ PointsToResult PointsToAnalysis::run() {
     (void)ptsOfVar(P);
 
   std::map<const BasicBlock *, Env> BlockOut;
+  uint64_t Steps = 0;
   for (BasicBlock *B : reversePostOrder(F)) {
     Env E = mergePreds(B, BlockOut);
-    for (Stmt *S : B->stmts())
+    for (Stmt *S : B->stmts()) {
+      if (Config.MaxSteps > 0 && ++Steps > Config.MaxSteps) {
+        R.Truncated = true;
+        break;
+      }
       transfer(E, S);
+    }
     BlockOut.emplace(B, std::move(E));
+    if (R.Truncated)
+      break;
   }
   return std::move(R);
 }

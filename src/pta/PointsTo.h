@@ -51,6 +51,10 @@ struct PTAConfig {
   /// Quasi path sensitivity: prune entries with obviously-unsat conditions.
   /// Disabled for the flow-sensitivity-only ablation.
   bool UseLinearFilter = true;
+  /// Step budget (statement transfers); 0 = unlimited. When exceeded the
+  /// pass stops early and the result is marked truncated — remaining loads
+  /// simply get no dependences (best effort, never an abort).
+  uint64_t MaxSteps = 0;
 };
 
 /// An access path *(param, k).
@@ -82,12 +86,16 @@ public:
 
   size_t numObjects() const { return Objects ? Objects->all().size() : 0; }
 
+  /// True when the pass stopped early on its step budget.
+  bool truncated() const { return Truncated; }
+
 private:
   friend class PointsToAnalysis;
   std::map<const ir::LoadStmt *, ValSet> LoadDeps;
   std::map<const ir::Variable *, PtsSet> VarPts;
   std::set<ParamPath> Refs, Mods;
   uint64_t CondsChecked = 0, CondsPruned = 0;
+  bool Truncated = false;
   std::shared_ptr<Arena> ObjectArena;          ///< Keeps objects alive.
   std::shared_ptr<MemObjectTable> Objects;
 };

@@ -44,7 +44,8 @@ enum class LBool : uint8_t { False, True, Undef };
 
 class MiniSolver : public Solver {
 public:
-  explicit MiniSolver(ExprContext &Ctx) : Ctx(Ctx) {}
+  MiniSolver(ExprContext &Ctx, const SolverConfig &Cfg)
+      : Ctx(Ctx), StepLimit(Cfg.MaxSteps) {}
 
   SatResult checkSat(const Expr *E) override;
   const char *name() const override { return "mini"; }
@@ -59,7 +60,7 @@ private:
   Lit encode(const Expr *E);
 
   //===--- DPLL -----------------------------------------------------------===
-  bool dpll();
+  SatResult dpll();
   bool propagate();
   bool allAssigned() const { return Trail.size() == NumVars; }
   void assign(uint32_t Var, bool Value) {
@@ -71,6 +72,7 @@ private:
   bool theoryConsistent();
 
   ExprContext &Ctx;
+  uint64_t StepLimit;
   uint32_t NumVars = 0;
   std::vector<std::vector<Lit>> Clauses;
   std::vector<LBool> Assign;
@@ -178,12 +180,12 @@ bool MiniSolver::propagate() {
   return true;
 }
 
-bool MiniSolver::dpll() {
+SatResult MiniSolver::dpll() {
   uint64_t Steps = 0;
-  const uint64_t StepLimit = 2'000'000;
   while (true) {
-    if (++Steps > StepLimit)
-      return true; // Give up exhausting: treat as Sat (soundy).
+    if (StepLimit > 0 && ++Steps > StepLimit)
+      return SatResult::Unknown; // Step budget exhausted: give up honestly;
+                                 // the caller applies the soundy treatment.
     if (!propagate()) {
       // Backtrack to last decision, flip it.
       while (!DecisionStack.empty()) {
@@ -198,18 +200,18 @@ bool MiniSolver::dpll() {
         assign(DecVar, !DecVal);
         goto continue_outer;
       }
-      return false; // Conflict at level 0.
+      return SatResult::Unsat; // Conflict at level 0.
     }
     if (allAssigned()) {
       if (theoryConsistent())
-        return true;
+        return SatResult::Sat;
       // Exclude this theory-inconsistent model and continue.
       std::vector<Lit> Block;
       for (uint32_t V = 0; V < NumVars; ++V)
         if (VarAtom[V])
           Block.push_back(mkLit(V, Assign[V] == LBool::True));
       if (Block.empty())
-        return true;
+        return SatResult::Sat;
       addClause(std::move(Block));
       // Restart from scratch (simplest correct policy).
       std::fill(Assign.begin(), Assign.end(), LBool::Undef);
@@ -459,13 +461,14 @@ SatResult MiniSolver::checkSat(const Expr *E) {
   Lit Root = encode(E);
   addClause({Root});
   Assign.assign(NumVars, LBool::Undef);
-  return dpll() ? SatResult::Sat : SatResult::Unsat;
+  return dpll();
 }
 
 } // namespace
 
-std::unique_ptr<Solver> createMiniSolver(ExprContext &Ctx) {
-  return std::make_unique<MiniSolver>(Ctx);
+std::unique_ptr<Solver> createMiniSolver(ExprContext &Ctx,
+                                         const SolverConfig &Cfg) {
+  return std::make_unique<MiniSolver>(Ctx, Cfg);
 }
 
 } // namespace pinpoint::smt

@@ -5,6 +5,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "smt/Solver.h"
+#include "support/ResourceGovernor.h"
 
 namespace pinpoint::smt {
 
@@ -17,16 +18,29 @@ SatResult StagedSolver::checkSat(const Expr *E) {
     return SatResult::Unsat;
   }
   ++S.BackendQueries;
+  if (Gov && Gov->faults().injectSolverUnknown()) {
+    ++S.BackendUnknown;
+    ++S.InjectedUnknown;
+    Gov->note(DegradationKind::InjectedFault, "smt", "forced solver unknown");
+    return SatResult::Unknown;
+  }
   SatResult R = Backend->checkSat(E);
   if (R == SatResult::Unsat)
     ++S.BackendUnsat;
+  if (R == SatResult::Unknown) {
+    ++S.BackendUnknown;
+    if (Gov)
+      Gov->note(DegradationKind::SolverUnknown, "smt",
+                std::string(Backend->name()) + " gave up (timeout/steps)");
+  }
   return R;
 }
 
-std::unique_ptr<Solver> createDefaultSolver(ExprContext &Ctx) {
-  if (auto Z3 = createZ3Solver(Ctx))
+std::unique_ptr<Solver> createDefaultSolver(ExprContext &Ctx,
+                                            const SolverConfig &Cfg) {
+  if (auto Z3 = createZ3Solver(Ctx, Cfg))
     return Z3;
-  return createMiniSolver(Ctx);
+  return createMiniSolver(Ctx, Cfg);
 }
 
 } // namespace pinpoint::smt

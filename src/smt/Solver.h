@@ -23,7 +23,12 @@
 #include "smt/Expr.h"
 #include "smt/LinearSolver.h"
 
+#include <cstdint>
 #include <memory>
+
+namespace pinpoint {
+class ResourceGovernor;
+}
 
 namespace pinpoint::smt {
 
@@ -44,30 +49,42 @@ inline const char *toString(SatResult R) {
 class Solver {
 public:
   virtual ~Solver() = default;
-  /// Decides satisfiability of the boolean formula \p E.
+  /// Decides satisfiability of the boolean formula \p E. Unknown means the
+  /// backend gave up (timeout / step budget); callers treat it soundily.
   virtual SatResult checkSat(const Expr *E) = 0;
   virtual const char *name() const = 0;
 };
 
+/// Per-query resource limits for a backend.
+struct SolverConfig {
+  int TimeoutMs = 10000;         ///< Wall-clock timeout (Z3).
+  uint64_t MaxSteps = 2'000'000; ///< DPLL step budget (MiniSolver).
+};
+
 /// Creates a Z3-backed solver, or nullptr when built without Z3.
-std::unique_ptr<Solver> createZ3Solver(ExprContext &Ctx);
+std::unique_ptr<Solver> createZ3Solver(ExprContext &Ctx,
+                                       const SolverConfig &Cfg = {});
 
 /// Creates the built-in DPLL + (equality/difference-bounds) theory solver.
 /// Sound for UNSAT; may answer Sat for theory fragments it cannot refute
-/// (the soundy choice for a bug finder).
-std::unique_ptr<Solver> createMiniSolver(ExprContext &Ctx);
+/// (the soundy choice for a bug finder) and Unknown past its step budget.
+std::unique_ptr<Solver> createMiniSolver(ExprContext &Ctx,
+                                         const SolverConfig &Cfg = {});
 
 /// Z3 if available, MiniSolver otherwise.
-std::unique_ptr<Solver> createDefaultSolver(ExprContext &Ctx);
+std::unique_ptr<Solver> createDefaultSolver(ExprContext &Ctx,
+                                            const SolverConfig &Cfg = {});
 
 /// The paper's two-stage solving discipline: linear-time filter, then a full
 /// backend for whatever survives.
 class StagedSolver : public Solver {
 public:
+  /// \p Gov, when given, receives a degradation event for every Unknown
+  /// answer and drives fault injection of forced-Unknown queries.
   StagedSolver(ExprContext &Ctx, std::unique_ptr<Solver> Backend,
-               bool UseLinearFilter = true)
+               bool UseLinearFilter = true, ResourceGovernor *Gov = nullptr)
       : Linear(Ctx), Backend(std::move(Backend)),
-        UseLinearFilter(UseLinearFilter) {}
+        UseLinearFilter(UseLinearFilter), Gov(Gov) {}
 
   SatResult checkSat(const Expr *E) override;
   const char *name() const override { return "staged"; }
@@ -78,6 +95,8 @@ public:
     uint64_t LinearUnsat = 0;    ///< Refuted by the linear filter alone.
     uint64_t BackendQueries = 0; ///< Fell through to the SMT backend.
     uint64_t BackendUnsat = 0;   ///< Backend answered unsat.
+    uint64_t BackendUnknown = 0; ///< Backend gave up (incl. injected).
+    uint64_t InjectedUnknown = 0; ///< Unknowns forced by fault injection.
   };
   const Stats &stats() const { return S; }
 
@@ -85,6 +104,7 @@ private:
   LinearSolver Linear;
   std::unique_ptr<Solver> Backend;
   bool UseLinearFilter;
+  ResourceGovernor *Gov;
   Stats S;
 };
 

@@ -16,6 +16,7 @@
 
 #if PINPOINT_HAS_Z3
 
+#include <string>
 #include <unordered_map>
 #include <vector>
 #include <z3.h>
@@ -25,9 +26,11 @@ namespace {
 
 class Z3Solver : public Solver {
 public:
-  explicit Z3Solver(ExprContext &Ctx) : Ctx(Ctx) {
+  Z3Solver(ExprContext &Ctx, const SolverConfig &SC) : Ctx(Ctx) {
     Z3_config Cfg = Z3_mk_config();
-    Z3_set_param_value(Cfg, "timeout", "10000");
+    // Per-query timeout in ms; 0 would mean "no limit", so clamp to 1.
+    std::string Timeout = std::to_string(SC.TimeoutMs > 0 ? SC.TimeoutMs : 1);
+    Z3_set_param_value(Cfg, "timeout", Timeout.c_str());
     Z = Z3_mk_context(Cfg);
     Z3_del_config(Cfg);
     IntSort = Z3_mk_int_sort(Z);
@@ -150,8 +153,9 @@ private:
 
 } // namespace
 
-std::unique_ptr<Solver> createZ3Solver(ExprContext &Ctx) {
-  return std::make_unique<Z3Solver>(Ctx);
+std::unique_ptr<Solver> createZ3Solver(ExprContext &Ctx,
+                                       const SolverConfig &Cfg) {
+  return std::make_unique<Z3Solver>(Ctx, Cfg);
 }
 
 } // namespace pinpoint::smt
@@ -159,7 +163,9 @@ std::unique_ptr<Solver> createZ3Solver(ExprContext &Ctx) {
 #else // !PINPOINT_HAS_Z3
 
 namespace pinpoint::smt {
-std::unique_ptr<Solver> createZ3Solver(ExprContext &) { return nullptr; }
+std::unique_ptr<Solver> createZ3Solver(ExprContext &, const SolverConfig &) {
+  return nullptr;
+}
 } // namespace pinpoint::smt
 
 #endif

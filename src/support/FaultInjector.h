@@ -1,0 +1,83 @@
+//===- support/FaultInjector.h - Deterministic fault injection ------------===//
+//
+// Part of the Pinpoint reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A deterministic fault-injection harness for exercising the pipeline's
+/// degradation paths (`--fault-inject=spec`). Faults are seeded through the
+/// repo's SplitMix64 RNG so a given spec reproduces the exact same failure
+/// pattern on every run and platform — degradation behaviour is testable,
+/// not just observable in production.
+///
+/// Spec grammar: comma-separated `key=value` items.
+///
+///   seed=N                RNG seed for probabilistic faults (default 1)
+///   solver-unknown=P      degrade each SMT backend query to Unknown with
+///                         probability P percent (0-100)
+///   throw-fn=NAME         throw while the global SVFA analyses NAME
+///   pipeline-throw-fn=NAME  throw in NAME's per-function pipeline stage
+///   throw-checker=NAME    throw at the start of checker NAME's run
+///   closure-steps=N       override the value-closure step budget to N
+///                         (forces walk truncation)
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PINPOINT_SUPPORT_FAULTINJECTOR_H
+#define PINPOINT_SUPPORT_FAULTINJECTOR_H
+
+#include "support/RNG.h"
+
+#include <cstdint>
+#include <string>
+
+namespace pinpoint {
+
+class FaultInjector {
+public:
+  FaultInjector() : Rng(1) {}
+
+  /// Parses \p Spec (see file comment). Returns false and fills \p Err on
+  /// malformed input; the injector is left disabled in that case.
+  bool parse(const std::string &Spec, std::string &Err);
+
+  bool enabled() const { return Enabled; }
+
+  /// True when the next SMT backend query should be degraded to Unknown.
+  /// Advances the RNG stream, so calls must be 1:1 with backend queries.
+  bool injectSolverUnknown() {
+    return Enabled && SolverUnknownPct > 0 && Rng.chance(SolverUnknownPct, 100);
+  }
+
+  /// True when the global SVFA stage should throw while analysing \p Fn.
+  bool injectFunctionThrow(const std::string &Fn) const {
+    return Enabled && !ThrowFn.empty() && Fn == ThrowFn;
+  }
+
+  /// True when \p Fn's per-function pipeline stage should throw.
+  bool injectPipelineThrow(const std::string &Fn) const {
+    return Enabled && !PipelineThrowFn.empty() && Fn == PipelineThrowFn;
+  }
+
+  /// True when checker \p Name should throw at the start of its run.
+  bool injectCheckerThrow(const std::string &Name) const {
+    return Enabled && !ThrowChecker.empty() && Name == ThrowChecker;
+  }
+
+  /// Value-closure step-budget override (0 = none).
+  uint64_t closureStepOverride() const { return ClosureSteps; }
+
+private:
+  bool Enabled = false;
+  RNG Rng;
+  uint64_t SolverUnknownPct = 0;
+  uint64_t ClosureSteps = 0;
+  std::string ThrowFn;
+  std::string PipelineThrowFn;
+  std::string ThrowChecker;
+};
+
+} // namespace pinpoint
+
+#endif // PINPOINT_SUPPORT_FAULTINJECTOR_H

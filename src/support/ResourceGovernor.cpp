@@ -1,0 +1,74 @@
+//===- support/ResourceGovernor.cpp ----------------------------------------===//
+//
+// Part of the Pinpoint reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/ResourceGovernor.h"
+#include "support/Statistics.h"
+
+namespace pinpoint {
+
+const char *toString(DegradationKind K) {
+  switch (K) {
+  case DegradationKind::SolverUnknown:
+    return "solver-unknown";
+  case DegradationKind::ClosureTruncated:
+    return "closure-truncated";
+  case DegradationKind::PTATruncated:
+    return "pta-truncated";
+  case DegradationKind::FunctionOversized:
+    return "fn-oversized";
+  case DegradationKind::FunctionBudgetExceeded:
+    return "fn-budget-exceeded";
+  case DegradationKind::FunctionFailed:
+    return "fn-failed";
+  case DegradationKind::FunctionSkipped:
+    return "fn-skipped";
+  case DegradationKind::CheckerFailed:
+    return "checker-failed";
+  case DegradationKind::RunBudgetExhausted:
+    return "run-budget-exhausted";
+  case DegradationKind::InjectedFault:
+    return "injected-fault";
+  case DegradationKind::NumKinds:
+    break;
+  }
+  return "unknown";
+}
+
+void DegradationLog::note(DegradationKind K, std::string Stage,
+                          std::string Detail) {
+  ++Counts[static_cast<size_t>(K)];
+  if (Events.size() < MaxStoredEvents)
+    Events.push_back({K, std::move(Stage), std::move(Detail)});
+}
+
+uint64_t DegradationLog::total() const {
+  uint64_t N = 0;
+  for (uint64_t C : Counts)
+    N += C;
+  return N;
+}
+
+std::string DegradationLog::summary() const {
+  std::string Out = "degradations=" + std::to_string(total());
+  for (size_t I = 0; I < Counts.size(); ++I)
+    if (Counts[I] > 0)
+      Out += " " + std::string(toString(static_cast<DegradationKind>(I))) +
+             "=" + std::to_string(Counts[I]);
+  return Out;
+}
+
+void ResourceGovernor::note(DegradationKind K, std::string Stage,
+                            std::string Detail) {
+  Counters::get().add(std::string("governor.") + toString(K));
+  Log.note(K, std::move(Stage), std::move(Detail));
+}
+
+ResourceGovernor &ResourceGovernor::ungoverned() {
+  static ResourceGovernor G;
+  return G;
+}
+
+} // namespace pinpoint

@@ -1,0 +1,166 @@
+//===- support/ResourceGovernor.h - Budgets & graceful degradation --------===//
+//
+// Part of the Pinpoint reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The resource-governance layer the paper relies on to survive million-LoC
+/// inputs (Section 5: SMT timeouts treated soundily, a global wall clock,
+/// bounded context depth). A `ResourceGovernor` carries
+///
+///  * a `Budget` — wall clock for the whole run and per function, step
+///    budgets for the value-closure walk and the local points-to pass, the
+///    per-query SMT timeout, and a size cap on analysed functions;
+///  * a `DegradationLog` — every budget hit, solver Unknown, isolated
+///    failure or injected fault is recorded as a structured event (and
+///    mirrored into the global `Counters` under `governor.*`), so a
+///    degraded run says exactly *what* was given up;
+///  * a `FaultInjector` — deterministic forcing of the degradation paths.
+///
+/// The contract across the pipeline: exceeding a budget never aborts the
+/// analysis. Stages truncate or skip the offending unit, log the event, and
+/// keep producing best-effort results; SMT Unknown degrades to the soundy
+/// "keep the report, tagged Unknown" verdict.
+///
+/// Stages take a `ResourceGovernor *`; passing nullptr means "ungoverned"
+/// and stages then fall back to a process-wide unlimited instance.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PINPOINT_SUPPORT_RESOURCEGOVERNOR_H
+#define PINPOINT_SUPPORT_RESOURCEGOVERNOR_H
+
+#include "support/FaultInjector.h"
+#include "support/Timer.h"
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pinpoint {
+
+/// Resource limits for one analysis run. Negative wall-clock values and
+/// zero step values mean "unlimited".
+struct Budget {
+  int64_t RunWallMs = -1;      ///< Whole-run wall clock (paper: 12 hours).
+  int64_t FunctionWallMs = -1; ///< Per-function wall clock (global SVFA).
+  uint64_t MaxClosureSteps = 0; ///< Per value-closure walk.
+  uint64_t MaxPTASteps = 0;     ///< Per local points-to pass (statements).
+  int SolverTimeoutMs = 10000;  ///< Per SMT query (Z3 ms / MiniSolver-scaled).
+  size_t MaxFunctionStmts = 0;  ///< Oversized-function pipeline skip.
+};
+
+enum class DegradationKind : uint8_t {
+  SolverUnknown = 0,    ///< SMT backend answered Unknown (timeout/step cap).
+  ClosureTruncated,     ///< Value-closure walk hit its step budget.
+  PTATruncated,         ///< Local points-to pass hit its step budget.
+  FunctionOversized,    ///< Function skipped: exceeds MaxFunctionStmts.
+  FunctionBudgetExceeded, ///< Per-function wall clock expired.
+  FunctionFailed,       ///< Exception isolated to one function's analysis.
+  FunctionSkipped,      ///< Function skipped for a non-size reason.
+  CheckerFailed,        ///< Exception isolated to one checker's run.
+  RunBudgetExhausted,   ///< Whole-run wall clock expired.
+  InjectedFault,        ///< A FaultInjector-forced event fired.
+  NumKinds
+};
+
+const char *toString(DegradationKind K);
+
+/// One structured degradation event.
+struct DegradationEvent {
+  DegradationKind Kind;
+  std::string Stage;  ///< "pipeline", "svfa", "closure", "smt", "checker:uaf".
+  std::string Detail; ///< Function name, step counts, exception text, ...
+};
+
+/// Append-only record of everything a run gave up. Event storage is capped;
+/// per-kind counters are exact past the cap.
+class DegradationLog {
+public:
+  void note(DegradationKind K, std::string Stage, std::string Detail);
+
+  const std::vector<DegradationEvent> &events() const { return Events; }
+  uint64_t count(DegradationKind K) const {
+    return Counts[static_cast<size_t>(K)];
+  }
+  uint64_t total() const;
+  /// One-line "kind=count ..." summary of the nonzero counters.
+  std::string summary() const;
+
+private:
+  static constexpr size_t MaxStoredEvents = 4096;
+  std::vector<DegradationEvent> Events;
+  std::array<uint64_t, static_cast<size_t>(DegradationKind::NumKinds)>
+      Counts{};
+};
+
+class ResourceGovernor {
+public:
+  explicit ResourceGovernor(Budget B = {}, FaultInjector FI = {})
+      : B(B), FI(std::move(FI)) {}
+
+  const Budget &budget() const { return B; }
+  FaultInjector &faults() { return FI; }
+  DegradationLog &log() { return Log; }
+  const DegradationLog &log() const { return Log; }
+
+  /// Records a degradation event (and bumps the `governor.<kind>` counter).
+  void note(DegradationKind K, std::string Stage, std::string Detail);
+
+  bool degraded() const { return Log.total() > 0; }
+
+  //===--- Run-level wall clock -------------------------------------------===
+
+  /// Restarts the run clock. The constructor starts it too, so callers that
+  /// build the governor right before analysing need not call this.
+  void beginRun() { RunTimer.restart(); }
+  bool runExpired() const {
+    return B.RunWallMs >= 0 && RunTimer.millis() > (double)B.RunWallMs;
+  }
+
+  //===--- Function-level wall clock --------------------------------------===
+
+  void beginFunction() { FnTimer.restart(); }
+  bool functionExpired() const {
+    return B.FunctionWallMs >= 0 && FnTimer.millis() > (double)B.FunctionWallMs;
+  }
+
+  //===--- Value-closure step budget --------------------------------------===
+
+  /// Arms the per-walk step budget (fault-injected override wins).
+  void beginClosure() {
+    uint64_t Limit = FI.closureStepOverride() ? FI.closureStepOverride()
+                                              : B.MaxClosureSteps;
+    ClosureBounded = Limit > 0;
+    ClosureStepsLeft = Limit;
+  }
+  /// Charges one step of the current walk; false when exhausted.
+  bool chargeClosureStep() {
+    if (!ClosureBounded)
+      return true;
+    if (ClosureStepsLeft == 0)
+      return false;
+    --ClosureStepsLeft;
+    return true;
+  }
+
+  int solverTimeoutMs() const { return B.SolverTimeoutMs; }
+
+  /// The shared unlimited instance stages fall back to when no governor is
+  /// supplied. Its log still accumulates (useful for ungoverned CLI runs).
+  static ResourceGovernor &ungoverned();
+
+private:
+  Budget B;
+  FaultInjector FI;
+  DegradationLog Log;
+  Timer RunTimer, FnTimer;
+  uint64_t ClosureStepsLeft = 0;
+  bool ClosureBounded = false;
+};
+
+} // namespace pinpoint
+
+#endif // PINPOINT_SUPPORT_RESOURCEGOVERNOR_H

@@ -6,9 +6,12 @@
 
 #include "svfa/GlobalSVFA.h"
 
+#include "support/ResourceGovernor.h"
+
 #include <algorithm>
 #include <map>
 #include <set>
+#include <stdexcept>
 
 using namespace pinpoint::ir;
 
@@ -114,8 +117,12 @@ public:
        GlobalOptions Opts, Stats &S)
       : AM(AM), Spec(Spec), Opts(Opts), S(S), Ctx(AM.context()),
         CT(AM.context(), AM.symbols()), Linear(AM.context()),
-        Solver(AM.context(), smt::createDefaultSolver(AM.context()),
-               Opts.UseLinearFilter) {}
+        Gov(Opts.Governor ? *Opts.Governor : ResourceGovernor::ungoverned()),
+        Solver(AM.context(),
+               smt::createDefaultSolver(
+                   AM.context(),
+                   smt::SolverConfig{.TimeoutMs = Gov.solverTimeoutMs()}),
+               Opts.UseLinearFilter, &Gov) {}
 
   std::vector<Report> run();
   const smt::StagedSolver::Stats &solverStats() const {
@@ -273,6 +280,7 @@ private:
   smt::ExprContext &Ctx;
   ContextTable CT;
   smt::LinearSolver Linear;
+  ResourceGovernor &Gov;
   smt::StagedSolver Solver;
 
   std::map<const Function *, FnSummaries> Summaries;
@@ -297,7 +305,24 @@ GlobalSVFA::Impl::valueClosure(const Function *F, const Variable *Start,
     return F->name() + "::" + V->name();
   };
 
+  Gov.beginClosure();
+  uint64_t WalkSteps = 0;
   while (!Work.empty()) {
+    // Graceful truncation: past the step budget (or the function's wall
+    // clock) the closure computed so far is returned as-is — a best-effort
+    // under-approximation, logged so the degradation is visible.
+    if (!Gov.chargeClosureStep()) {
+      Gov.note(DegradationKind::ClosureTruncated, "closure",
+               describe(Start) + " truncated after " +
+                   std::to_string(WalkSteps) + " steps");
+      break;
+    }
+    if (Gov.functionExpired()) {
+      Gov.note(DegradationKind::FunctionBudgetExceeded, "closure",
+               describe(Start) + ": function wall clock expired");
+      break;
+    }
+    ++WalkSteps;
     auto [V, B] = std::move(Work.back());
     Work.pop_back();
     if (Result.count(V))
@@ -665,8 +690,14 @@ void GlobalSVFA::Impl::processEvent(const Function *F, const SourceEvent &Ev,
 void GlobalSVFA::Impl::analyzeFunction(const Function *F) {
   FnSummaries &Sum = Summaries[F];
   paramSummaries(F, Sum);
-  for (const SourceEvent &Ev : collectEvents(F))
+  for (const SourceEvent &Ev : collectEvents(F)) {
+    if (Gov.functionExpired()) {
+      Gov.note(DegradationKind::FunctionBudgetExceeded, "svfa",
+               F->name() + ": remaining source events skipped");
+      break;
+    }
     processEvent(F, Ev, Sum);
+  }
 }
 
 //===----------------------------------------------------------------------===
@@ -760,15 +791,51 @@ void GlobalSVFA::Impl::addCandidate(const Function *F, const SourceEvent &Ev,
       ++S.SolverUnsat;
       return; // Infeasible path: not a bug.
     }
-    ++S.SolverSat;
+    // Unknown (solver timeout / step budget) is kept soundily: dropping it
+    // would silently lose a potential bug. The report stays tagged.
+    if (R.Verdict == smt::SatResult::Unknown)
+      ++S.SolverUnknown;
+    else
+      ++S.SolverSat;
   }
   Reported.insert(Key);
   Reports.push_back(std::move(R));
 }
 
 std::vector<Report> GlobalSVFA::Impl::run() {
-  for (const Function *F : AM.bottomUpOrder())
-    analyzeFunction(F);
+  const auto &Order = AM.bottomUpOrder();
+  for (size_t I = 0; I < Order.size(); ++I) {
+    const Function *F = Order[I];
+    if (Gov.runExpired()) {
+      Gov.note(DegradationKind::RunBudgetExhausted, "svfa",
+               "wall clock expired at " + F->name() + "; " +
+                   std::to_string(Order.size() - I) + " function(s) skipped");
+      break;
+    }
+    // Functions the pipeline could not analyse at all have no SEG; their
+    // summaries stay absent, which callers already treat conservatively.
+    if (!AM.info(F).Seg) {
+      Gov.note(DegradationKind::FunctionSkipped, "svfa",
+               F->name() + ": no SEG (pipeline degraded)");
+      continue;
+    }
+    Gov.beginFunction();
+    try {
+      if (Gov.faults().injectFunctionThrow(F->name())) {
+        Gov.note(DegradationKind::InjectedFault, "svfa", F->name());
+        throw std::runtime_error("injected svfa fault");
+      }
+      analyzeFunction(F);
+    } catch (const std::exception &Ex) {
+      // Fault isolation: one function's failure must not lose the reports
+      // and summaries of every other function. Partial summaries of the
+      // failed function are discarded; reports already emitted stand.
+      Summaries.erase(F);
+      ++S.IsolatedFailures;
+      Gov.note(DegradationKind::FunctionFailed, "svfa",
+               F->name() + ": " + Ex.what());
+    }
+  }
   return std::move(Reports);
 }
 
@@ -791,7 +858,9 @@ const smt::StagedSolver::Stats &GlobalSVFA::solverStats() const {
 std::vector<Report> checkModule(ir::Module &M, smt::ExprContext &Ctx,
                                 const checkers::CheckerSpec &Spec,
                                 GlobalOptions Opts) {
-  AnalyzedModule AM(M, Ctx);
+  PipelineOptions PO;
+  PO.Governor = Opts.Governor;
+  AnalyzedModule AM(M, Ctx, PO);
   GlobalSVFA Engine(AM, Spec, Opts);
   return Engine.run();
 }

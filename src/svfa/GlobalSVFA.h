@@ -39,6 +39,10 @@
 #include <string>
 #include <vector>
 
+namespace pinpoint {
+class ResourceGovernor;
+}
+
 namespace pinpoint::svfa {
 
 /// A bug report.
@@ -49,6 +53,9 @@ struct Report {
   SourceLoc Sink;                ///< The sink statement (e.g. deref site).
   std::string SinkFn;
   std::vector<std::string> Path; ///< Human-readable value-flow steps.
+  /// Sat: the SMT stage confirmed the path condition (or path sensitivity
+  /// is off). Unknown: the solver gave up — the report is kept soundily but
+  /// tagged so consumers can rank it below confirmed findings.
   smt::SatResult Verdict = smt::SatResult::Sat;
 };
 
@@ -59,6 +66,9 @@ struct GlobalOptions {
   bool PathSensitive = true;
   /// Linear pre-filter in the staged solver (ablation knob).
   bool UseLinearFilter = true;
+  /// Budgets, degradation log and fault injection (see
+  /// support/ResourceGovernor.h); nullptr = ungoverned.
+  ResourceGovernor *Governor = nullptr;
 };
 
 class GlobalSVFA {
@@ -75,10 +85,14 @@ public:
     uint64_t Candidates = 0;
     uint64_t SolverSat = 0;
     uint64_t SolverUnsat = 0;
+    /// Candidates whose verdict came back Unknown (kept, tagged).
+    uint64_t SolverUnknown = 0;
     uint64_t VF1 = 0, VF2 = 0, VF3 = 0, VF4 = 0;
     uint64_t ClosureSteps = 0;
     /// Flows/candidates killed inline by the linear-time filter.
     uint64_t LinearPruned = 0;
+    /// Functions whose analysis threw and was isolated (skipped).
+    uint64_t IsolatedFailures = 0;
   };
   const Stats &stats() const { return S; }
   const smt::StagedSolver::Stats &solverStats() const;

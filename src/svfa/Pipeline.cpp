@@ -6,13 +6,30 @@
 
 #include "svfa/Pipeline.h"
 #include "ir/SSA.h"
+#include "support/ResourceGovernor.h"
 #include "support/Statistics.h"
 
+#include <stdexcept>
+
 namespace pinpoint::svfa {
+
+namespace {
+
+size_t countStmts(const ir::Function &F) {
+  size_t N = 0;
+  for (const ir::BasicBlock *B : F.blocks())
+    N += B->stmts().size();
+  return N;
+}
+
+} // namespace
 
 AnalyzedModule::AnalyzedModule(ir::Module &M, smt::ExprContext &Ctx,
                                const PipelineOptions &Opts)
     : M(M), Ctx(Ctx), Syms(Ctx) {
+  ResourceGovernor &Gov =
+      Opts.Governor ? *Opts.Governor : ResourceGovernor::ungoverned();
+
   // SSA first for every function — the call graph and rewriting do not
   // change CFG shape, and rewriting emits SSA-compatible fresh variables.
   for (ir::Function *F : M.functions()) {
@@ -22,36 +39,96 @@ AnalyzedModule::AnalyzedModule(ir::Module &M, smt::ExprContext &Ctx,
 
   CG = std::make_unique<ir::CallGraph>(M);
 
+  bool RunExhaustedNoted = false;
   std::map<const ir::Function *, transform::FunctionInterface> Interfaces;
   for (ir::Function *F : CG->bottomUpOrder()) {
     AnalyzedFunction Info;
     Info.F = F;
 
-    // Mirror the already-transformed callees' connectors at call sites, so
-    // side effects compose transitively up the call chain.
-    transform::rewriteCallSites(*F, *CG, Interfaces);
+    // Budget gates: oversized functions and post-deadline stragglers get
+    // the conservative fallback instead of the full per-function pipeline.
+    bool SkipFull = false;
+    size_t NumStmts = countStmts(*F);
+    if (Gov.budget().MaxFunctionStmts > 0 &&
+        NumStmts > Gov.budget().MaxFunctionStmts) {
+      Gov.note(DegradationKind::FunctionOversized, "pipeline",
+               F->name() + ": " + std::to_string(NumStmts) + " stmts > cap " +
+                   std::to_string(Gov.budget().MaxFunctionStmts));
+      SkipFull = true;
+    } else if (Gov.runExpired()) {
+      if (!RunExhaustedNoted) {
+        Gov.note(DegradationKind::RunBudgetExhausted, "pipeline",
+                 "wall clock expired at " + F->name() +
+                     "; remaining functions degraded");
+        RunExhaustedNoted = true;
+      }
+      SkipFull = true;
+    }
 
-    Info.Conds = std::make_unique<ir::ConditionMap>(*F, Syms);
+    if (!SkipFull) {
+      try {
+        if (Gov.faults().injectPipelineThrow(F->name())) {
+          Gov.note(DegradationKind::InjectedFault, "pipeline", F->name());
+          throw std::runtime_error("injected pipeline fault");
+        }
 
-    // Pass 1: discover this function's own side effects.
-    pta::PTAConfig Cfg1;
-    Cfg1.UseLinearFilter = Opts.UseLinearFilter;
-    pta::PointsToResult Pass1 = pta::runPointsTo(*F, Syms, *Info.Conds, Cfg1);
+        // Mirror the already-transformed callees' connectors at call sites,
+        // so side effects compose transitively up the call chain.
+        transform::rewriteCallSites(*F, *CG, Interfaces);
 
-    // Materialise the connector interface (Fig. 3(a)).
-    Info.Interface = transform::applyInterfaceTransform(*F, Pass1);
+        Info.Conds = std::make_unique<ir::ConditionMap>(*F, Syms);
+
+        // Pass 1: discover this function's own side effects.
+        pta::PTAConfig Cfg1;
+        Cfg1.UseLinearFilter = Opts.UseLinearFilter;
+        Cfg1.MaxSteps = Gov.budget().MaxPTASteps;
+        pta::PointsToResult Pass1 =
+            pta::runPointsTo(*F, Syms, *Info.Conds, Cfg1);
+
+        // Materialise the connector interface (Fig. 3(a)).
+        Info.Interface = transform::applyInterfaceTransform(*F, Pass1);
+        Interfaces[F] = Info.Interface;
+
+        // Pass 2: final points-to with the Aux bindings in place.
+        pta::PTAConfig Cfg2;
+        Cfg2.UseLinearFilter = Opts.UseLinearFilter;
+        Cfg2.MaxSteps = Gov.budget().MaxPTASteps;
+        Cfg2.AuxParams = Info.Interface.auxBindings();
+        Info.PTA = pta::runPointsTo(*F, Syms, *Info.Conds, Cfg2);
+
+        if (Pass1.truncated() || Info.PTA.truncated())
+          Gov.note(DegradationKind::PTATruncated, "pipeline", F->name());
+
+        Info.Seg = std::make_unique<seg::SEG>(*F, Syms, *Info.Conds, Info.PTA);
+        Counters::get().add("seg.edges",
+                            static_cast<int64_t>(Info.Seg->numEdges()));
+
+        Fns.emplace(F, std::move(Info));
+        continue;
+      } catch (const std::exception &Ex) {
+        Gov.note(DegradationKind::FunctionFailed, "pipeline",
+                 F->name() + ": " + Ex.what());
+        Info = AnalyzedFunction();
+        Info.F = F;
+      }
+    }
+
+    // Conservative fallback: no connectors (callers see no side effects),
+    // empty points-to (SEG keeps only direct def-use flow). Best effort —
+    // a degraded function can still surface its local value-flow bugs.
+    Info.Degraded = true;
+    try {
+      Info.Conds = std::make_unique<ir::ConditionMap>(*F, Syms);
+      Info.Interface = transform::FunctionInterface();
+      Info.PTA = pta::PointsToResult();
+      Info.Seg = std::make_unique<seg::SEG>(*F, Syms, *Info.Conds, Info.PTA);
+    } catch (const std::exception &Ex) {
+      Gov.note(DegradationKind::FunctionSkipped, "pipeline",
+               F->name() + ": fallback failed: " + Ex.what());
+      Info.Conds = nullptr;
+      Info.Seg = nullptr;
+    }
     Interfaces[F] = Info.Interface;
-
-    // Pass 2: final points-to with the Aux bindings in place.
-    pta::PTAConfig Cfg2;
-    Cfg2.UseLinearFilter = Opts.UseLinearFilter;
-    Cfg2.AuxParams = Info.Interface.auxBindings();
-    Info.PTA = pta::runPointsTo(*F, Syms, *Info.Conds, Cfg2);
-
-    Info.Seg = std::make_unique<seg::SEG>(*F, Syms, *Info.Conds, Info.PTA);
-    Counters::get().add("seg.edges",
-                        static_cast<int64_t>(Info.Seg->numEdges()));
-
     Fns.emplace(F, std::move(Info));
   }
 }
@@ -59,14 +136,16 @@ AnalyzedModule::AnalyzedModule(ir::Module &M, smt::ExprContext &Ctx,
 size_t AnalyzedModule::totalSEGEdges() const {
   size_t N = 0;
   for (auto &[F, Info] : Fns)
-    N += Info.Seg->numEdges();
+    if (Info.Seg)
+      N += Info.Seg->numEdges();
   return N;
 }
 
 size_t AnalyzedModule::totalSEGVertices() const {
   size_t N = 0;
   for (auto &[F, Info] : Fns)
-    N += Info.Seg->numVertices();
+    if (Info.Seg)
+      N += Info.Seg->numVertices();
   return N;
 }
 

@@ -29,6 +29,10 @@
 #include <map>
 #include <memory>
 
+namespace pinpoint {
+class ResourceGovernor;
+}
+
 namespace pinpoint::svfa {
 
 /// Everything the pipeline derives for one function.
@@ -38,11 +42,19 @@ struct AnalyzedFunction {
   pta::PointsToResult PTA; ///< Final (post-transform) points-to results.
   transform::FunctionInterface Interface;
   std::unique_ptr<seg::SEG> Seg;
+  /// The full per-function pipeline was not run (oversized function, budget
+  /// exhaustion, or an isolated failure): the connector interface is empty
+  /// — callers see no side effects — and points-to is empty, so the SEG
+  /// carries only direct def-use flow. Seg is null only if even the
+  /// conservative fallback failed; consumers must skip such functions.
+  bool Degraded = false;
 };
 
 struct PipelineOptions {
   /// Quasi path sensitivity in the local points-to stages (ablation knob).
   bool UseLinearFilter = true;
+  /// Budgets, degradation log and fault injection; nullptr = ungoverned.
+  ResourceGovernor *Governor = nullptr;
 };
 
 /// Owns the analysed state of a whole module.

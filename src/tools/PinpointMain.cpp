@@ -17,25 +17,50 @@
 ///     --dump-ir         print the transformed IR
 ///     --stats           print pipeline and solver statistics
 ///
+///   Resource governance (see support/ResourceGovernor.h):
+///     --time-budget-ms=N      whole-run wall clock; past it, remaining
+///                             work degrades instead of running
+///     --fn-budget-ms=N        per-function wall clock in the global stage
+///     --solver-timeout-ms=N   per-query SMT timeout (default 10000)
+///     --max-closure-steps=N   step budget per value-closure walk
+///     --max-pta-steps=N       step budget per local points-to pass
+///     --max-fn-stmts=N        skip (degrade) functions larger than N stmts
+///     --fault-inject=SPEC     deterministic fault injection
+///     --degradation-log       print every degradation event
+///
+/// The tool always terminates with best-effort reports: budget hits, solver
+/// Unknowns and per-function/per-checker failures degrade gracefully and
+/// are surfaced in the [governor] stats line.
+///
+/// Exit status: 0 = analysis completed (reports, possibly degraded);
+/// 2 = usage or input error.
+///
 //===----------------------------------------------------------------------===//
 
 #include "checkers/Checker.h"
 #include "checkers/SpecialCheckers.h"
 #include "frontend/Parser.h"
+#include "support/ResourceGovernor.h"
 #include "support/Statistics.h"
 #include "support/Timer.h"
 #include "svfa/GlobalSVFA.h"
 
+#include <cerrno>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <sstream>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
 using namespace pinpoint;
 
 namespace {
+
+const char *const KnownCheckers[] = {"uaf",        "df",   "taint-path",
+                                     "taint-data", "null-deref", "leak"};
 
 struct Options {
   std::vector<std::string> Files;
@@ -45,6 +70,14 @@ struct Options {
   bool LinearFilter = true;
   bool DumpIR = false;
   bool Stats = false;
+  bool DegradationLog = false;
+  long long TimeBudgetMs = -1;
+  long long FnBudgetMs = -1;
+  long long SolverTimeoutMs = 10000;
+  long long MaxClosureSteps = 0;
+  long long MaxPTASteps = 0;
+  long long MaxFnStmts = 0;
+  std::string FaultSpec;
 };
 
 void usage() {
@@ -56,10 +89,55 @@ void usage() {
       "  --no-path-sensitivity    report all candidates (no SMT stage)\n"
       "  --no-linear-filter       disable the linear-time pre-filter\n"
       "  --dump-ir                print the transformed IR\n"
-      "  --stats                  print statistics");
+      "  --stats                  print statistics\n"
+      "resource governance:\n"
+      "  --time-budget-ms=N       whole-run wall clock budget\n"
+      "  --fn-budget-ms=N         per-function wall clock budget\n"
+      "  --solver-timeout-ms=N    per-query SMT timeout (default 10000)\n"
+      "  --max-closure-steps=N    step budget per value-closure walk\n"
+      "  --max-pta-steps=N        step budget per points-to pass\n"
+      "  --max-fn-stmts=N         degrade functions larger than N stmts\n"
+      "  --fault-inject=SPEC      e.g. seed=7,solver-unknown=50,throw-fn=f\n"
+      "  --degradation-log        print every degradation event");
+}
+
+/// Strict non-negative integer parse of the value part of --opt=N.
+/// Garbage, empty, negative and overflowing values are all rejected.
+bool parseCount(const std::string &Arg, size_t PrefixLen, long long &Out) {
+  const std::string Val = Arg.substr(PrefixLen);
+  if (Val.empty() || Val[0] == '-' || Val[0] == '+')
+    return false;
+  errno = 0;
+  char *End = nullptr;
+  long long V = std::strtoll(Val.c_str(), &End, 10);
+  if (errno != 0 || End != Val.c_str() + Val.size())
+    return false;
+  Out = V;
+  return true;
+}
+
+bool knownChecker(const std::string &Name) {
+  for (const char *K : KnownCheckers)
+    if (Name == K)
+      return true;
+  return false;
 }
 
 bool parseArgs(int Argc, char **Argv, Options &O) {
+  // Numeric --opt=N flags that share the strict-parse-and-error path.
+  struct CountFlag {
+    const char *Prefix;
+    long long *Slot;
+  } CountFlags[] = {
+      {"--max-depth=", nullptr}, // Handled below (int slot).
+      {"--time-budget-ms=", &O.TimeBudgetMs},
+      {"--fn-budget-ms=", &O.FnBudgetMs},
+      {"--solver-timeout-ms=", &O.SolverTimeoutMs},
+      {"--max-closure-steps=", &O.MaxClosureSteps},
+      {"--max-pta-steps=", &O.MaxPTASteps},
+      {"--max-fn-stmts=", &O.MaxFnStmts},
+  };
+
   for (int I = 1; I < Argc; ++I) {
     std::string A = Argv[I];
     if (A.rfind("--checker=", 0) == 0) {
@@ -68,8 +146,30 @@ bool parseArgs(int Argc, char **Argv, Options &O) {
       std::string Item;
       while (std::getline(SS, Item, ','))
         O.Checkers.push_back(Item);
+      if (O.Checkers.empty()) {
+        std::fprintf(stderr, "error: --checker= needs at least one name\n");
+        return false;
+      }
+      for (const std::string &Name : O.Checkers)
+        if (!knownChecker(Name)) {
+          std::fprintf(stderr,
+                       "error: unknown checker '%s' (expected one of: uaf, "
+                       "df, taint-path, taint-data, null-deref, leak)\n",
+                       Name.c_str());
+          return false;
+        }
     } else if (A.rfind("--max-depth=", 0) == 0) {
-      O.MaxDepth = std::atoi(A.c_str() + 12);
+      long long V = 0;
+      if (!parseCount(A, std::strlen("--max-depth="), V) || V > 64) {
+        std::fprintf(stderr,
+                     "error: invalid --max-depth value '%s' (expected an "
+                     "integer in [0, 64])\n",
+                     A.c_str() + std::strlen("--max-depth="));
+        return false;
+      }
+      O.MaxDepth = static_cast<int>(V);
+    } else if (A.rfind("--fault-inject=", 0) == 0) {
+      O.FaultSpec = A.substr(std::strlen("--fault-inject="));
     } else if (A == "--no-path-sensitivity") {
       O.PathSensitive = false;
     } else if (A == "--no-linear-filter") {
@@ -78,17 +178,39 @@ bool parseArgs(int Argc, char **Argv, Options &O) {
       O.DumpIR = true;
     } else if (A == "--stats") {
       O.Stats = true;
+    } else if (A == "--degradation-log") {
+      O.DegradationLog = true;
     } else if (A == "--help" || A == "-h") {
       usage();
       std::exit(0);
     } else if (!A.empty() && A[0] == '-') {
-      std::fprintf(stderr, "unknown option: %s\n", A.c_str());
-      return false;
+      bool Matched = false;
+      for (const CountFlag &CF : CountFlags) {
+        if (!CF.Slot || A.rfind(CF.Prefix, 0) != 0)
+          continue;
+        if (!parseCount(A, std::strlen(CF.Prefix), *CF.Slot)) {
+          std::fprintf(stderr,
+                       "error: invalid value in '%s' (expected a "
+                       "non-negative integer)\n",
+                       A.c_str());
+          return false;
+        }
+        Matched = true;
+        break;
+      }
+      if (!Matched) {
+        std::fprintf(stderr, "unknown option: %s\n", A.c_str());
+        return false;
+      }
     } else {
       O.Files.push_back(A);
     }
   }
-  return !O.Files.empty();
+  if (O.Files.empty()) {
+    std::fprintf(stderr, "error: no input files\n");
+    return false;
+  }
+  return true;
 }
 
 bool specFor(const std::string &Name, checkers::CheckerSpec &Out) {
@@ -138,10 +260,29 @@ int main(int Argc, char **Argv) {
     return 2;
   }
 
+  // Assemble the resource governor: budgets + fault injection.
+  Budget Bud;
+  Bud.RunWallMs = O.TimeBudgetMs;
+  Bud.FunctionWallMs = O.FnBudgetMs;
+  Bud.SolverTimeoutMs = static_cast<int>(O.SolverTimeoutMs);
+  Bud.MaxClosureSteps = static_cast<uint64_t>(O.MaxClosureSteps);
+  Bud.MaxPTASteps = static_cast<uint64_t>(O.MaxPTASteps);
+  Bud.MaxFunctionStmts = static_cast<size_t>(O.MaxFnStmts);
+  FaultInjector FI;
+  if (!O.FaultSpec.empty()) {
+    std::string Err;
+    if (!FI.parse(O.FaultSpec, Err)) {
+      std::fprintf(stderr, "error: --fault-inject: %s\n", Err.c_str());
+      return 2;
+    }
+  }
+  ResourceGovernor Gov(Bud, std::move(FI));
+
   Timer Total;
   smt::ExprContext Ctx;
   svfa::PipelineOptions PO;
   PO.UseLinearFilter = O.LinearFilter;
+  PO.Governor = &Gov;
   svfa::AnalyzedModule AM(M, Ctx, PO);
   double PipelineSec = Total.seconds();
 
@@ -152,43 +293,63 @@ int main(int Argc, char **Argv) {
   GO.MaxContextDepth = O.MaxDepth;
   GO.PathSensitive = O.PathSensitive;
   GO.UseLinearFilter = O.LinearFilter;
+  GO.Governor = &Gov;
 
   int TotalReports = 0;
   for (const std::string &Name : O.Checkers) {
     std::vector<svfa::Report> Reports;
     svfa::GlobalSVFA::Stats EngineStats;
     smt::StagedSolver::Stats SolverStats;
-    if (Name == "leak") {
-      Reports = checkers::checkMemoryLeaks(AM);
-    } else {
-      checkers::CheckerSpec Spec;
-      if (!specFor(Name, Spec)) {
-        std::fprintf(stderr, "unknown checker: %s\n", Name.c_str());
-        return 2;
+    // Checker-level fault isolation: one failing checker must not take
+    // down the run — log, warn, move on to the next checker.
+    try {
+      if (Gov.faults().injectCheckerThrow(Name)) {
+        Gov.note(DegradationKind::InjectedFault, "checker:" + Name, Name);
+        throw std::runtime_error("injected checker fault");
       }
-      svfa::GlobalSVFA Engine(AM, Spec, GO);
-      Reports = Engine.run();
-      EngineStats = Engine.stats();
-      SolverStats = Engine.solverStats();
+      if (Name == "leak") {
+        Reports = checkers::checkMemoryLeaks(AM);
+      } else {
+        checkers::CheckerSpec Spec;
+        if (!specFor(Name, Spec)) {
+          std::fprintf(stderr, "unknown checker: %s\n", Name.c_str());
+          return 2;
+        }
+        svfa::GlobalSVFA Engine(AM, Spec, GO);
+        Reports = Engine.run();
+        EngineStats = Engine.stats();
+        SolverStats = Engine.solverStats();
+      }
+    } catch (const std::exception &Ex) {
+      Gov.note(DegradationKind::CheckerFailed, "checker:" + Name, Ex.what());
+      std::fprintf(stderr, "warning: checker %s failed (%s); continuing\n",
+                   Name.c_str(), Ex.what());
+      continue;
     }
 
     for (const auto &R : Reports) {
       ++TotalReports;
-      std::printf("%s: source %s:%s -> sink %s:%s\n", R.Checker.c_str(),
+      std::printf("%s: source %s:%s -> sink %s:%s%s\n", R.Checker.c_str(),
                   R.SourceFn.c_str(), R.Source.str().c_str(),
-                  R.SinkFn.c_str(), R.Sink.str().c_str());
+                  R.SinkFn.c_str(), R.Sink.str().c_str(),
+                  R.Verdict == smt::SatResult::Unknown
+                      ? " [verdict=unknown]"
+                      : "");
       for (const auto &Step : R.Path)
         std::printf("    via %s\n", Step.c_str());
     }
     if (O.Stats && Name != "leak") {
       std::printf("[%s] events=%llu candidates=%llu sat=%llu unsat=%llu "
-                  "linear-pruned=%llu smt-queries=%llu\n",
+                  "unknown=%llu linear-pruned=%llu smt-queries=%llu "
+                  "isolated-failures=%llu\n",
                   Name.c_str(), (unsigned long long)EngineStats.Events,
                   (unsigned long long)EngineStats.Candidates,
                   (unsigned long long)EngineStats.SolverSat,
                   (unsigned long long)EngineStats.SolverUnsat,
+                  (unsigned long long)EngineStats.SolverUnknown,
                   (unsigned long long)EngineStats.LinearPruned,
-                  (unsigned long long)SolverStats.BackendQueries);
+                  (unsigned long long)SolverStats.BackendQueries,
+                  (unsigned long long)EngineStats.IsolatedFailures);
     }
   }
 
@@ -197,8 +358,13 @@ int main(int Argc, char **Argv) {
                 "%.3fs total, %.1f MB peak\n",
                 M.functions().size(), AM.totalSEGEdges(), PipelineSec,
                 Total.seconds(), MemStats::get().peakBytes() / 1e6);
+    std::printf("[governor] %s\n", Gov.log().summary().c_str());
   }
+  if (O.DegradationLog)
+    for (const DegradationEvent &E : Gov.log().events())
+      std::printf("[degradation] %s %s: %s\n", toString(E.Kind),
+                  E.Stage.c_str(), E.Detail.c_str());
 
   std::printf("%d report(s)\n", TotalReports);
-  return TotalReports > 0 ? 1 : 0;
+  return 0;
 }

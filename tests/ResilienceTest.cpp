@@ -1,0 +1,280 @@
+//===- tests/ResilienceTest.cpp - Degradation & fault-injection tests ------===//
+//
+// Part of the Pinpoint reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Exercises the ResourceGovernor degradation paths end-to-end: solver
+/// Unknown verdicts are kept (tagged) rather than dropped, budget
+/// exhaustion truncates with logged events instead of hanging, and an
+/// exception in one function's analysis is isolated without losing the
+/// reports of every other function.
+///
+//===----------------------------------------------------------------------===//
+
+#include "frontend/Parser.h"
+#include "support/FaultInjector.h"
+#include "support/ResourceGovernor.h"
+#include "svfa/GlobalSVFA.h"
+
+#include <gtest/gtest.h>
+
+using namespace pinpoint::ir;
+
+namespace pinpoint::svfa {
+namespace {
+
+/// Two independent use-after-free bugs in two unrelated functions.
+constexpr const char *TwoBugSrc = R"(
+  int f1(int *p) {
+    free(p);
+    return *p;
+  }
+  int f2(int *q) {
+    free(q);
+    return *q;
+  })";
+
+/// A branch-guarded bug: the path condition is satisfiable but not
+/// trivially true, so the staged solver must consult the backend.
+constexpr const char *GuardedBugSrc = R"(
+  int f(int *p, int c) {
+    if (c > 0) {
+      free(p);
+    }
+    return *p;
+  })";
+
+class ResilienceTest : public ::testing::Test {
+protected:
+  void parse(std::string_view Src) {
+    M = std::make_unique<Module>();
+    std::vector<frontend::Diag> Diags;
+    bool OK = frontend::parseModule(Src, *M, Diags);
+    for (auto &D : Diags)
+      ADD_FAILURE() << D.str();
+    ASSERT_TRUE(OK);
+    Ctx = std::make_unique<smt::ExprContext>();
+  }
+
+  /// Runs the UAF checker under \p Gov and stores the engine stats.
+  std::vector<Report> runUAF(ResourceGovernor &Gov) {
+    PipelineOptions PO;
+    PO.Governor = &Gov;
+    AnalyzedModule AM(*M, *Ctx, PO);
+    GlobalOptions GO;
+    GO.Governor = &Gov;
+    GlobalSVFA Engine(AM, checkers::useAfterFreeChecker(), GO);
+    auto Reports = Engine.run();
+    EngineStats = Engine.stats();
+    return Reports;
+  }
+
+  std::unique_ptr<Module> M;
+  std::unique_ptr<smt::ExprContext> Ctx;
+  GlobalSVFA::Stats EngineStats;
+};
+
+//===----------------------------------------------------------------------===
+// (a) Solver Unknown yields a tagged report, not a drop
+//===----------------------------------------------------------------------===
+
+TEST_F(ResilienceTest, UnknownVerdictKeepsTaggedReport) {
+  parse(GuardedBugSrc);
+  FaultInjector FI;
+  std::string Err;
+  ASSERT_TRUE(FI.parse("seed=7,solver-unknown=100", Err)) << Err;
+  ResourceGovernor Gov({}, std::move(FI));
+
+  auto Reports = runUAF(Gov);
+  ASSERT_EQ(Reports.size(), 1u);
+  EXPECT_EQ(Reports[0].Verdict, smt::SatResult::Unknown);
+  EXPECT_EQ(EngineStats.SolverUnknown, 1u);
+  EXPECT_EQ(EngineStats.SolverSat, 0u);
+  EXPECT_GT(Gov.log().count(DegradationKind::InjectedFault), 0u);
+}
+
+TEST_F(ResilienceTest, SatVerdictWithoutInjection) {
+  parse(GuardedBugSrc);
+  ResourceGovernor Gov;
+  auto Reports = runUAF(Gov);
+  ASSERT_EQ(Reports.size(), 1u);
+  EXPECT_EQ(Reports[0].Verdict, smt::SatResult::Sat);
+  EXPECT_EQ(EngineStats.SolverUnknown, 0u);
+}
+
+TEST_F(ResilienceTest, MiniSolverStepBudgetReturnsUnknown) {
+  smt::ExprContext C;
+  // (a || b) && (!a || c): satisfiable, but any budget of 1 DPLL step
+  // cannot decide it.
+  const smt::Expr *A = C.freshBoolVar("a"), *B = C.freshBoolVar("b"),
+                  *D = C.freshBoolVar("c");
+  const smt::Expr *E = C.mkAnd(C.mkOr(A, B), C.mkOr(C.mkNot(A), D));
+  auto Tight = smt::createMiniSolver(C, {.MaxSteps = 1});
+  EXPECT_EQ(Tight->checkSat(E), smt::SatResult::Unknown);
+  auto Roomy = smt::createMiniSolver(C, {.MaxSteps = 100000});
+  EXPECT_EQ(Roomy->checkSat(E), smt::SatResult::Sat);
+}
+
+//===----------------------------------------------------------------------===
+// (b) Budget exhaustion terminates with a logged event
+//===----------------------------------------------------------------------===
+
+TEST_F(ResilienceTest, ClosureStepBudgetTruncatesWithEvent) {
+  parse(TwoBugSrc);
+  Budget B;
+  B.MaxClosureSteps = 1;
+  ResourceGovernor Gov(B);
+  auto Reports = runUAF(Gov); // Must terminate; reports are best-effort.
+  EXPECT_GT(Gov.log().count(DegradationKind::ClosureTruncated), 0u);
+  for (const DegradationEvent &E : Gov.log().events()) {
+    if (E.Kind == DegradationKind::ClosureTruncated) {
+      EXPECT_EQ(E.Stage, "closure");
+    }
+  }
+}
+
+TEST_F(ResilienceTest, InjectedClosureOverrideForcesTruncation) {
+  parse(TwoBugSrc);
+  FaultInjector FI;
+  std::string Err;
+  ASSERT_TRUE(FI.parse("closure-steps=1", Err)) << Err;
+  ResourceGovernor Gov({}, std::move(FI));
+  runUAF(Gov);
+  EXPECT_GT(Gov.log().count(DegradationKind::ClosureTruncated), 0u);
+}
+
+TEST_F(ResilienceTest, ExhaustedRunBudgetSkipsEverythingGracefully) {
+  parse(TwoBugSrc);
+  Budget B;
+  B.RunWallMs = 0; // Already expired when the engines start.
+  ResourceGovernor Gov(B);
+  auto Reports = runUAF(Gov);
+  EXPECT_TRUE(Reports.empty());
+  EXPECT_GT(Gov.log().count(DegradationKind::RunBudgetExhausted), 0u);
+}
+
+TEST_F(ResilienceTest, PTAStepBudgetMarksTruncation) {
+  parse(TwoBugSrc);
+  Budget B;
+  B.MaxPTASteps = 1;
+  ResourceGovernor Gov(B);
+  runUAF(Gov);
+  EXPECT_GT(Gov.log().count(DegradationKind::PTATruncated), 0u);
+}
+
+TEST_F(ResilienceTest, OversizedFunctionsDegradeButStillReportLocalBugs) {
+  parse(TwoBugSrc);
+  Budget B;
+  B.MaxFunctionStmts = 1; // Every function is "oversized".
+  ResourceGovernor Gov(B);
+  auto Reports = runUAF(Gov);
+  EXPECT_GT(Gov.log().count(DegradationKind::FunctionOversized), 0u);
+  // The conservative fallback still carries direct def-use flow, so these
+  // purely local free-then-deref bugs survive degradation.
+  EXPECT_EQ(Reports.size(), 2u);
+}
+
+//===----------------------------------------------------------------------===
+// (c) One function's failure does not lose the others' reports
+//===----------------------------------------------------------------------===
+
+TEST_F(ResilienceTest, InjectedFunctionThrowIsIsolated) {
+  parse(TwoBugSrc);
+  ResourceGovernor Baseline;
+  ASSERT_EQ(runUAF(Baseline).size(), 2u);
+
+  parse(TwoBugSrc);
+  FaultInjector FI;
+  std::string Err;
+  ASSERT_TRUE(FI.parse("throw-fn=f1", Err)) << Err;
+  ResourceGovernor Gov({}, std::move(FI));
+  auto Reports = runUAF(Gov);
+  ASSERT_EQ(Reports.size(), 1u);
+  EXPECT_EQ(Reports[0].SourceFn, "f2");
+  EXPECT_EQ(EngineStats.IsolatedFailures, 1u);
+  EXPECT_EQ(Gov.log().count(DegradationKind::FunctionFailed), 1u);
+}
+
+TEST_F(ResilienceTest, PipelineFaultIsolatedToOneFunction) {
+  parse(TwoBugSrc);
+  FaultInjector FI;
+  std::string Err;
+  ASSERT_TRUE(FI.parse("pipeline-throw-fn=f1", Err)) << Err;
+  ResourceGovernor Gov({}, std::move(FI));
+  auto Reports = runUAF(Gov);
+  EXPECT_EQ(Gov.log().count(DegradationKind::FunctionFailed), 1u);
+  // f2 is untouched; f1 falls back to the degraded build (which may or may
+  // not still find its local bug, but must not crash or mask f2).
+  bool SawF2 = false;
+  for (const Report &R : Reports)
+    SawF2 |= R.SourceFn == "f2";
+  EXPECT_TRUE(SawF2);
+}
+
+//===----------------------------------------------------------------------===
+// FaultInjector spec parsing
+//===----------------------------------------------------------------------===
+
+TEST(FaultInjectorTest, ParsesFullSpec) {
+  FaultInjector FI;
+  std::string Err;
+  EXPECT_TRUE(FI.parse(
+      "seed=42,solver-unknown=50,throw-fn=a,pipeline-throw-fn=b,"
+      "throw-checker=uaf,closure-steps=10",
+      Err))
+      << Err;
+  EXPECT_TRUE(FI.enabled());
+  EXPECT_TRUE(FI.injectFunctionThrow("a"));
+  EXPECT_FALSE(FI.injectFunctionThrow("b"));
+  EXPECT_TRUE(FI.injectPipelineThrow("b"));
+  EXPECT_TRUE(FI.injectCheckerThrow("uaf"));
+  EXPECT_EQ(FI.closureStepOverride(), 10u);
+}
+
+TEST(FaultInjectorTest, RejectsMalformedSpecs) {
+  FaultInjector FI;
+  std::string Err;
+  EXPECT_FALSE(FI.parse("bogus-key=1", Err));
+  EXPECT_FALSE(FI.parse("solver-unknown=150", Err));
+  EXPECT_FALSE(FI.parse("solver-unknown=abc", Err));
+  EXPECT_FALSE(FI.parse("seed", Err));
+  EXPECT_FALSE(FI.parse("closure-steps=0", Err));
+  EXPECT_FALSE(FI.enabled());
+}
+
+TEST(FaultInjectorTest, SolverUnknownIsDeterministicPerSeed) {
+  std::string Err;
+  auto Draw = [&](uint64_t) {
+    FaultInjector FI;
+    EXPECT_TRUE(FI.parse("seed=9,solver-unknown=50", Err));
+    std::vector<bool> Out;
+    for (int I = 0; I < 64; ++I)
+      Out.push_back(FI.injectSolverUnknown());
+    return Out;
+  };
+  EXPECT_EQ(Draw(9), Draw(9));
+}
+
+//===----------------------------------------------------------------------===
+// DegradationLog bookkeeping
+//===----------------------------------------------------------------------===
+
+TEST(DegradationLogTest, CountsAndSummarizes) {
+  DegradationLog Log;
+  Log.note(DegradationKind::SolverUnknown, "smt", "q1");
+  Log.note(DegradationKind::SolverUnknown, "smt", "q2");
+  Log.note(DegradationKind::CheckerFailed, "checker:uaf", "boom");
+  EXPECT_EQ(Log.count(DegradationKind::SolverUnknown), 2u);
+  EXPECT_EQ(Log.count(DegradationKind::CheckerFailed), 1u);
+  EXPECT_EQ(Log.total(), 3u);
+  EXPECT_EQ(Log.events().size(), 3u);
+  std::string S = Log.summary();
+  EXPECT_NE(S.find("degradations=3"), std::string::npos);
+  EXPECT_NE(S.find("solver-unknown=2"), std::string::npos);
+  EXPECT_NE(S.find("checker-failed=1"), std::string::npos);
+}
+
+} // namespace
+} // namespace pinpoint::svfa
