@@ -6,6 +6,8 @@
 
 #include "ir/CallGraph.h"
 
+#include <algorithm>
+
 namespace pinpoint::ir {
 
 CallGraph::CallGraph(Module &M) {
@@ -29,6 +31,29 @@ CallGraph::CallGraph(Module &M) {
   for (Function *F : M.functions())
     if (!Index.count(F))
       tarjan(F);
+
+  buildCondensation();
+}
+
+void CallGraph::buildCondensation() {
+  SCCs.resize(NumSCCs);
+  // BottomUp lists each SCC's members consecutively in pop order; keep
+  // that order so a per-SCC task replays the serial schedule exactly.
+  for (Function *F : BottomUp)
+    SCCs[SCCIndex[F]].Members.push_back(F);
+  for (Function *F : BottomUp) {
+    size_t Id = SCCIndex[F];
+    for (Function *C : Callees[F]) {
+      size_t CalleeId = SCCIndex[C];
+      if (CalleeId != Id)
+        SCCs[Id].CalleeSCCs.push_back(CalleeId);
+    }
+  }
+  for (SCCNode &N : SCCs) {
+    std::sort(N.CalleeSCCs.begin(), N.CalleeSCCs.end());
+    N.CalleeSCCs.erase(std::unique(N.CalleeSCCs.begin(), N.CalleeSCCs.end()),
+                       N.CalleeSCCs.end());
+  }
 }
 
 void CallGraph::tarjan(Function *F) {

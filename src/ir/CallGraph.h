@@ -47,12 +47,30 @@ public:
 
   size_t numSCCs() const { return NumSCCs; }
 
+  /// One node of the call-graph condensation (the DAG the parallel
+  /// scheduler walks). SCC ids are Tarjan completion order, which is
+  /// topological: every cross-SCC callee has a smaller id than its caller,
+  /// so iterating SCCs by id with `Members` in order replays exactly
+  /// `bottomUpOrder()`.
+  struct SCCNode {
+    std::vector<Function *> Members; ///< In bottom-up (stack pop) order.
+    std::vector<size_t> CalleeSCCs;  ///< Distinct cross-SCC callee ids, sorted.
+  };
+
+  /// The condensation, indexed by SCC id.
+  const std::vector<SCCNode> &sccs() const { return SCCs; }
+  size_t sccOf(const Function *F) const {
+    return SCCIndex.at(const_cast<Function *>(F));
+  }
+
 private:
   void tarjan(Function *F);
+  void buildCondensation();
 
   std::map<Function *, std::set<Function *>> Callees, Callers;
   std::vector<Function *> BottomUp;
   std::map<Function *, size_t> SCCIndex;
+  std::vector<SCCNode> SCCs;
   size_t NumSCCs = 0;
 
   // Tarjan state.

@@ -12,6 +12,9 @@ const smt::Expr *SymbolMap::operator[](const Value *V) {
   if (const auto *C = dyn_cast<Constant>(V))
     return Ctx.getInt(C->value());
   const auto *Var = cast<Variable>(V);
+  // Held across creation so two tasks racing on the same IR variable
+  // cannot mint two distinct symbolic variables for it.
+  std::lock_guard<std::mutex> L(Mu);
   auto It = Map.find(Var);
   if (It != Map.end())
     return It->second;

@@ -31,12 +31,16 @@
 #include "ir/IR.h"
 #include "smt/Expr.h"
 
+#include <mutex>
 #include <unordered_map>
 #include <vector>
 
 namespace pinpoint::ir {
 
 /// Maps IR variables to symbolic variables, creating them on demand.
+/// Thread-safe: one SymbolMap spans the whole module and is hit by
+/// concurrent pipeline/query tasks under `--jobs N`, so the memo tables
+/// are mutex-guarded (the returned Expr nodes are immutable).
 class SymbolMap {
 public:
   explicit SymbolMap(smt::ExprContext &Ctx) : Ctx(Ctx) {}
@@ -46,6 +50,7 @@ public:
 
   /// The IR variable a symbolic variable id came from, or null.
   const Variable *irVar(uint32_t SymVarId) const {
+    std::lock_guard<std::mutex> L(Mu);
     auto It = Reverse.find(SymVarId);
     return It == Reverse.end() ? nullptr : It->second;
   }
@@ -54,6 +59,7 @@ public:
 
 private:
   smt::ExprContext &Ctx;
+  mutable std::mutex Mu; ///< Guards Map and Reverse.
   std::unordered_map<const Variable *, const smt::Expr *> Map;
   std::unordered_map<uint32_t, const Variable *> Reverse;
 };

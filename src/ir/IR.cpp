@@ -349,44 +349,49 @@ std::string Function::str() const {
 //===----------------------------------------------------------------------===
 
 Function *Module::createFunction(const std::string &Name, Type RetTy) {
+  std::lock_guard<std::mutex> L(Mu);
   assert(!FunctionMap.count(Name) && "duplicate function");
-  Function *F = make<Function>(Function(Name, RetTy, this));
+  Function *F = makeLocked<Function>(Function(Name, RetTy, this));
   Functions.push_back(F);
   FunctionMap[Name] = F;
   return F;
 }
 
 Function *Module::function(const std::string &Name) const {
+  std::lock_guard<std::mutex> L(Mu);
   auto It = FunctionMap.find(Name);
   return It == FunctionMap.end() ? nullptr : It->second;
 }
 
 Constant *Module::getIntConst(int64_t V) {
+  std::lock_guard<std::mutex> L(Mu);
   auto It = IntConsts.find(V);
   if (It != IntConsts.end())
     return It->second;
-  Constant *C = make<Constant>(Constant(Type::intTy(), V));
+  Constant *C = makeLocked<Constant>(Constant(Type::intTy(), V));
   IntConsts[V] = C;
   return C;
 }
 
 Constant *Module::getBoolConst(bool B) {
   // Bool constants are interned alongside ints with shifted keys.
+  std::lock_guard<std::mutex> L(Mu);
   int64_t Key = B ? -1000001 : -1000002;
   auto It = IntConsts.find(Key);
   if (It != IntConsts.end())
     return It->second;
-  Constant *C = make<Constant>(Constant(Type::boolTy(), B ? 1 : 0));
+  Constant *C = makeLocked<Constant>(Constant(Type::boolTy(), B ? 1 : 0));
   IntConsts[Key] = C;
   return C;
 }
 
 Constant *Module::getNullConst(Type PtrTy) {
   assert(PtrTy.isPointer());
+  std::lock_guard<std::mutex> L(Mu);
   auto It = NullConsts.find(PtrTy.pointerDepth());
   if (It != NullConsts.end())
     return It->second;
-  Constant *C = make<Constant>(Constant(PtrTy, 0));
+  Constant *C = makeLocked<Constant>(Constant(PtrTy, 0));
   NullConsts[PtrTy.pointerDepth()] = C;
   return C;
 }

@@ -34,6 +34,7 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -544,6 +545,11 @@ private:
 };
 
 /// A module: functions plus ownership of all IR objects.
+///
+/// Allocation (`make`, the constant pools) is internally locked so
+/// concurrent pipeline tasks can materialise aux statements under
+/// `--jobs N`. The function list itself is built by the (serial) frontend
+/// and read-only during analysis, so `functions()` needs no lock.
 class Module {
 public:
   Module() = default;
@@ -558,16 +564,26 @@ public:
   Constant *getBoolConst(bool B);
   Constant *getNullConst(Type PtrTy);
 
-  /// Arena for all statements (create via `make<...>`).
+  /// Arena for all statements (create via `make<...>`). Thread-safe.
   template <typename T, typename... Args> T *make(Args &&...A) {
+    std::lock_guard<std::mutex> L(Mu);
     return Mem.allocObject<T>(std::forward<Args>(A)...);
   }
 
-  size_t bytesUsed() const { return Mem.bytesUsed(); }
+  size_t bytesUsed() const {
+    std::lock_guard<std::mutex> L(Mu);
+    return Mem.bytesUsed();
+  }
 
   std::string str() const;
 
 private:
+  /// For members that already hold Mu (the constant pools).
+  template <typename T, typename... Args> T *makeLocked(Args &&...A) {
+    return Mem.allocObject<T>(std::forward<Args>(A)...);
+  }
+
+  mutable std::mutex Mu; ///< Guards Mem and the interning maps below.
   Arena Mem;
   std::vector<Function *> Functions;
   std::map<std::string, Function *> FunctionMap;

@@ -7,6 +7,7 @@
 #include "ir/SSA.h"
 #include "ir/Dominators.h"
 
+#include <algorithm>
 #include <map>
 #include <set>
 #include <vector>
@@ -45,7 +46,19 @@ private:
   }
 
   void placePhis() {
-    for (auto &[Var, Blocks] : DefBlocks) {
+    // DefBlocks is keyed by pointer, but the phi sequence of a join block
+    // follows this loop's order — iterate by variable id so the emitted IR
+    // is identical from run to run regardless of heap layout.
+    std::vector<Variable *> Vars;
+    Vars.reserve(DefBlocks.size());
+    for (auto &[Var, Blocks] : DefBlocks)
+      Vars.push_back(Var);
+    std::sort(Vars.begin(), Vars.end(),
+              [](const Variable *A, const Variable *B) {
+                return A->id() < B->id();
+              });
+    for (Variable *Var : Vars) {
+      const std::set<BasicBlock *> &Blocks = DefBlocks[Var];
       std::set<BasicBlock *> HasPhi;
       std::vector<BasicBlock *> Work(Blocks.begin(), Blocks.end());
       while (!Work.empty()) {

@@ -304,6 +304,19 @@ const SEG::LocalDef &SEG::localDef(const Variable *V) {
 }
 
 const Closure &SEG::dd(const Variable *V) {
+  // One lock per SEG: queries from concurrent checker tasks serialise on
+  // this function's memo caches (LocalDefs/DDCache and the lazy parts of
+  // ConditionMap reached through makeLocalDef).
+  std::lock_guard<std::mutex> L(QueryMu);
+  return ddImpl(V);
+}
+
+Closure SEG::controlCond(const Stmt *S) {
+  std::lock_guard<std::mutex> L(QueryMu);
+  return controlCondImpl(S);
+}
+
+const Closure &SEG::ddImpl(const Variable *V) {
   auto Found = DDCache.find(V);
   if (Found != DDCache.end())
     return Found->second;
@@ -339,7 +352,7 @@ const Closure &SEG::dd(const Variable *V) {
   return DDCache.emplace(V, std::move(Out)).first->second;
 }
 
-Closure SEG::controlCond(const Stmt *S) {
+Closure SEG::controlCondImpl(const Stmt *S) {
   Closure Out;
   Out.C = Ctx.getTrue();
   std::set<const Variable *> OpenParamSet;
@@ -355,7 +368,7 @@ Closure SEG::controlCond(const Stmt *S) {
     for (const ControlDep &CD : Conds.controlDeps(B)) {
       const smt::Expr *Lit = boolExprOf(CD.BranchVar);
       Out.C = Ctx.mkAnd(Out.C, CD.Polarity ? Lit : Ctx.mkNot(Lit));
-      const Closure &Sub = dd(CD.BranchVar);
+      const Closure &Sub = ddImpl(CD.BranchVar);
       Out.C = Ctx.mkAnd(Out.C, Sub.C);
       OpenParamSet.insert(Sub.OpenParams.begin(), Sub.OpenParams.end());
       OpenRecvSet.insert(Sub.OpenRecvs.begin(), Sub.OpenRecvs.end());

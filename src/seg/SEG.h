@@ -40,6 +40,7 @@
 #include "pta/PointsTo.h"
 
 #include <map>
+#include <mutex>
 #include <set>
 #include <vector>
 
@@ -112,8 +113,14 @@ public:
   const std::vector<const ir::CallStmt *> &calls() const { return Calls; }
 
   //===--- Constraint queries ----------------------------------------------===
+  //
+  // Queries are thread-safe: each SEG serialises them on its own mutex
+  // (the memo caches are lazy). Different functions' SEGs never contend,
+  // which is where the checker-phase parallelism comes from.
 
   /// DD(v@s): the memoised data-dependence constraint closure of \p V.
+  /// The returned reference is stable (map-node backed) and the closure is
+  /// immutable once cached, so it may be read after the lock is released.
   const Closure &dd(const ir::Variable *V);
 
   /// CD(v@s): the control-dependence condition of \p S — branch literals up
@@ -141,6 +148,8 @@ private:
   };
 
   void build(const pta::PointsToResult &PTA);
+  const Closure &ddImpl(const ir::Variable *V);
+  Closure controlCondImpl(const ir::Stmt *S);
   void addFlow(const ir::Value *From, const ir::Variable *To,
                const smt::Expr *Cond, bool Direct, const ir::Stmt *Via);
   void addUse(const ir::Value *V, const ir::Stmt *S, UseKind K, int Index);
@@ -162,6 +171,7 @@ private:
   std::set<const ir::Variable *> Vertices;
   std::map<const ir::Variable *, LocalDef> LocalDefs;
   std::map<const ir::Variable *, Closure> DDCache;
+  mutable std::mutex QueryMu; ///< Guards the lazy query caches above.
   size_t EdgeCount = 0;
 };
 

@@ -28,7 +28,11 @@ uint64_t ExprContext::hashKey(ExprKind K, std::span<const Expr *const> Ops,
 const Expr *ExprContext::intern(ExprKind K, std::span<const Expr *const> Ops,
                                 uint32_t Var, int64_t Const) {
   uint64_t H = hashKey(K, Ops, Var, Const);
-  auto &Bucket = InternTable[H];
+  // Fold the high bits in so shard selection is not the low bits of the
+  // same hash the per-shard table uses.
+  InternShard &S = Shards[(H ^ (H >> 32)) % NumInternShards];
+  std::lock_guard<std::mutex> L(S.Mu);
+  auto &Bucket = S.Table[H];
   for (const Expr *E : Bucket) {
     if (E->Kind != K || E->NumOps != Ops.size())
       continue;
@@ -50,15 +54,23 @@ const Expr *ExprContext::intern(ExprKind K, std::span<const Expr *const> Ops,
   const Expr **OpArray = nullptr;
   if (!Ops.empty()) {
     OpArray = static_cast<const Expr **>(
-        Mem.allocate(sizeof(Expr *) * Ops.size(), alignof(Expr *)));
+        S.Mem.allocate(sizeof(Expr *) * Ops.size(), alignof(Expr *)));
     std::copy(Ops.begin(), Ops.end(), OpArray);
   }
   // Expr's constructor is private; ExprContext is a friend, so construct
   // in-place rather than through Arena::allocObject. Expr is trivially
   // destructible, so no destructor registration is needed.
   static_assert(std::is_trivially_destructible_v<Expr>);
-  void *Raw = Mem.allocate(sizeof(Expr), alignof(Expr));
-  Expr *E = new (Raw) Expr(K, NextId++, OpArray, static_cast<uint8_t>(Ops.size()));
+  void *Raw = S.Mem.allocate(sizeof(Expr), alignof(Expr));
+  uint32_t Id = NextId.fetch_add(1, std::memory_order_relaxed);
+  Expr *E = new (Raw) Expr(K, Id, OpArray, static_cast<uint8_t>(Ops.size()));
+#ifndef NDEBUG
+  // Interning invariant: operands are fully constructed (and therefore
+  // numbered) before their parent — ids are topological even when shards
+  // interleave allocations.
+  for (const Expr *Op : Ops)
+    assert(Op->id() < Id && "operand interned after its parent");
+#endif
   if (K == ExprKind::BoolVar || K == ExprKind::IntVar)
     E->VarOrConst.Var = Var;
   else if (K == ExprKind::IntConst)
@@ -67,25 +79,48 @@ const Expr *ExprContext::intern(ExprKind K, std::span<const Expr *const> Ops,
   return E;
 }
 
+size_t ExprContext::bytesUsed() const {
+  size_t N = 0;
+  for (const InternShard &S : Shards) {
+    std::lock_guard<std::mutex> L(S.Mu);
+    N += S.Mem.bytesUsed();
+  }
+  return N;
+}
+
 const Expr *ExprContext::freshBoolVar(std::string Name) {
-  uint32_t Id = static_cast<uint32_t>(VarNames.size());
-  VarNames.push_back(std::move(Name));
-  VarIsBool.push_back(true);
+  uint32_t Id;
+  {
+    std::lock_guard<std::mutex> L(VarMu);
+    Id = static_cast<uint32_t>(VarNames.size());
+    VarNames.push_back(std::move(Name));
+    VarIsBool.push_back(true);
+  }
   return intern(ExprKind::BoolVar, {}, Id, 0);
 }
 
 const Expr *ExprContext::freshIntVar(std::string Name) {
-  uint32_t Id = static_cast<uint32_t>(VarNames.size());
-  VarNames.push_back(std::move(Name));
-  VarIsBool.push_back(false);
+  uint32_t Id;
+  {
+    std::lock_guard<std::mutex> L(VarMu);
+    Id = static_cast<uint32_t>(VarNames.size());
+    VarNames.push_back(std::move(Name));
+    VarIsBool.push_back(false);
+  }
   return intern(ExprKind::IntVar, {}, Id, 0);
 }
 
 const Expr *ExprContext::getInt(int64_t V) {
-  auto It = IntConsts.find(V);
-  if (It != IntConsts.end())
-    return It->second;
+  {
+    std::lock_guard<std::mutex> L(ConstMu);
+    auto It = IntConsts.find(V);
+    if (It != IntConsts.end())
+      return It->second;
+  }
+  // Interning dedups, so a racing insert of the same constant is benign:
+  // both threads get the same node; the memo keeps whichever wins.
   const Expr *E = intern(ExprKind::IntConst, {}, 0, V);
+  std::lock_guard<std::mutex> L(ConstMu);
   IntConsts.emplace(V, E);
   return E;
 }
@@ -331,7 +366,7 @@ std::string ExprContext::toString(const Expr *E) const {
     return "false";
   case ExprKind::BoolVar:
   case ExprKind::IntVar:
-    return VarNames[E->varId()];
+    return varName(E->varId());
   case ExprKind::IntConst:
     return std::to_string(E->constValue());
   case ExprKind::Not:

@@ -14,6 +14,16 @@
 /// node, and the linear-time solver of Section 3.1.1 memoises its atom sets
 /// per node.
 ///
+/// One `ExprContext` is shared by every task of a `--jobs N` run. Interning
+/// is sharded: the node hash selects one of a fixed set of buckets, each
+/// with its own mutex and arena, so concurrent `mk*` calls on unrelated
+/// conditions rarely contend while hash-consing stays global (a condition
+/// built by two workers is still one node). Node ids come from one atomic
+/// counter — ids are *allocation-order* dependent and therefore not stable
+/// across job counts; nothing downstream may key semantic decisions on the
+/// numeric id (canonicalisation uses ids only to pick one of two orders of
+/// the same pointer pair, which is per-pair deterministic).
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef PINPOINT_SMT_EXPR_H
@@ -21,8 +31,12 @@
 
 #include "support/Arena.h"
 
+#include <array>
+#include <atomic>
 #include <cassert>
 #include <cstdint>
+#include <deque>
+#include <mutex>
 #include <span>
 #include <string>
 #include <unordered_map>
@@ -114,8 +128,9 @@ private:
   const Expr *const *Ops = nullptr;
 };
 
-/// Owning context: arena, interning table, and variable registry.
-/// All Expr pointers remain valid for the lifetime of the context.
+/// Owning context: sharded arenas + interning tables and a variable
+/// registry. All Expr pointers remain valid for the lifetime of the
+/// context. Thread-safe (see the file comment for the sharding scheme).
 class ExprContext {
 public:
   ExprContext();
@@ -130,10 +145,20 @@ public:
   const Expr *freshBoolVar(std::string Name);
   /// Creates a fresh integer variable and returns its node.
   const Expr *freshIntVar(std::string Name);
-  /// Name of a variable (for printing / Z3 symbols).
-  const std::string &varName(uint32_t VarId) const { return VarNames[VarId]; }
-  bool varIsBool(uint32_t VarId) const { return VarIsBool[VarId]; }
-  uint32_t numVars() const { return static_cast<uint32_t>(VarNames.size()); }
+  /// Name of a variable (for printing / Z3 symbols). The returned reference
+  /// is stable (deque-backed) and the string is immutable once registered.
+  const std::string &varName(uint32_t VarId) const {
+    std::lock_guard<std::mutex> L(VarMu);
+    return VarNames[VarId];
+  }
+  bool varIsBool(uint32_t VarId) const {
+    std::lock_guard<std::mutex> L(VarMu);
+    return VarIsBool[VarId];
+  }
+  uint32_t numVars() const {
+    std::lock_guard<std::mutex> L(VarMu);
+    return static_cast<uint32_t>(VarNames.size());
+  }
 
   //===--------------------------------------------------------------------===
   // Constructors (with local simplification + interning)
@@ -192,8 +217,8 @@ public:
   /// Renders \p E as a string (tests & debugging).
   std::string toString(const Expr *E) const;
 
-  size_t numNodes() const { return NextId; }
-  size_t bytesUsed() const { return Mem.bytesUsed(); }
+  size_t numNodes() const { return NextId.load(std::memory_order_relaxed); }
+  size_t bytesUsed() const;
 
 private:
   const Expr *intern(ExprKind K, std::span<const Expr *const> Ops,
@@ -201,16 +226,24 @@ private:
   uint64_t hashKey(ExprKind K, std::span<const Expr *const> Ops, uint32_t Var,
                    int64_t Const) const;
 
-  Arena Mem;
-  uint32_t NextId = 0;
-  std::unordered_map<uint64_t, std::vector<const Expr *>> InternTable;
-  std::vector<std::string> VarNames;
-  std::vector<bool> VarIsBool;
+  /// One interning bucket: the table and the arena its nodes live in. Each
+  /// node is created and deduplicated entirely under its shard's lock.
+  struct InternShard {
+    mutable std::mutex Mu;
+    std::unordered_map<uint64_t, std::vector<const Expr *>> Table;
+    Arena Mem;
+  };
+  static constexpr size_t NumInternShards = 64;
+
+  std::array<InternShard, NumInternShards> Shards;
+  std::atomic<uint32_t> NextId{0};
+  mutable std::mutex VarMu; ///< Guards VarNames/VarIsBool.
+  std::deque<std::string> VarNames; ///< Deque: stable refs under growth.
+  std::deque<bool> VarIsBool;
+  std::mutex ConstMu; ///< Guards IntConsts.
   std::unordered_map<int64_t, const Expr *> IntConsts;
   const Expr *TrueExpr;
   const Expr *FalseExpr;
-
-  friend class LinearSolver;
 };
 
 } // namespace pinpoint::smt

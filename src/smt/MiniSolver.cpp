@@ -27,6 +27,8 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <functional>
+#include <optional>
 #include <unordered_map>
 #include <vector>
 
@@ -271,18 +273,36 @@ bool MiniSolver::theoryConsistent() {
 
   // Map terms to nodes: IntVar by varId, IntConst by value. Compound terms
   // are opaque (id by Expr pointer) — equalities through them still join via
-  // union-find, but arithmetic is not interpreted unless ground.
+  // union-find, and arithmetic is interpreted once its operands become
+  // ground (see the evaluation fixpoint below).
   theory::UnionFind UF;
   std::unordered_map<const Expr *, uint32_t> TermNode;
   std::unordered_map<uint32_t, int64_t> NodeConst; // root -> value
-  auto node = [&](const Expr *T) {
+  std::vector<const Expr *> Compounds;
+  std::function<uint32_t(const Expr *)> node = [&](const Expr *T) -> uint32_t {
     auto It = TermNode.find(T);
     if (It != TermNode.end())
       return It->second;
     uint32_t N = UF.makeNode();
     TermNode.emplace(T, N);
-    if (T->kind() == ExprKind::IntConst)
+    switch (T->kind()) {
+    case ExprKind::IntConst:
       NodeConst[N] = T->constValue();
+      break;
+    case ExprKind::Add:
+    case ExprKind::Sub:
+    case ExprKind::Mul:
+      node(T->operand(0));
+      node(T->operand(1));
+      Compounds.push_back(T);
+      break;
+    case ExprKind::Neg:
+      node(T->operand(0));
+      Compounds.push_back(T);
+      break;
+    default:
+      break;
+    }
     return N;
   };
 
@@ -314,6 +334,58 @@ bool MiniSolver::theoryConsistent() {
     UF.unite(RL, RR);
     if (HasVal)
       NodeConst[UF.find(RL)] = Val;
+  }
+
+  // Pass 1b: ground evaluation. A compound whose operands all sit in
+  // constant-valued classes pins its own class to the computed value;
+  // iterate to a fixpoint so chains ground transitively (b = a+1 with
+  // a = 3 grounds b, which grounds c = b*2, refuting c = 9). Wrapping
+  // arithmetic via uint64_t keeps overflow defined.
+  bool Evaluated = true;
+  while (Evaluated) {
+    Evaluated = false;
+    for (const Expr *T : Compounds) {
+      auto constOf = [&](const Expr *O) {
+        auto CIt = NodeConst.find(UF.find(TermNode.at(O)));
+        return CIt == NodeConst.end() ? std::optional<int64_t>()
+                                      : std::optional<int64_t>(CIt->second);
+      };
+      std::optional<int64_t> A = constOf(T->operand(0));
+      std::optional<int64_t> Bv =
+          T->kind() == ExprKind::Neg ? std::optional<int64_t>(0)
+                                     : constOf(T->operand(1));
+      if (!A || !Bv)
+        continue;
+      int64_t V = 0;
+      switch (T->kind()) {
+      case ExprKind::Add:
+        V = static_cast<int64_t>(static_cast<uint64_t>(*A) +
+                                 static_cast<uint64_t>(*Bv));
+        break;
+      case ExprKind::Sub:
+        V = static_cast<int64_t>(static_cast<uint64_t>(*A) -
+                                 static_cast<uint64_t>(*Bv));
+        break;
+      case ExprKind::Mul:
+        V = static_cast<int64_t>(static_cast<uint64_t>(*A) *
+                                 static_cast<uint64_t>(*Bv));
+        break;
+      case ExprKind::Neg:
+        V = static_cast<int64_t>(-static_cast<uint64_t>(*A));
+        break;
+      default:
+        continue;
+      }
+      uint32_t R = UF.find(TermNode.at(T));
+      auto CIt = NodeConst.find(R);
+      if (CIt != NodeConst.end()) {
+        if (CIt->second != V)
+          return false; // Ground term contradicts its class's constant.
+      } else {
+        NodeConst[R] = V;
+        Evaluated = true;
+      }
+    }
   }
 
   // Pass 2: disequalities and orderings.

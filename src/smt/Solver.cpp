@@ -21,7 +21,8 @@ SatResult StagedSolver::checkSat(const Expr *E) {
   if (Gov && Gov->faults().injectSolverUnknown()) {
     ++S.BackendUnknown;
     ++S.InjectedUnknown;
-    Gov->note(DegradationKind::InjectedFault, "smt", "forced solver unknown");
+    Gov->note(DegradationKind::InjectedFault, "smt", Origin,
+              "forced solver unknown");
     return SatResult::Unknown;
   }
   SatResult R = Backend->checkSat(E);
@@ -30,7 +31,7 @@ SatResult StagedSolver::checkSat(const Expr *E) {
   if (R == SatResult::Unknown) {
     ++S.BackendUnknown;
     if (Gov)
-      Gov->note(DegradationKind::SolverUnknown, "smt",
+      Gov->note(DegradationKind::SolverUnknown, "smt", Origin,
                 std::string(Backend->name()) + " gave up (timeout/steps)");
   }
   return R;

@@ -25,6 +25,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <string>
 
 namespace pinpoint {
 class ResourceGovernor;
@@ -89,6 +90,12 @@ public:
   SatResult checkSat(const Expr *E) override;
   const char *name() const override { return "staged"; }
 
+  /// Tags subsequent queries with the function they originate from, so
+  /// degradation events carry the function name regardless of which thread
+  /// the query ran on. One StagedSolver instance is single-thread-owned
+  /// (parallel discharge builds one per chunk), so a plain member suffices.
+  void setQueryOrigin(std::string Fn) { Origin = std::move(Fn); }
+
   /// Statistics for the ablation study.
   struct Stats {
     uint64_t Queries = 0;        ///< Total checkSat calls.
@@ -105,6 +112,7 @@ private:
   std::unique_ptr<Solver> Backend;
   bool UseLinearFilter;
   ResourceGovernor *Gov;
+  std::string Origin; ///< Function the current query is discharged for.
   Stats S;
 };
 

@@ -30,6 +30,7 @@
 #include "support/RNG.h"
 
 #include <cstdint>
+#include <mutex>
 #include <string>
 
 namespace pinpoint {
@@ -38,6 +39,24 @@ class FaultInjector {
 public:
   FaultInjector() : Rng(1) {}
 
+  // The RNG mutex would otherwise delete the implicit copies; governor
+  // construction takes the injector by value, so restore them by copying
+  // every field except the (stateless-by-value) lock.
+  FaultInjector(const FaultInjector &O)
+      : Enabled(O.Enabled), Rng(O.Rng), SolverUnknownPct(O.SolverUnknownPct),
+        ClosureSteps(O.ClosureSteps), ThrowFn(O.ThrowFn),
+        PipelineThrowFn(O.PipelineThrowFn), ThrowChecker(O.ThrowChecker) {}
+  FaultInjector &operator=(const FaultInjector &O) {
+    Enabled = O.Enabled;
+    Rng = O.Rng;
+    SolverUnknownPct = O.SolverUnknownPct;
+    ClosureSteps = O.ClosureSteps;
+    ThrowFn = O.ThrowFn;
+    PipelineThrowFn = O.PipelineThrowFn;
+    ThrowChecker = O.ThrowChecker;
+    return *this;
+  }
+
   /// Parses \p Spec (see file comment). Returns false and fills \p Err on
   /// malformed input; the injector is left disabled in that case.
   bool parse(const std::string &Spec, std::string &Err);
@@ -45,9 +64,15 @@ public:
   bool enabled() const { return Enabled; }
 
   /// True when the next SMT backend query should be degraded to Unknown.
-  /// Advances the RNG stream, so calls must be 1:1 with backend queries.
+  /// Advances the (internally locked) RNG stream; under `--jobs N` the
+  /// draw order follows query completion order, so only the degenerate
+  /// rates 0 and 100 are deterministic across job counts — tests that
+  /// compare parallel against serial output use exactly those.
   bool injectSolverUnknown() {
-    return Enabled && SolverUnknownPct > 0 && Rng.chance(SolverUnknownPct, 100);
+    if (!Enabled || SolverUnknownPct == 0)
+      return false;
+    std::lock_guard<std::mutex> L(Mu);
+    return Rng.chance(SolverUnknownPct, 100);
   }
 
   /// True when the global SVFA stage should throw while analysing \p Fn.
@@ -70,6 +95,7 @@ public:
 
 private:
   bool Enabled = false;
+  std::mutex Mu; ///< Guards Rng; the other fields are immutable after parse().
   RNG Rng;
   uint64_t SolverUnknownPct = 0;
   uint64_t ClosureSteps = 0;

@@ -38,32 +38,36 @@ const char *toString(DegradationKind K) {
 }
 
 void DegradationLog::note(DegradationKind K, std::string Stage,
-                          std::string Detail) {
-  ++Counts[static_cast<size_t>(K)];
+                          std::string Function, std::string Detail) {
+  Counts[static_cast<size_t>(K)].fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> L(Mu);
   if (Events.size() < MaxStoredEvents)
-    Events.push_back({K, std::move(Stage), std::move(Detail)});
+    Events.push_back({K, std::move(Stage), std::move(Function),
+                      std::move(Detail)});
 }
 
 uint64_t DegradationLog::total() const {
   uint64_t N = 0;
-  for (uint64_t C : Counts)
-    N += C;
+  for (const auto &C : Counts)
+    N += C.load(std::memory_order_relaxed);
   return N;
 }
 
 std::string DegradationLog::summary() const {
   std::string Out = "degradations=" + std::to_string(total());
-  for (size_t I = 0; I < Counts.size(); ++I)
-    if (Counts[I] > 0)
+  for (size_t I = 0; I < Counts.size(); ++I) {
+    uint64_t C = Counts[I].load(std::memory_order_relaxed);
+    if (C > 0)
       Out += " " + std::string(toString(static_cast<DegradationKind>(I))) +
-             "=" + std::to_string(Counts[I]);
+             "=" + std::to_string(C);
+  }
   return Out;
 }
 
 void ResourceGovernor::note(DegradationKind K, std::string Stage,
-                            std::string Detail) {
+                            std::string Function, std::string Detail) {
   Counters::get().add(std::string("governor.") + toString(K));
-  Log.note(K, std::move(Stage), std::move(Detail));
+  Log.note(K, std::move(Stage), std::move(Function), std::move(Detail));
 }
 
 ResourceGovernor &ResourceGovernor::ungoverned() {

@@ -26,6 +26,11 @@
 /// Stages take a `ResourceGovernor *`; passing nullptr means "ungoverned"
 /// and stages then fall back to a process-wide unlimited instance.
 ///
+/// One governor is shared by every task of a `--jobs N` run: `note` and the
+/// fault injector are internally locked, the degradation counters are
+/// atomic, and the per-function/per-closure budget clocks live in
+/// thread-local slots (each worker analyses one unit at a time).
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef PINPOINT_SUPPORT_RESOURCEGOVERNOR_H
@@ -35,7 +40,9 @@
 #include "support/Timer.h"
 
 #include <array>
+#include <atomic>
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -68,22 +75,31 @@ enum class DegradationKind : uint8_t {
 
 const char *toString(DegradationKind K);
 
-/// One structured degradation event.
+/// One structured degradation event. Events carry the function they
+/// degraded in explicitly — under `--jobs N` the emission order is a race,
+/// so attribution can never rely on "the function currently being analysed".
 struct DegradationEvent {
   DegradationKind Kind;
-  std::string Stage;  ///< "pipeline", "svfa", "closure", "smt", "checker:uaf".
-  std::string Detail; ///< Function name, step counts, exception text, ...
+  std::string Stage;    ///< "pipeline", "svfa", "closure", "smt", "checker:uaf".
+  std::string Function; ///< Function the event degraded in; "" if run-level.
+  std::string Detail;   ///< Step counts, exception text, query origin, ...
 };
 
 /// Append-only record of everything a run gave up. Event storage is capped;
-/// per-kind counters are exact past the cap.
+/// per-kind counters are exact past the cap. Thread-safe: `note` may be
+/// called concurrently from pool tasks; counters are atomic and the event
+/// vector is mutex-guarded, so `events()` returns a snapshot copy.
 class DegradationLog {
 public:
-  void note(DegradationKind K, std::string Stage, std::string Detail);
+  void note(DegradationKind K, std::string Stage, std::string Function,
+            std::string Detail);
 
-  const std::vector<DegradationEvent> &events() const { return Events; }
+  std::vector<DegradationEvent> events() const {
+    std::lock_guard<std::mutex> L(Mu);
+    return Events;
+  }
   uint64_t count(DegradationKind K) const {
-    return Counts[static_cast<size_t>(K)];
+    return Counts[static_cast<size_t>(K)].load(std::memory_order_relaxed);
   }
   uint64_t total() const;
   /// One-line "kind=count ..." summary of the nonzero counters.
@@ -91,8 +107,10 @@ public:
 
 private:
   static constexpr size_t MaxStoredEvents = 4096;
+  mutable std::mutex Mu; ///< Guards Events.
   std::vector<DegradationEvent> Events;
-  std::array<uint64_t, static_cast<size_t>(DegradationKind::NumKinds)>
+  std::array<std::atomic<uint64_t>,
+             static_cast<size_t>(DegradationKind::NumKinds)>
       Counts{};
 };
 
@@ -107,7 +125,9 @@ public:
   const DegradationLog &log() const { return Log; }
 
   /// Records a degradation event (and bumps the `governor.<kind>` counter).
-  void note(DegradationKind K, std::string Stage, std::string Detail);
+  /// \p Function names the function the event degraded in ("" = run-level).
+  void note(DegradationKind K, std::string Stage, std::string Function,
+            std::string Detail);
 
   bool degraded() const { return Log.total() > 0; }
 
@@ -121,10 +141,17 @@ public:
   }
 
   //===--- Function-level wall clock --------------------------------------===
+  //
+  // The function clock and the closure step budget are *per task*: each
+  // pool worker analyses one function (or runs one query) at a time, so
+  // this state lives in a thread-local slot keyed by governor.
+  // beginFunction/beginClosure re-arm it at the start of every unit, which
+  // is what makes the single slot sufficient.
 
-  void beginFunction() { FnTimer.restart(); }
+  void beginFunction() { threadState().FnTimer.restart(); }
   bool functionExpired() const {
-    return B.FunctionWallMs >= 0 && FnTimer.millis() > (double)B.FunctionWallMs;
+    return B.FunctionWallMs >= 0 &&
+           threadState().FnTimer.millis() > (double)B.FunctionWallMs;
   }
 
   //===--- Value-closure step budget --------------------------------------===
@@ -133,16 +160,18 @@ public:
   void beginClosure() {
     uint64_t Limit = FI.closureStepOverride() ? FI.closureStepOverride()
                                               : B.MaxClosureSteps;
-    ClosureBounded = Limit > 0;
-    ClosureStepsLeft = Limit;
+    ThreadState &TS = threadState();
+    TS.ClosureBounded = Limit > 0;
+    TS.ClosureStepsLeft = Limit;
   }
   /// Charges one step of the current walk; false when exhausted.
   bool chargeClosureStep() {
-    if (!ClosureBounded)
+    ThreadState &TS = threadState();
+    if (!TS.ClosureBounded)
       return true;
-    if (ClosureStepsLeft == 0)
+    if (TS.ClosureStepsLeft == 0)
       return false;
-    --ClosureStepsLeft;
+    --TS.ClosureStepsLeft;
     return true;
   }
 
@@ -153,12 +182,30 @@ public:
   static ResourceGovernor &ungoverned();
 
 private:
+  /// Per-thread budget state. One slot per thread is enough because a
+  /// thread works under one governor at a time and every unit of work
+  /// re-arms its budgets on entry; a governor switch just resets the slot.
+  struct ThreadState {
+    const ResourceGovernor *Owner = nullptr;
+    Timer FnTimer;
+    uint64_t ClosureStepsLeft = 0;
+    bool ClosureBounded = false;
+  };
+  ThreadState &threadState() const {
+    static thread_local ThreadState TS;
+    if (TS.Owner != this) {
+      TS.Owner = this;
+      TS.FnTimer.restart();
+      TS.ClosureStepsLeft = 0;
+      TS.ClosureBounded = false;
+    }
+    return TS;
+  }
+
   Budget B;
   FaultInjector FI;
   DegradationLog Log;
-  Timer RunTimer, FnTimer;
-  uint64_t ClosureStepsLeft = 0;
-  bool ClosureBounded = false;
+  Timer RunTimer;
 };
 
 } // namespace pinpoint

@@ -16,52 +16,105 @@
 #ifndef PINPOINT_SUPPORT_STATISTICS_H
 #define PINPOINT_SUPPORT_STATISTICS_H
 
+#include <array>
+#include <atomic>
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <string>
 
 namespace pinpoint {
 
-/// Global named counters. Not thread-safe; the analyses are single-threaded
-/// (the evaluation machine here has one core, and the paper's numbers for a
-/// single checker are per-process anyway).
+/// Global named counters. Thread-safe: `add` may be called concurrently
+/// from pipeline/checker tasks under `--jobs N` (the name is hashed to one
+/// of a fixed set of internally-locked shards, so unrelated counters do
+/// not contend). Reads (`value`, `snapshot`) take the shard locks and are
+/// linearizable per counter; `snapshot` is *not* an atomic cut across
+/// counters — take it when the pool is quiescent for exact totals.
 class Counters {
 public:
   static Counters &get();
 
-  void add(const std::string &Name, int64_t Delta = 1) { Map[Name] += Delta; }
-  int64_t value(const std::string &Name) const {
-    auto It = Map.find(Name);
-    return It == Map.end() ? 0 : It->second;
+  void add(const std::string &Name, int64_t Delta = 1) {
+    Shard &S = shardFor(Name);
+    std::lock_guard<std::mutex> L(S.Mu);
+    S.Map[Name] += Delta;
   }
-  void clear() { Map.clear(); }
-  const std::map<std::string, int64_t> &all() const { return Map; }
+
+  int64_t value(const std::string &Name) const {
+    const Shard &S = shardFor(Name);
+    std::lock_guard<std::mutex> L(S.Mu);
+    auto It = S.Map.find(Name);
+    return It == S.Map.end() ? 0 : It->second;
+  }
+
+  void clear() {
+    for (Shard &S : Shards) {
+      std::lock_guard<std::mutex> L(S.Mu);
+      S.Map.clear();
+    }
+  }
+
+  /// Merged copy of every counter, sorted by name.
+  std::map<std::string, int64_t> snapshot() const {
+    std::map<std::string, int64_t> Out;
+    for (const Shard &S : Shards) {
+      std::lock_guard<std::mutex> L(S.Mu);
+      for (const auto &[Name, V] : S.Map)
+        Out[Name] += V;
+    }
+    return Out;
+  }
 
 private:
-  std::map<std::string, int64_t> Map;
+  struct Shard {
+    mutable std::mutex Mu;
+    std::map<std::string, int64_t> Map;
+  };
+  static constexpr size_t NumShards = 16;
+
+  Shard &shardFor(const std::string &Name) {
+    return Shards[hashName(Name) % NumShards];
+  }
+  const Shard &shardFor(const std::string &Name) const {
+    return Shards[hashName(Name) % NumShards];
+  }
+  static size_t hashName(const std::string &Name) {
+    // FNV-1a; stable across runs so shard assignment is deterministic.
+    uint64_t H = 1469598103934665603ull;
+    for (char C : Name)
+      H = (H ^ static_cast<unsigned char>(C)) * 1099511628211ull;
+    return static_cast<size_t>(H);
+  }
+
+  std::array<Shard, NumShards> Shards;
 };
 
 /// Tracks bytes held by all live arenas, with a resettable high-water mark.
+/// Thread-safe: arenas on concurrent analysis tasks report through atomics
+/// (the peak is maintained with a CAS loop, so it never under-reports).
 class MemStats {
 public:
   static MemStats &get();
 
   void noteArenaBytes(int64_t Delta) {
-    Live += Delta;
-    if (Live > Peak)
-      Peak = Live;
+    int64_t Now = Live.fetch_add(Delta, std::memory_order_relaxed) + Delta;
+    int64_t Seen = Peak.load(std::memory_order_relaxed);
+    while (Now > Seen &&
+           !Peak.compare_exchange_weak(Seen, Now, std::memory_order_relaxed)) {
+    }
   }
-  int64_t liveBytes() const { return Live; }
-  int64_t peakBytes() const { return Peak; }
-  void resetPeak() { Peak = Live; }
+  int64_t liveBytes() const { return Live.load(std::memory_order_relaxed); }
+  int64_t peakBytes() const { return Peak.load(std::memory_order_relaxed); }
+  void resetPeak() { Peak.store(liveBytes(), std::memory_order_relaxed); }
 
   /// Reads VmHWM (peak resident set) from /proc/self/status, in bytes.
   /// Returns 0 if unavailable.
   static int64_t processPeakRSS();
 
 private:
-  int64_t Live = 0;
-  int64_t Peak = 0;
+  std::atomic<int64_t> Live{0};
+  std::atomic<int64_t> Peak{0};
 };
 
 } // namespace pinpoint

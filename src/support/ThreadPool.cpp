@@ -1,0 +1,108 @@
+//===- support/ThreadPool.cpp ----------------------------------------------===//
+//
+// Part of the Pinpoint reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/ThreadPool.h"
+
+#include <cassert>
+
+namespace pinpoint {
+
+ThreadPool::ThreadPool(unsigned Workers) {
+  if (Workers == 0)
+    Workers = 1;
+  Threads.reserve(Workers);
+  for (unsigned I = 0; I < Workers; ++I)
+    Threads.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> L(Mu);
+    assert(Queue.empty() && "destroying pool with queued tasks");
+    Stopping = true;
+  }
+  Cv.notify_all();
+  for (std::thread &T : Threads)
+    T.join();
+}
+
+unsigned ThreadPool::hardwareConcurrency() {
+  unsigned N = std::thread::hardware_concurrency();
+  return N ? N : 1;
+}
+
+void ThreadPool::workerLoop() {
+  std::unique_lock<std::mutex> L(Mu);
+  while (true) {
+    Cv.wait(L, [this] { return Stopping || !Queue.empty(); });
+    if (Stopping)
+      return;
+    Task T = std::move(Queue.front());
+    Queue.pop_front();
+    L.unlock();
+    runTask(std::move(T));
+    L.lock();
+  }
+}
+
+void ThreadPool::runTask(Task T) {
+  std::exception_ptr E;
+  try {
+    T.Fn();
+  } catch (...) {
+    E = std::current_exception();
+  }
+  {
+    std::lock_guard<std::mutex> L(Mu);
+    if (E && !T.Group->Err)
+      T.Group->Err = E;
+    --T.Group->Pending;
+  }
+  // Wakes both idle workers (new tasks may have been spawned by T) and
+  // helping waiters (whose group may just have drained).
+  Cv.notify_all();
+}
+
+void ThreadPool::TaskGroup::spawn(std::function<void()> Fn) {
+  {
+    std::lock_guard<std::mutex> L(Pool.Mu);
+    ++Pending;
+    Pool.Queue.push_back({std::move(Fn), this});
+  }
+  Pool.Cv.notify_all();
+}
+
+void ThreadPool::TaskGroup::wait() {
+  std::unique_lock<std::mutex> L(Pool.Mu);
+  while (Pending > 0) {
+    if (!Pool.Queue.empty()) {
+      // Helping: run a queued task inline (possibly another group's) so a
+      // wait from inside a task can never deadlock the pool.
+      Task T = std::move(Pool.Queue.front());
+      Pool.Queue.pop_front();
+      L.unlock();
+      Pool.runTask(std::move(T));
+      L.lock();
+      continue;
+    }
+    Pool.Cv.wait(L, [this] { return Pending == 0 || !Pool.Queue.empty(); });
+  }
+  std::exception_ptr E = Err;
+  Err = nullptr;
+  L.unlock();
+  if (E)
+    std::rethrow_exception(E);
+}
+
+ThreadPool::TaskGroup::~TaskGroup() {
+  try {
+    wait();
+  } catch (...) {
+    // Destructor-swallowed; observe exceptions via an explicit wait().
+  }
+}
+
+} // namespace pinpoint

@@ -1,0 +1,104 @@
+//===- support/ThreadPool.h - Fixed worker pool with task groups ----------===//
+//
+// Part of the Pinpoint reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The execution substrate of the parallel analysis engine (`--jobs N`).
+/// A `ThreadPool` owns a fixed set of worker threads draining one shared
+/// FIFO task queue; work is submitted through `TaskGroup`s, which scope a
+/// batch of tasks so the submitter can wait for exactly its own work:
+///
+///  * `spawn` never blocks — tasks queue and run as workers free up;
+///  * `wait` is a *helping* wait: while its group has pending tasks, the
+///    waiting thread pops and runs queued tasks inline instead of idling.
+///    This makes nested waits deadlock-free — a task running on the last
+///    worker can spawn subtasks into a fresh group and wait on them (the
+///    reentrancy guard the scheduler and the checker fan-out rely on);
+///  * the first exception thrown by a task of a group is captured and
+///    rethrown from that group's `wait()`; remaining tasks still run
+///    (analysis tasks isolate their own failures — a group-level throw is
+///    an engine bug, not a degradation path).
+///
+/// Scheduling order is FIFO but completion order is nondeterministic;
+/// callers that need deterministic output write results into pre-sized
+/// slots indexed by task and merge after `wait()` (see svfa/Pipeline.cpp
+/// and tools/PinpointMain.cpp).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PINPOINT_SUPPORT_THREADPOOL_H
+#define PINPOINT_SUPPORT_THREADPOOL_H
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace pinpoint {
+
+class ThreadPool {
+public:
+  /// Starts \p Workers worker threads (at least one).
+  explicit ThreadPool(unsigned Workers);
+  /// Joins the workers. All TaskGroups must have completed their waits.
+  ~ThreadPool();
+  ThreadPool(const ThreadPool &) = delete;
+  ThreadPool &operator=(const ThreadPool &) = delete;
+
+  unsigned workers() const { return static_cast<unsigned>(Threads.size()); }
+
+  /// std::thread::hardware_concurrency(), never 0.
+  static unsigned hardwareConcurrency();
+
+  /// A batch of tasks that can be waited on together. Not thread-safe
+  /// itself: spawn/wait from one owner thread (tasks may spawn into their
+  /// own group's pool via a nested TaskGroup).
+  class TaskGroup {
+  public:
+    explicit TaskGroup(ThreadPool &Pool) : Pool(Pool) {}
+    /// Waits for stragglers; exceptions are swallowed here — call wait()
+    /// explicitly to observe them.
+    ~TaskGroup();
+    TaskGroup(const TaskGroup &) = delete;
+    TaskGroup &operator=(const TaskGroup &) = delete;
+
+    /// Enqueues \p Fn; never blocks. Safe to call from inside a task.
+    void spawn(std::function<void()> Fn);
+
+    /// Blocks until every task spawned into this group has finished,
+    /// helping to drain the pool's queue meanwhile. Rethrows the first
+    /// exception any task of this group threw.
+    void wait();
+
+  private:
+    friend class ThreadPool;
+    ThreadPool &Pool;
+    size_t Pending = 0;     ///< Guarded by Pool.Mu.
+    std::exception_ptr Err; ///< Guarded by Pool.Mu; first failure wins.
+  };
+
+private:
+  struct Task {
+    std::function<void()> Fn;
+    TaskGroup *Group;
+  };
+
+  void workerLoop();
+  void runTask(Task T);
+
+  std::mutex Mu;
+  std::condition_variable Cv;
+  std::deque<Task> Queue;
+  std::vector<std::thread> Threads;
+  bool Stopping = false;
+};
+
+} // namespace pinpoint
+
+#endif // PINPOINT_SUPPORT_THREADPOOL_H

@@ -7,9 +7,11 @@
 #include "svfa/GlobalSVFA.h"
 
 #include "support/ResourceGovernor.h"
+#include "support/ThreadPool.h"
 
 #include <algorithm>
 #include <map>
+#include <mutex>
 #include <set>
 #include <stdexcept>
 
@@ -126,7 +128,16 @@ public:
 
   std::vector<Report> run();
   const smt::StagedSolver::Stats &solverStats() const {
-    return Solver.stats();
+    // Fold in the per-chunk solvers of the parallel discharge (all zero on
+    // the serial path, making this the plain inline stats).
+    Merged = Solver.stats();
+    Merged.Queries += Deferred.Queries;
+    Merged.LinearUnsat += Deferred.LinearUnsat;
+    Merged.BackendQueries += Deferred.BackendQueries;
+    Merged.BackendUnsat += Deferred.BackendUnsat;
+    Merged.BackendUnknown += Deferred.BackendUnknown;
+    Merged.InjectedUnknown += Deferred.InjectedUnknown;
+    return Merged;
   }
 
 private:
@@ -273,6 +284,14 @@ private:
                     const std::string &SinkFn);
   const smt::Expr *assemble(const CondBundle &B);
 
+  /// True when SMT discharge is deferred to the end of run() and fanned out
+  /// across the pool (candidate *generation* always stays serial: summaries
+  /// are order-dependent).
+  bool deferSolving() const {
+    return Opts.PathSensitive && Opts.Pool && Opts.Pool->workers() > 1;
+  }
+  void dischargePending();
+
   AnalyzedModule &AM;
   const checkers::CheckerSpec Spec; // By value: callers often pass temporaries.
   GlobalOptions Opts;
@@ -288,6 +307,19 @@ private:
   std::map<std::pair<const Function *, const Stmt *>, seg::Closure> CDCache;
   std::vector<Report> Reports;
   std::set<std::tuple<std::string, uint32_t, uint32_t>> Reported;
+
+  /// Candidates awaiting SMT discharge under deferSolving(): the fully
+  /// assembled formula plus everything needed to commit the report in
+  /// generation order afterwards.
+  struct PendingCandidate {
+    Report R;
+    const smt::Expr *Full;
+    std::tuple<std::string, uint32_t, uint32_t> Key;
+  };
+  std::vector<PendingCandidate> Pending;
+  /// Accumulated stats of the per-chunk solvers (parallel discharge only).
+  smt::StagedSolver::Stats Deferred;
+  mutable smt::StagedSolver::Stats Merged; ///< Scratch for solverStats().
 };
 
 //===----------------------------------------------------------------------===
@@ -312,13 +344,13 @@ GlobalSVFA::Impl::valueClosure(const Function *F, const Variable *Start,
     // clock) the closure computed so far is returned as-is — a best-effort
     // under-approximation, logged so the degradation is visible.
     if (!Gov.chargeClosureStep()) {
-      Gov.note(DegradationKind::ClosureTruncated, "closure",
+      Gov.note(DegradationKind::ClosureTruncated, "closure", F->name(),
                describe(Start) + " truncated after " +
                    std::to_string(WalkSteps) + " steps");
       break;
     }
     if (Gov.functionExpired()) {
-      Gov.note(DegradationKind::FunctionBudgetExceeded, "closure",
+      Gov.note(DegradationKind::FunctionBudgetExceeded, "closure", F->name(),
                describe(Start) + ": function wall clock expired");
       break;
     }
@@ -692,8 +724,8 @@ void GlobalSVFA::Impl::analyzeFunction(const Function *F) {
   paramSummaries(F, Sum);
   for (const SourceEvent &Ev : collectEvents(F)) {
     if (Gov.functionExpired()) {
-      Gov.note(DegradationKind::FunctionBudgetExceeded, "svfa",
-               F->name() + ": remaining source events skipped");
+      Gov.note(DegradationKind::FunctionBudgetExceeded, "svfa", F->name(),
+               "remaining source events skipped");
       break;
     }
     processEvent(F, Ev, Sum);
@@ -767,6 +799,7 @@ const smt::Expr *GlobalSVFA::Impl::assemble(const CondBundle &B) {
 void GlobalSVFA::Impl::addCandidate(const Function *F, const SourceEvent &Ev,
                                     const CondBundle &B, SourceLoc SinkLoc,
                                     const std::string &SinkFn) {
+  (void)F;
   auto Key = std::make_tuple(Spec.Name + Ev.LocFn + SinkFn, Ev.Loc.Line,
                              SinkLoc.Line);
   // Deduplicate only *surviving* reports: an infeasible candidate for the
@@ -786,6 +819,17 @@ void GlobalSVFA::Impl::addCandidate(const Function *F, const SourceEvent &Ev,
 
   if (Opts.PathSensitive) {
     const smt::Expr *Full = assemble(B);
+    if (deferSolving()) {
+      // Parallel mode: assemble now (summaries/contexts are only coherent
+      // during serial generation), solve later across the pool. Note the
+      // dedup asymmetry: a later candidate whose key would have been
+      // reported inline still lands in Pending here, so S.Candidates and
+      // query counts can exceed the serial run's — the committed report
+      // list cannot (dischargePending re-checks the key in order).
+      Pending.push_back({std::move(R), Full, std::move(Key)});
+      return;
+    }
+    Solver.setQueryOrigin(R.SourceFn);
     R.Verdict = Solver.checkSat(Full);
     if (R.Verdict == smt::SatResult::Unsat) {
       ++S.SolverUnsat;
@@ -802,27 +846,89 @@ void GlobalSVFA::Impl::addCandidate(const Function *F, const SourceEvent &Ev,
   Reports.push_back(std::move(R));
 }
 
+void GlobalSVFA::Impl::dischargePending() {
+  if (Pending.empty())
+    return;
+  ThreadPool &Pool = *Opts.Pool;
+  const size_t N = Pending.size();
+  std::vector<smt::SatResult> Verdicts(N, smt::SatResult::Sat);
+  // A few chunks per worker balances uneven query costs without paying a
+  // solver construction per candidate.
+  const size_t NumChunks = std::min<size_t>(N, size_t(Pool.workers()) * 4);
+  std::mutex StatsMu;
+
+  ThreadPool::TaskGroup G(Pool);
+  for (size_t C = 0; C < NumChunks; ++C) {
+    const size_t Begin = N * C / NumChunks, End = N * (C + 1) / NumChunks;
+    if (Begin == End)
+      continue;
+    G.spawn([this, Begin, End, &Verdicts, &StatsMu] {
+      // Each chunk owns its StagedSolver (and thereby its Z3 context /
+      // MiniSolver state), so chunks never share backend state.
+      smt::StagedSolver ChunkSolver(
+          Ctx,
+          smt::createDefaultSolver(
+              Ctx, smt::SolverConfig{.TimeoutMs = Gov.solverTimeoutMs()}),
+          Opts.UseLinearFilter, &Gov);
+      for (size_t I = Begin; I < End; ++I) {
+        ChunkSolver.setQueryOrigin(Pending[I].R.SourceFn);
+        Verdicts[I] = ChunkSolver.checkSat(Pending[I].Full);
+      }
+      const smt::StagedSolver::Stats &CS = ChunkSolver.stats();
+      std::lock_guard<std::mutex> L(StatsMu);
+      Deferred.Queries += CS.Queries;
+      Deferred.LinearUnsat += CS.LinearUnsat;
+      Deferred.BackendQueries += CS.BackendQueries;
+      Deferred.BackendUnsat += CS.BackendUnsat;
+      Deferred.BackendUnknown += CS.BackendUnknown;
+      Deferred.InjectedUnknown += CS.InjectedUnknown;
+    });
+  }
+  G.wait();
+
+  // Serial commit in generation order with the same key-dedup rule the
+  // inline path applies, so the report list is identical to a serial run.
+  for (size_t I = 0; I < N; ++I) {
+    PendingCandidate &PC = Pending[I];
+    if (Reported.count(PC.Key))
+      continue;
+    PC.R.Verdict = Verdicts[I];
+    if (PC.R.Verdict == smt::SatResult::Unsat) {
+      ++S.SolverUnsat;
+      continue;
+    }
+    if (PC.R.Verdict == smt::SatResult::Unknown)
+      ++S.SolverUnknown;
+    else
+      ++S.SolverSat;
+    Reported.insert(PC.Key);
+    Reports.push_back(std::move(PC.R));
+  }
+  Pending.clear();
+}
+
 std::vector<Report> GlobalSVFA::Impl::run() {
   const auto &Order = AM.bottomUpOrder();
   for (size_t I = 0; I < Order.size(); ++I) {
     const Function *F = Order[I];
     if (Gov.runExpired()) {
-      Gov.note(DegradationKind::RunBudgetExhausted, "svfa",
-               "wall clock expired at " + F->name() + "; " +
-                   std::to_string(Order.size() - I) + " function(s) skipped");
+      Gov.note(DegradationKind::RunBudgetExhausted, "svfa", F->name(),
+               "wall clock expired; " + std::to_string(Order.size() - I) +
+                   " function(s) skipped");
       break;
     }
     // Functions the pipeline could not analyse at all have no SEG; their
     // summaries stay absent, which callers already treat conservatively.
     if (!AM.info(F).Seg) {
-      Gov.note(DegradationKind::FunctionSkipped, "svfa",
-               F->name() + ": no SEG (pipeline degraded)");
+      Gov.note(DegradationKind::FunctionSkipped, "svfa", F->name(),
+               "no SEG (pipeline degraded)");
       continue;
     }
     Gov.beginFunction();
     try {
       if (Gov.faults().injectFunctionThrow(F->name())) {
-        Gov.note(DegradationKind::InjectedFault, "svfa", F->name());
+        Gov.note(DegradationKind::InjectedFault, "svfa", F->name(),
+                 "forced svfa throw");
         throw std::runtime_error("injected svfa fault");
       }
       analyzeFunction(F);
@@ -832,10 +938,10 @@ std::vector<Report> GlobalSVFA::Impl::run() {
       // failed function are discarded; reports already emitted stand.
       Summaries.erase(F);
       ++S.IsolatedFailures;
-      Gov.note(DegradationKind::FunctionFailed, "svfa",
-               F->name() + ": " + Ex.what());
+      Gov.note(DegradationKind::FunctionFailed, "svfa", F->name(), Ex.what());
     }
   }
+  dischargePending();
   return std::move(Reports);
 }
 
@@ -860,6 +966,7 @@ std::vector<Report> checkModule(ir::Module &M, smt::ExprContext &Ctx,
                                 GlobalOptions Opts) {
   PipelineOptions PO;
   PO.Governor = Opts.Governor;
+  PO.Pool = Opts.Pool;
   AnalyzedModule AM(M, Ctx, PO);
   GlobalSVFA Engine(AM, Spec, Opts);
   return Engine.run();

@@ -41,6 +41,7 @@
 
 namespace pinpoint {
 class ResourceGovernor;
+class ThreadPool;
 }
 
 namespace pinpoint::svfa {
@@ -69,6 +70,12 @@ struct GlobalOptions {
   /// Budgets, degradation log and fault injection (see
   /// support/ResourceGovernor.h); nullptr = ungoverned.
   ResourceGovernor *Governor = nullptr;
+  /// Worker pool for parallel candidate discharge: generation stays
+  /// serial (summaries are order-dependent), but the SMT queries of the
+  /// collected candidates fan out one task per chunk and commit in
+  /// generation order, so the report list is identical to the serial
+  /// path. nullptr (or a 1-worker pool) = solve inline as always.
+  ThreadPool *Pool = nullptr;
 };
 
 class GlobalSVFA {

@@ -8,7 +8,9 @@
 #include "ir/SSA.h"
 #include "support/ResourceGovernor.h"
 #include "support/Statistics.h"
+#include "support/ThreadPool.h"
 
+#include <functional>
 #include <stdexcept>
 
 namespace pinpoint::svfa {
@@ -23,6 +25,100 @@ size_t countStmts(const ir::Function &F) {
 }
 
 } // namespace
+
+void AnalyzedModule::analyzeOne(ir::Function *F, ResourceGovernor &Gov,
+                                const PipelineOptions &Opts,
+                                transform::InterfaceMap &Interfaces,
+                                std::atomic<bool> &RunExhaustedNoted) {
+  AnalyzedFunction Info;
+  Info.F = F;
+
+  // Budget gates: oversized functions and post-deadline stragglers get
+  // the conservative fallback instead of the full per-function pipeline.
+  bool SkipFull = false;
+  size_t NumStmts = countStmts(*F);
+  if (Gov.budget().MaxFunctionStmts > 0 &&
+      NumStmts > Gov.budget().MaxFunctionStmts) {
+    Gov.note(DegradationKind::FunctionOversized, "pipeline", F->name(),
+             std::to_string(NumStmts) + " stmts > cap " +
+                 std::to_string(Gov.budget().MaxFunctionStmts));
+    SkipFull = true;
+  } else if (Gov.runExpired()) {
+    if (!RunExhaustedNoted.exchange(true))
+      Gov.note(DegradationKind::RunBudgetExhausted, "pipeline", "",
+               "wall clock expired; remaining functions degraded");
+    SkipFull = true;
+  }
+
+  if (!SkipFull) {
+    try {
+      if (Gov.faults().injectPipelineThrow(F->name())) {
+        Gov.note(DegradationKind::InjectedFault, "pipeline", F->name(),
+                 "forced pipeline throw");
+        throw std::runtime_error("injected pipeline fault");
+      }
+
+      // Mirror the already-transformed callees' connectors at call sites,
+      // so side effects compose transitively up the call chain. Under the
+      // SCC-DAG schedule every callee task has completed (the dependency
+      // decrement is the happens-before edge), so the reads are safe.
+      transform::rewriteCallSites(*F, *CG, Interfaces);
+
+      Info.Conds = std::make_unique<ir::ConditionMap>(*F, Syms);
+
+      // Pass 1: discover this function's own side effects.
+      pta::PTAConfig Cfg1;
+      Cfg1.UseLinearFilter = Opts.UseLinearFilter;
+      Cfg1.MaxSteps = Gov.budget().MaxPTASteps;
+      pta::PointsToResult Pass1 = pta::runPointsTo(*F, Syms, *Info.Conds, Cfg1);
+
+      // Materialise the connector interface (Fig. 3(a)).
+      Info.Interface = transform::applyInterfaceTransform(*F, Pass1);
+      Interfaces.set(F, Info.Interface);
+
+      // Pass 2: final points-to with the Aux bindings in place.
+      pta::PTAConfig Cfg2;
+      Cfg2.UseLinearFilter = Opts.UseLinearFilter;
+      Cfg2.MaxSteps = Gov.budget().MaxPTASteps;
+      Cfg2.AuxParams = Info.Interface.auxBindings();
+      Info.PTA = pta::runPointsTo(*F, Syms, *Info.Conds, Cfg2);
+
+      if (Pass1.truncated() || Info.PTA.truncated())
+        Gov.note(DegradationKind::PTATruncated, "pipeline", F->name(),
+                 "points-to step budget hit");
+
+      Info.Seg = std::make_unique<seg::SEG>(*F, Syms, *Info.Conds, Info.PTA);
+      Counters::get().add("seg.edges",
+                          static_cast<int64_t>(Info.Seg->numEdges()));
+
+      Fns.at(F) = std::move(Info);
+      return;
+    } catch (const std::exception &Ex) {
+      Gov.note(DegradationKind::FunctionFailed, "pipeline", F->name(),
+               Ex.what());
+      Info = AnalyzedFunction();
+      Info.F = F;
+    }
+  }
+
+  // Conservative fallback: no connectors (callers see no side effects),
+  // empty points-to (SEG keeps only direct def-use flow). Best effort —
+  // a degraded function can still surface its local value-flow bugs.
+  Info.Degraded = true;
+  try {
+    Info.Conds = std::make_unique<ir::ConditionMap>(*F, Syms);
+    Info.Interface = transform::FunctionInterface();
+    Info.PTA = pta::PointsToResult();
+    Info.Seg = std::make_unique<seg::SEG>(*F, Syms, *Info.Conds, Info.PTA);
+  } catch (const std::exception &Ex) {
+    Gov.note(DegradationKind::FunctionSkipped, "pipeline", F->name(),
+             std::string("fallback failed: ") + Ex.what());
+    Info.Conds = nullptr;
+    Info.Seg = nullptr;
+  }
+  Interfaces.set(F, Info.Interface);
+  Fns.at(F) = std::move(Info);
+}
 
 AnalyzedModule::AnalyzedModule(ir::Module &M, smt::ExprContext &Ctx,
                                const PipelineOptions &Opts)
@@ -39,98 +135,53 @@ AnalyzedModule::AnalyzedModule(ir::Module &M, smt::ExprContext &Ctx,
 
   CG = std::make_unique<ir::CallGraph>(M);
 
-  bool RunExhaustedNoted = false;
-  std::map<const ir::Function *, transform::FunctionInterface> Interfaces;
-  for (ir::Function *F : CG->bottomUpOrder()) {
-    AnalyzedFunction Info;
-    Info.F = F;
+  // Pre-create every function's result slot and interface slot so the
+  // parallel schedule mutates fixed storage, never a growing map.
+  transform::InterfaceMap Interfaces(M);
+  for (ir::Function *F : CG->bottomUpOrder())
+    Fns[F];
 
-    // Budget gates: oversized functions and post-deadline stragglers get
-    // the conservative fallback instead of the full per-function pipeline.
-    bool SkipFull = false;
-    size_t NumStmts = countStmts(*F);
-    if (Gov.budget().MaxFunctionStmts > 0 &&
-        NumStmts > Gov.budget().MaxFunctionStmts) {
-      Gov.note(DegradationKind::FunctionOversized, "pipeline",
-               F->name() + ": " + std::to_string(NumStmts) + " stmts > cap " +
-                   std::to_string(Gov.budget().MaxFunctionStmts));
-      SkipFull = true;
-    } else if (Gov.runExpired()) {
-      if (!RunExhaustedNoted) {
-        Gov.note(DegradationKind::RunBudgetExhausted, "pipeline",
-                 "wall clock expired at " + F->name() +
-                     "; remaining functions degraded");
-        RunExhaustedNoted = true;
-      }
-      SkipFull = true;
-    }
+  std::atomic<bool> RunExhaustedNoted{false};
 
-    if (!SkipFull) {
-      try {
-        if (Gov.faults().injectPipelineThrow(F->name())) {
-          Gov.note(DegradationKind::InjectedFault, "pipeline", F->name());
-          throw std::runtime_error("injected pipeline fault");
-        }
-
-        // Mirror the already-transformed callees' connectors at call sites,
-        // so side effects compose transitively up the call chain.
-        transform::rewriteCallSites(*F, *CG, Interfaces);
-
-        Info.Conds = std::make_unique<ir::ConditionMap>(*F, Syms);
-
-        // Pass 1: discover this function's own side effects.
-        pta::PTAConfig Cfg1;
-        Cfg1.UseLinearFilter = Opts.UseLinearFilter;
-        Cfg1.MaxSteps = Gov.budget().MaxPTASteps;
-        pta::PointsToResult Pass1 =
-            pta::runPointsTo(*F, Syms, *Info.Conds, Cfg1);
-
-        // Materialise the connector interface (Fig. 3(a)).
-        Info.Interface = transform::applyInterfaceTransform(*F, Pass1);
-        Interfaces[F] = Info.Interface;
-
-        // Pass 2: final points-to with the Aux bindings in place.
-        pta::PTAConfig Cfg2;
-        Cfg2.UseLinearFilter = Opts.UseLinearFilter;
-        Cfg2.MaxSteps = Gov.budget().MaxPTASteps;
-        Cfg2.AuxParams = Info.Interface.auxBindings();
-        Info.PTA = pta::runPointsTo(*F, Syms, *Info.Conds, Cfg2);
-
-        if (Pass1.truncated() || Info.PTA.truncated())
-          Gov.note(DegradationKind::PTATruncated, "pipeline", F->name());
-
-        Info.Seg = std::make_unique<seg::SEG>(*F, Syms, *Info.Conds, Info.PTA);
-        Counters::get().add("seg.edges",
-                            static_cast<int64_t>(Info.Seg->numEdges()));
-
-        Fns.emplace(F, std::move(Info));
-        continue;
-      } catch (const std::exception &Ex) {
-        Gov.note(DegradationKind::FunctionFailed, "pipeline",
-                 F->name() + ": " + Ex.what());
-        Info = AnalyzedFunction();
-        Info.F = F;
-      }
-    }
-
-    // Conservative fallback: no connectors (callers see no side effects),
-    // empty points-to (SEG keeps only direct def-use flow). Best effort —
-    // a degraded function can still surface its local value-flow bugs.
-    Info.Degraded = true;
-    try {
-      Info.Conds = std::make_unique<ir::ConditionMap>(*F, Syms);
-      Info.Interface = transform::FunctionInterface();
-      Info.PTA = pta::PointsToResult();
-      Info.Seg = std::make_unique<seg::SEG>(*F, Syms, *Info.Conds, Info.PTA);
-    } catch (const std::exception &Ex) {
-      Gov.note(DegradationKind::FunctionSkipped, "pipeline",
-               F->name() + ": fallback failed: " + Ex.what());
-      Info.Conds = nullptr;
-      Info.Seg = nullptr;
-    }
-    Interfaces[F] = Info.Interface;
-    Fns.emplace(F, std::move(Info));
+  if (!Opts.Pool || Opts.Pool->workers() <= 1) {
+    // Serial: the historical bottom-up loop, bit-for-bit.
+    for (ir::Function *F : CG->bottomUpOrder())
+      analyzeOne(F, Gov, Opts, Interfaces, RunExhaustedNoted);
+    return;
   }
+
+  // Parallel: walk the call-graph condensation as a DAG. Each SCC is one
+  // task; finishing a task decrements its dependents' counts and spawns
+  // the newly-ready ones, so independent call-tree branches overlap while
+  // every caller still starts after all its callees.
+  const std::vector<ir::CallGraph::SCCNode> &SCCs = CG->sccs();
+  std::vector<std::atomic<size_t>> DepsLeft(SCCs.size());
+  std::vector<std::vector<size_t>> Dependents(SCCs.size());
+  for (size_t I = 0; I < SCCs.size(); ++I) {
+    DepsLeft[I].store(SCCs[I].CalleeSCCs.size(), std::memory_order_relaxed);
+    for (size_t Callee : SCCs[I].CalleeSCCs)
+      Dependents[Callee].push_back(I);
+  }
+
+  ThreadPool::TaskGroup G(*Opts.Pool);
+  std::function<void(size_t)> RunSCC = [&](size_t I) {
+    for (ir::Function *F : SCCs[I].Members)
+      analyzeOne(F, Gov, Opts, Interfaces, RunExhaustedNoted);
+    for (size_t Dep : Dependents[I])
+      // acq_rel: publishes this SCC's interfaces/results to whichever task
+      // performs the final decrement and runs the dependent.
+      if (DepsLeft[Dep].fetch_sub(1, std::memory_order_acq_rel) == 1)
+        G.spawn([&RunSCC, Dep] { RunSCC(Dep); });
+  };
+  // Roots are identified structurally (no cross-SCC callees), never by
+  // reading DepsLeft: a fast leaf task finishing mid-loop drops a
+  // dependent's counter to zero and spawns it via fetch_sub, and a
+  // counter-based root scan racing with that would spawn the same SCC a
+  // second time (two pipelines mutating one function's IR).
+  for (size_t I = 0; I < SCCs.size(); ++I)
+    if (SCCs[I].CalleeSCCs.empty())
+      G.spawn([&RunSCC, I] { RunSCC(I); });
+  G.wait();
 }
 
 size_t AnalyzedModule::totalSEGEdges() const {

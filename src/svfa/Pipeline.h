@@ -16,6 +16,15 @@
 /// points-to results, connector interfaces and SEGs — everything the global
 /// value-flow stage (GlobalSVFA) and the checkers consume.
 ///
+/// With a `ThreadPool` in the options, the per-function stages run as a
+/// dependency-aware schedule over the call-graph condensation: each SCC is
+/// one task, ready once all its distinct callee SCCs finished, so
+/// independent call-tree branches analyse concurrently while
+/// `rewriteCallSites` still sees every callee interface completed. SCC
+/// members run sequentially inside their task, preserving the serial
+/// semantics; without a pool (or with one worker) the schedule degenerates
+/// to exactly the historical bottom-up loop.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef PINPOINT_SVFA_PIPELINE_H
@@ -26,11 +35,13 @@
 #include "seg/SEG.h"
 #include "transform/Connectors.h"
 
+#include <atomic>
 #include <map>
 #include <memory>
 
 namespace pinpoint {
 class ResourceGovernor;
+class ThreadPool;
 }
 
 namespace pinpoint::svfa {
@@ -55,6 +66,9 @@ struct PipelineOptions {
   bool UseLinearFilter = true;
   /// Budgets, degradation log and fault injection; nullptr = ungoverned.
   ResourceGovernor *Governor = nullptr;
+  /// Worker pool for the SCC-DAG schedule; nullptr (or a 1-worker pool)
+  /// runs the historical serial bottom-up loop.
+  ThreadPool *Pool = nullptr;
 };
 
 /// Owns the analysed state of a whole module.
@@ -83,6 +97,15 @@ public:
   size_t totalSEGVertices() const;
 
 private:
+  /// Runs the whole per-function pipeline for \p F (including every
+  /// degradation path) and fills its pre-created `Fns` slot. Never throws:
+  /// failures are isolated per function, which is also what makes it safe
+  /// as the body of a pool task.
+  void analyzeOne(ir::Function *F, ResourceGovernor &Gov,
+                  const PipelineOptions &Opts,
+                  transform::InterfaceMap &Interfaces,
+                  std::atomic<bool> &RunExhaustedNoted);
+
   ir::Module &M;
   smt::ExprContext &Ctx;
   ir::SymbolMap Syms;

@@ -16,6 +16,9 @@
 ///     --no-linear-filter      disable the linear-time pre-filter
 ///     --dump-ir         print the transformed IR
 ///     --stats           print pipeline and solver statistics
+///     --jobs=N          worker threads (default 1 = serial; 0 = all
+///                       hardware threads). Reports are byte-identical
+///                       across values of N.
 ///
 ///   Resource governance (see support/ResourceGovernor.h):
 ///     --time-budget-ms=N      whole-run wall clock; past it, remaining
@@ -42,10 +45,13 @@
 #include "frontend/Parser.h"
 #include "support/ResourceGovernor.h"
 #include "support/Statistics.h"
+#include "support/ThreadPool.h"
 #include "support/Timer.h"
 #include "svfa/GlobalSVFA.h"
 
+#include <algorithm>
 #include <cerrno>
+#include <memory>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -77,6 +83,7 @@ struct Options {
   long long MaxClosureSteps = 0;
   long long MaxPTASteps = 0;
   long long MaxFnStmts = 0;
+  long long Jobs = 1;
   std::string FaultSpec;
 };
 
@@ -90,6 +97,8 @@ void usage() {
       "  --no-linear-filter       disable the linear-time pre-filter\n"
       "  --dump-ir                print the transformed IR\n"
       "  --stats                  print statistics\n"
+      "  --jobs=N                 worker threads (default 1 = serial, 0 = "
+      "all hardware threads)\n"
       "resource governance:\n"
       "  --time-budget-ms=N       whole-run wall clock budget\n"
       "  --fn-budget-ms=N         per-function wall clock budget\n"
@@ -136,6 +145,7 @@ bool parseArgs(int Argc, char **Argv, Options &O) {
       {"--max-closure-steps=", &O.MaxClosureSteps},
       {"--max-pta-steps=", &O.MaxPTASteps},
       {"--max-fn-stmts=", &O.MaxFnStmts},
+      {"--jobs=", &O.Jobs},
   };
 
   for (int I = 1; I < Argc; ++I) {
@@ -278,11 +288,18 @@ int main(int Argc, char **Argv) {
   }
   ResourceGovernor Gov(Bud, std::move(FI));
 
+  const unsigned Jobs = O.Jobs == 0 ? ThreadPool::hardwareConcurrency()
+                                    : static_cast<unsigned>(O.Jobs);
+  std::unique_ptr<ThreadPool> Pool;
+  if (Jobs > 1)
+    Pool = std::make_unique<ThreadPool>(Jobs);
+
   Timer Total;
   smt::ExprContext Ctx;
   svfa::PipelineOptions PO;
   PO.UseLinearFilter = O.LinearFilter;
   PO.Governor = &Gov;
+  PO.Pool = Pool.get();
   svfa::AnalyzedModule AM(M, Ctx, PO);
   double PipelineSec = Total.seconds();
 
@@ -294,40 +311,79 @@ int main(int Argc, char **Argv) {
   GO.PathSensitive = O.PathSensitive;
   GO.UseLinearFilter = O.LinearFilter;
   GO.Governor = &Gov;
+  GO.Pool = Pool.get();
 
-  int TotalReports = 0;
-  for (const std::string &Name : O.Checkers) {
+  // Each checker's results land in an indexed slot; with a pool the
+  // checkers run concurrently (they share only thread-safe state: the
+  // analysed module, the expression context and the governor) but slots
+  // are always printed serially in command-line order, so the output is
+  // byte-identical to the serial run.
+  struct CheckerRun {
     std::vector<svfa::Report> Reports;
     svfa::GlobalSVFA::Stats EngineStats;
     smt::StagedSolver::Stats SolverStats;
+    bool Failed = false;
+    bool Unknown = false;
+    std::string Error;
+  };
+  std::vector<CheckerRun> Runs(O.Checkers.size());
+
+  auto runChecker = [&](size_t Idx) {
+    const std::string &Name = O.Checkers[Idx];
+    CheckerRun &Slot = Runs[Idx];
     // Checker-level fault isolation: one failing checker must not take
     // down the run — log, warn, move on to the next checker.
     try {
       if (Gov.faults().injectCheckerThrow(Name)) {
-        Gov.note(DegradationKind::InjectedFault, "checker:" + Name, Name);
+        Gov.note(DegradationKind::InjectedFault, "checker", Name,
+                 "forced checker throw");
         throw std::runtime_error("injected checker fault");
       }
       if (Name == "leak") {
-        Reports = checkers::checkMemoryLeaks(AM);
+        Slot.Reports = checkers::checkMemoryLeaks(AM);
       } else {
         checkers::CheckerSpec Spec;
         if (!specFor(Name, Spec)) {
-          std::fprintf(stderr, "unknown checker: %s\n", Name.c_str());
-          return 2;
+          Slot.Unknown = true;
+          return;
         }
         svfa::GlobalSVFA Engine(AM, Spec, GO);
-        Reports = Engine.run();
-        EngineStats = Engine.stats();
-        SolverStats = Engine.solverStats();
+        Slot.Reports = Engine.run();
+        Slot.EngineStats = Engine.stats();
+        Slot.SolverStats = Engine.solverStats();
       }
     } catch (const std::exception &Ex) {
-      Gov.note(DegradationKind::CheckerFailed, "checker:" + Name, Ex.what());
+      Gov.note(DegradationKind::CheckerFailed, "checker", Name, Ex.what());
+      Slot.Failed = true;
+      Slot.Error = Ex.what();
+    }
+  };
+
+  if (Pool) {
+    ThreadPool::TaskGroup G(*Pool);
+    for (size_t Idx = 0; Idx < O.Checkers.size(); ++Idx)
+      G.spawn([&runChecker, Idx] { runChecker(Idx); });
+    G.wait();
+  } else {
+    for (size_t Idx = 0; Idx < O.Checkers.size(); ++Idx)
+      runChecker(Idx);
+  }
+
+  int TotalReports = 0;
+  for (size_t Idx = 0; Idx < O.Checkers.size(); ++Idx) {
+    const std::string &Name = O.Checkers[Idx];
+    CheckerRun &Slot = Runs[Idx];
+    if (Slot.Unknown) {
+      std::fprintf(stderr, "unknown checker: %s\n", Name.c_str());
+      return 2;
+    }
+    if (Slot.Failed) {
       std::fprintf(stderr, "warning: checker %s failed (%s); continuing\n",
-                   Name.c_str(), Ex.what());
+                   Name.c_str(), Slot.Error.c_str());
       continue;
     }
 
-    for (const auto &R : Reports) {
+    for (const auto &R : Slot.Reports) {
       ++TotalReports;
       std::printf("%s: source %s:%s -> sink %s:%s%s\n", R.Checker.c_str(),
                   R.SourceFn.c_str(), R.Source.str().c_str(),
@@ -338,6 +394,8 @@ int main(int Argc, char **Argv) {
       for (const auto &Step : R.Path)
         std::printf("    via %s\n", Step.c_str());
     }
+    svfa::GlobalSVFA::Stats &EngineStats = Slot.EngineStats;
+    smt::StagedSolver::Stats &SolverStats = Slot.SolverStats;
     if (O.Stats && Name != "leak") {
       std::printf("[%s] events=%llu candidates=%llu sat=%llu unsat=%llu "
                   "unknown=%llu linear-pruned=%llu smt-queries=%llu "
@@ -360,10 +418,21 @@ int main(int Argc, char **Argv) {
                 Total.seconds(), MemStats::get().peakBytes() / 1e6);
     std::printf("[governor] %s\n", Gov.log().summary().c_str());
   }
-  if (O.DegradationLog)
-    for (const DegradationEvent &E : Gov.log().events())
-      std::printf("[degradation] %s %s: %s\n", toString(E.Kind),
-                  E.Stage.c_str(), E.Detail.c_str());
+  if (O.DegradationLog) {
+    // Under --jobs>1 events arrive in completion order; sort so the log is
+    // stable across thread interleavings (and across --jobs values).
+    std::vector<DegradationEvent> Events = Gov.log().events();
+    std::stable_sort(Events.begin(), Events.end(),
+                     [](const DegradationEvent &A, const DegradationEvent &B) {
+                       return std::tie(A.Stage, A.Function, A.Kind, A.Detail) <
+                              std::tie(B.Stage, B.Function, B.Kind, B.Detail);
+                     });
+    for (const DegradationEvent &E : Events)
+      std::printf("[degradation] %s %s fn=%s: %s\n", toString(E.Kind),
+                  E.Stage.c_str(),
+                  E.Function.empty() ? "-" : E.Function.c_str(),
+                  E.Detail.c_str());
+  }
 
   std::printf("%d report(s)\n", TotalReports);
   return 0;

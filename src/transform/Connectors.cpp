@@ -83,9 +83,8 @@ FunctionInterface applyInterfaceTransform(Function &F,
   return I;
 }
 
-unsigned rewriteCallSites(
-    Function &F, const CallGraph &CG,
-    const std::map<const Function *, FunctionInterface> &Interfaces) {
+unsigned rewriteCallSites(Function &F, const CallGraph &CG,
+                          const InterfaceMap &Interfaces) {
   Module &M = *F.parent();
   unsigned Rewritten = 0;
 
@@ -97,12 +96,15 @@ unsigned rewriteCallSites(
     for (Stmt *S : B->stmts()) {
       auto *Call = dyn_cast<CallStmt>(S);
       Function *Callee = Call ? Call->callee() : nullptr;
-      if (!Call || !Callee || CG.inSameSCC(&F, Callee) ||
-          !Interfaces.count(Callee)) {
+      const FunctionInterface *CIP =
+          (Call && Callee && !CG.inSameSCC(&F, Callee))
+              ? Interfaces.find(Callee)
+              : nullptr;
+      if (!CIP) {
         NewStmts.push_back(S);
         continue;
       }
-      const FunctionInterface &CI = Interfaces.at(Callee);
+      const FunctionInterface &CI = *CIP;
       if (CI.RefPaths.empty() && CI.ModPaths.empty()) {
         NewStmts.push_back(S);
         continue;

@@ -1,0 +1,375 @@
+//===- tests/ParallelTest.cpp - Parallel engine correctness tests ----------===//
+//
+// Part of the Pinpoint reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The contract of the parallel engine (`--jobs N`): scheduling is an
+/// implementation detail, results are not. These tests pin down
+///
+///  * the ThreadPool primitives (completion, exception propagation, and the
+///    helping-wait that makes nested TaskGroup waits deadlock-free even on a
+///    one-worker pool);
+///  * report-level determinism — analysing generator subjects with a
+///    4-worker pool yields exactly the serial run's reports, in order;
+///  * fault isolation under parallelism — injected per-function failures
+///    stay confined to their function with workers running concurrently;
+///  * degradation events carrying the function name, so logs stay
+///    attributable (and sortable) regardless of thread interleaving.
+///
+//===----------------------------------------------------------------------===//
+
+#include "checkers/SpecialCheckers.h"
+#include "frontend/Parser.h"
+#include "support/FaultInjector.h"
+#include "support/ResourceGovernor.h"
+#include "support/ThreadPool.h"
+#include "svfa/GlobalSVFA.h"
+#include "workload/Generator.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <mutex>
+#include <set>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+using namespace pinpoint;
+
+namespace pinpoint::svfa {
+namespace {
+
+//===----------------------------------------------------------------------===
+// ThreadPool primitives
+//===----------------------------------------------------------------------===
+
+TEST(ThreadPoolTest, RunsEveryTask) {
+  ThreadPool Pool(4);
+  EXPECT_EQ(Pool.workers(), 4u);
+  std::atomic<int> Sum{0};
+  ThreadPool::TaskGroup G(Pool);
+  for (int I = 1; I <= 100; ++I)
+    G.spawn([&Sum, I] { Sum.fetch_add(I); });
+  G.wait();
+  EXPECT_EQ(Sum.load(), 5050);
+}
+
+TEST(ThreadPoolTest, ExceptionPropagatesAndPoolSurvives) {
+  ThreadPool Pool(2);
+  {
+    ThreadPool::TaskGroup G(Pool);
+    for (int I = 0; I < 8; ++I)
+      G.spawn([I] {
+        if (I == 3)
+          throw std::runtime_error("task 3 failed");
+      });
+    EXPECT_THROW(G.wait(), std::runtime_error);
+  }
+  // The pool must stay usable after a group saw an exception.
+  std::atomic<int> Ran{0};
+  ThreadPool::TaskGroup G2(Pool);
+  for (int I = 0; I < 8; ++I)
+    G2.spawn([&Ran] { Ran.fetch_add(1); });
+  G2.wait();
+  EXPECT_EQ(Ran.load(), 8);
+}
+
+TEST(ThreadPoolTest, NestedWaitDoesNotDeadlockOnOneWorker) {
+  // The scheduler nests waits (a pool task runs a TaskGroup of its own, as
+  // GlobalSVFA's deferred discharge does inside a checker task). With one
+  // worker that deadlocks unless wait() helps run queued tasks inline.
+  ThreadPool Pool(1);
+  std::atomic<int> Inner{0};
+  ThreadPool::TaskGroup Outer(Pool);
+  Outer.spawn([&Pool, &Inner] {
+    ThreadPool::TaskGroup G(Pool);
+    for (int I = 0; I < 4; ++I)
+      G.spawn([&Inner] { Inner.fetch_add(1); });
+    G.wait();
+  });
+  Outer.wait();
+  EXPECT_EQ(Inner.load(), 4);
+}
+
+TEST(ThreadPoolTest, WaitingThreadHelpsRunTasks) {
+  // Even the thread calling wait() (not a pool worker) must be able to
+  // drain the queue, so a saturated pool cannot starve its waiter.
+  ThreadPool Pool(1);
+  std::atomic<int> Ran{0};
+  ThreadPool::TaskGroup G(Pool);
+  for (int I = 0; I < 64; ++I)
+    G.spawn([&Ran] { Ran.fetch_add(1); });
+  G.wait();
+  EXPECT_EQ(Ran.load(), 64);
+}
+
+TEST(ThreadPoolTest, HardwareConcurrencyIsPositive) {
+  EXPECT_GE(ThreadPool::hardwareConcurrency(), 1u);
+}
+
+//===----------------------------------------------------------------------===
+// Determinism: jobs=4 must reproduce the serial reports byte for byte
+//===----------------------------------------------------------------------===
+
+std::string render(const Report &R) {
+  std::string Out = R.Checker + "|" + R.SourceFn + ":" + R.Source.str() +
+                    "->" + R.SinkFn + ":" + R.Sink.str() + "|" +
+                    smt::toString(R.Verdict);
+  for (const std::string &Step : R.Path)
+    Out += "|" + Step;
+  return Out;
+}
+
+/// Parses \p Src fresh (the pipeline mutates the module) and runs \p Spec
+/// with a \p Jobs-worker pool (Jobs <= 1: the serial path).
+std::vector<std::string> runRendered(const std::string &Src,
+                                     const checkers::CheckerSpec &Spec,
+                                     unsigned Jobs,
+                                     const std::string &FaultSpec = "",
+                                     Budget Bud = {}) {
+  ir::Module M;
+  std::vector<frontend::Diag> Diags;
+  EXPECT_TRUE(frontend::parseModule(Src, M, Diags));
+  for (auto &D : Diags)
+    ADD_FAILURE() << D.str();
+  smt::ExprContext Ctx;
+
+  FaultInjector FI;
+  if (!FaultSpec.empty()) {
+    std::string Err;
+    EXPECT_TRUE(FI.parse(FaultSpec, Err)) << Err;
+  }
+  ResourceGovernor Gov(Bud, std::move(FI));
+
+  std::unique_ptr<ThreadPool> Pool;
+  if (Jobs > 1)
+    Pool = std::make_unique<ThreadPool>(Jobs);
+
+  PipelineOptions PO;
+  PO.Governor = &Gov;
+  PO.Pool = Pool.get();
+  AnalyzedModule AM(M, Ctx, PO);
+
+  GlobalOptions GO;
+  GO.Governor = &Gov;
+  GO.Pool = Pool.get();
+  GlobalSVFA Engine(AM, Spec, GO);
+
+  std::vector<std::string> Out;
+  for (const Report &R : Engine.run())
+    Out.push_back(render(R));
+  return Out;
+}
+
+workload::WorkloadConfig subjectConfig(uint64_t Seed) {
+  workload::WorkloadConfig C;
+  C.Seed = Seed;
+  C.TargetLoC = 800;
+  C.FeasibleUAF = 3;
+  C.InfeasibleUAF = 2;
+  C.EnvGuardedUAF = 1;
+  C.FeasibleDF = 2;
+  C.FeasibleTaint = 2;
+  C.InfeasibleTaint = 1;
+  C.AliasNoise = 3;
+  C.CallDepth = 3;
+  return C;
+}
+
+TEST(ParallelDeterminismTest, WorkloadSubjectsMatchSerial) {
+  const checkers::CheckerSpec Specs[] = {
+      checkers::useAfterFreeChecker(), checkers::doubleFreeChecker(),
+      checkers::pathTraversalChecker()};
+  for (uint64_t Seed : {11u, 42u, 77u}) {
+    workload::Workload W = workload::generate(subjectConfig(Seed));
+    for (const checkers::CheckerSpec &Spec : Specs) {
+      std::vector<std::string> Serial = runRendered(W.Source, Spec, 1);
+      std::vector<std::string> Parallel = runRendered(W.Source, Spec, 4);
+      EXPECT_EQ(Serial, Parallel)
+          << "seed " << Seed << ", checker " << Spec.Name;
+      // A subject with planted bugs must actually produce reports, or the
+      // comparison is vacuous.
+      if (Spec.Name == "use-after-free") {
+        EXPECT_FALSE(Serial.empty()) << "seed " << Seed;
+      }
+    }
+  }
+}
+
+TEST(ParallelDeterminismTest, RepeatedParallelRunsAreStable) {
+  workload::Workload W = workload::generate(subjectConfig(5));
+  const checkers::CheckerSpec Spec = checkers::useAfterFreeChecker();
+  std::vector<std::string> First = runRendered(W.Source, Spec, 4);
+  for (int I = 0; I < 3; ++I)
+    EXPECT_EQ(runRendered(W.Source, Spec, 4), First) << "iteration " << I;
+}
+
+/// Fingerprint of the whole pipeline output: rewritten IR text plus
+/// interface and SEG shape for every function, in bottom-up order.
+std::string pipelineFingerprint(const std::string &Src, unsigned Jobs) {
+  ir::Module M;
+  std::vector<frontend::Diag> Diags;
+  EXPECT_TRUE(frontend::parseModule(Src, M, Diags));
+  smt::ExprContext Ctx;
+  std::unique_ptr<ThreadPool> Pool;
+  if (Jobs > 1)
+    Pool = std::make_unique<ThreadPool>(Jobs);
+  PipelineOptions PO;
+  PO.Pool = Pool.get();
+  AnalyzedModule AM(M, Ctx, PO);
+
+  std::string Out;
+  for (ir::Function *F : AM.bottomUpOrder()) {
+    const AnalyzedFunction &I = AM.info(F);
+    Out += F->str();
+    Out += "refs=" + std::to_string(I.Interface.RefPaths.size()) +
+           " mods=" + std::to_string(I.Interface.ModPaths.size()) +
+           " edges=" + std::to_string(I.Seg ? I.Seg->numEdges() : 0) +
+           " verts=" + std::to_string(I.Seg ? I.Seg->numVertices() : 0) + "\n";
+  }
+  return Out;
+}
+
+TEST(ParallelDeterminismTest, WideSubjectPipelineMatchesSerialExactly) {
+  // Regression: a subject with hundreds of root SCCs (the generator's hub
+  // allocators) and fast leaf tasks once made the scheduler's root scan
+  // race with early completions and spawn some SCCs twice, running the
+  // interface transform twice on one function. Small subjects never hit
+  // the window; this wide one did on every run. The fingerprint covers the
+  // rewritten IR itself, so a doubled transform cannot cancel out.
+  workload::WorkloadConfig C;
+  C.Seed = 3;
+  C.TargetLoC = 6000;
+  C.FeasibleUAF = 8;
+  C.InfeasibleUAF = 4;
+  C.EnvGuardedUAF = 2;
+  C.FeasibleDF = 4;
+  C.FeasibleTaint = 3;
+  C.InfeasibleTaint = 2;
+  C.AliasNoise = 8;
+  C.CallDepth = 4;
+  workload::Workload W = workload::generate(C);
+
+  std::string Serial = pipelineFingerprint(W.Source, 1);
+  for (unsigned Jobs : {2u, 4u})
+    for (int Rep = 0; Rep < 2; ++Rep)
+      EXPECT_EQ(Serial, pipelineFingerprint(W.Source, Jobs))
+          << "jobs " << Jobs << ", rep " << Rep;
+}
+
+//===----------------------------------------------------------------------===
+// Fault isolation under parallelism
+//===----------------------------------------------------------------------===
+
+constexpr const char *TwoBugSrc = R"(
+  int f1(int *p) {
+    free(p);
+    return *p;
+  }
+  int f2(int *q) {
+    free(q);
+    return *q;
+  })";
+
+constexpr const char *GuardedBugSrc = R"(
+  int f(int *p, int c) {
+    if (c > 0) {
+      free(p);
+    }
+    return *p;
+  })";
+
+TEST(ParallelFaultTest, SvfaThrowIsolatedUnderJobs4) {
+  // f1's analysis throws; with four workers f2's reports must survive and
+  // match the serial run exactly.
+  std::vector<std::string> Serial =
+      runRendered(TwoBugSrc, checkers::useAfterFreeChecker(), 1,
+                  "seed=7,throw-fn=f1");
+  std::vector<std::string> Parallel =
+      runRendered(TwoBugSrc, checkers::useAfterFreeChecker(), 4,
+                  "seed=7,throw-fn=f1");
+  EXPECT_EQ(Serial, Parallel);
+  ASSERT_EQ(Parallel.size(), 1u);
+  EXPECT_NE(Parallel[0].find("f2"), std::string::npos);
+}
+
+TEST(ParallelFaultTest, PipelineThrowIsolatedUnderJobs4) {
+  // The per-function pipeline task for f1 throws inside a pool worker: f1
+  // degrades to the conservative fallback, f2 is untouched, and the
+  // resulting reports equal the serial run's.
+  std::vector<std::string> Serial =
+      runRendered(TwoBugSrc, checkers::useAfterFreeChecker(), 1,
+                  "seed=7,pipeline-throw-fn=f1");
+  std::vector<std::string> Parallel =
+      runRendered(TwoBugSrc, checkers::useAfterFreeChecker(), 4,
+                  "seed=7,pipeline-throw-fn=f1");
+  EXPECT_EQ(Serial, Parallel);
+  EXPECT_FALSE(Parallel.empty());
+}
+
+TEST(ParallelFaultTest, ForcedSolverUnknownMatchesSerial) {
+  // solver-unknown=100 is one of the two injection rates that stay
+  // deterministic under parallel discharge (every draw fires).
+  std::vector<std::string> Serial =
+      runRendered(GuardedBugSrc, checkers::useAfterFreeChecker(), 1,
+                  "seed=7,solver-unknown=100");
+  std::vector<std::string> Parallel =
+      runRendered(GuardedBugSrc, checkers::useAfterFreeChecker(), 4,
+                  "seed=7,solver-unknown=100");
+  EXPECT_EQ(Serial, Parallel);
+  ASSERT_EQ(Parallel.size(), 1u);
+  EXPECT_NE(Parallel[0].find("unknown"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===
+// Degradation events stay attributable under parallelism
+//===----------------------------------------------------------------------===
+
+TEST(ParallelDegradationTest, EventsCarryFunctionAndMatchSerial) {
+  workload::Workload W = workload::generate(subjectConfig(11));
+
+  auto collect = [&](unsigned Jobs) {
+    ir::Module M;
+    std::vector<frontend::Diag> Diags;
+    EXPECT_TRUE(frontend::parseModule(W.Source, M, Diags));
+    smt::ExprContext Ctx;
+    Budget B;
+    B.MaxClosureSteps = 2; // Force closure truncation everywhere.
+    ResourceGovernor Gov(B);
+    std::unique_ptr<ThreadPool> Pool;
+    if (Jobs > 1)
+      Pool = std::make_unique<ThreadPool>(Jobs);
+    PipelineOptions PO;
+    PO.Governor = &Gov;
+    PO.Pool = Pool.get();
+    AnalyzedModule AM(M, Ctx, PO);
+    GlobalOptions GO;
+    GO.Governor = &Gov;
+    GO.Pool = Pool.get();
+    GlobalSVFA Engine(AM, checkers::useAfterFreeChecker(), GO);
+    (void)Engine.run();
+
+    // Sorted multiset of (stage, function, kind, detail): the parallel log
+    // arrives in completion order but must hold the same events.
+    std::multiset<std::string> Events;
+    for (const DegradationEvent &E : Gov.log().events()) {
+      if (E.Kind == DegradationKind::ClosureTruncated) {
+        EXPECT_FALSE(E.Function.empty()) << E.Detail;
+      }
+      Events.insert(E.Stage + "|" + E.Function + "|" +
+                    std::to_string(static_cast<int>(E.Kind)) + "|" + E.Detail);
+    }
+    return Events;
+  };
+
+  std::multiset<std::string> Serial = collect(1);
+  std::multiset<std::string> Parallel = collect(4);
+  EXPECT_FALSE(Serial.empty());
+  EXPECT_EQ(Serial, Parallel);
+}
+
+} // namespace
+} // namespace pinpoint::svfa

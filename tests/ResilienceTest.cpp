@@ -263,9 +263,9 @@ TEST(FaultInjectorTest, SolverUnknownIsDeterministicPerSeed) {
 
 TEST(DegradationLogTest, CountsAndSummarizes) {
   DegradationLog Log;
-  Log.note(DegradationKind::SolverUnknown, "smt", "q1");
-  Log.note(DegradationKind::SolverUnknown, "smt", "q2");
-  Log.note(DegradationKind::CheckerFailed, "checker:uaf", "boom");
+  Log.note(DegradationKind::SolverUnknown, "smt", "f1", "q1");
+  Log.note(DegradationKind::SolverUnknown, "smt", "f1", "q2");
+  Log.note(DegradationKind::CheckerFailed, "checker", "uaf", "boom");
   EXPECT_EQ(Log.count(DegradationKind::SolverUnknown), 2u);
   EXPECT_EQ(Log.count(DegradationKind::CheckerFailed), 1u);
   EXPECT_EQ(Log.total(), 3u);
