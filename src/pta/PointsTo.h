@@ -91,6 +91,7 @@ public:
 
 private:
   friend class PointsToAnalysis;
+  friend class PointsToRebuilder;
   std::map<const ir::LoadStmt *, ValSet> LoadDeps;
   std::map<const ir::Variable *, PtsSet> VarPts;
   std::set<ParamPath> Refs, Mods;
@@ -104,6 +105,26 @@ private:
 PointsToResult runPointsTo(const ir::Function &F, ir::SymbolMap &Syms,
                            ir::ConditionMap &Conds,
                            const PTAConfig &Config = {});
+
+/// Reconstitutes a `PointsToResult` from cached artifacts (the incremental
+/// summary cache, svfa/SummaryIO). Only the outputs with downstream
+/// consumers are restored: per-load dependences (the SEG's only points-to
+/// input), the REF/MOD sets and the truncation flag. Per-variable points-to
+/// sets and the linear-filter statistics stay empty — nothing outside the
+/// pta stage reads them.
+class PointsToRebuilder {
+public:
+  static PointsToResult build(std::map<const ir::LoadStmt *, ValSet> LoadDeps,
+                              std::set<ParamPath> Refs,
+                              std::set<ParamPath> Mods, bool Truncated) {
+    PointsToResult R;
+    R.LoadDeps = std::move(LoadDeps);
+    R.Refs = std::move(Refs);
+    R.Mods = std::move(Mods);
+    R.Truncated = Truncated;
+    return R;
+  }
+};
 
 } // namespace pinpoint::pta
 

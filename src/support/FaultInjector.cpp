@@ -69,6 +69,8 @@ bool FaultInjector::parse(const std::string &Spec, std::string &Err) {
       PipelineThrowFn = Val;
     } else if (Key == "throw-checker") {
       ThrowChecker = Val;
+    } else if (Key == "cache-read") {
+      CacheReadFn = Val;
     } else {
       Err = "unknown fault-inject key: " + Key;
       return false;

@@ -21,6 +21,8 @@
 ///   throw-checker=NAME    throw at the start of checker NAME's run
 ///   closure-steps=N       override the value-closure step budget to N
 ///                         (forces walk truncation)
+///   cache-read=NAME       treat NAME's summary-cache entry as corrupt on
+///                         read (exercises the fallback-to-rebuild path)
 ///
 //===----------------------------------------------------------------------===//
 
@@ -45,7 +47,8 @@ public:
   FaultInjector(const FaultInjector &O)
       : Enabled(O.Enabled), Rng(O.Rng), SolverUnknownPct(O.SolverUnknownPct),
         ClosureSteps(O.ClosureSteps), ThrowFn(O.ThrowFn),
-        PipelineThrowFn(O.PipelineThrowFn), ThrowChecker(O.ThrowChecker) {}
+        PipelineThrowFn(O.PipelineThrowFn), ThrowChecker(O.ThrowChecker),
+        CacheReadFn(O.CacheReadFn) {}
   FaultInjector &operator=(const FaultInjector &O) {
     Enabled = O.Enabled;
     Rng = O.Rng;
@@ -54,6 +57,7 @@ public:
     ThrowFn = O.ThrowFn;
     PipelineThrowFn = O.PipelineThrowFn;
     ThrowChecker = O.ThrowChecker;
+    CacheReadFn = O.CacheReadFn;
     return *this;
   }
 
@@ -90,6 +94,11 @@ public:
     return Enabled && !ThrowChecker.empty() && Name == ThrowChecker;
   }
 
+  /// True when \p Fn's summary-cache entry should read back as corrupt.
+  bool injectCacheReadFault(const std::string &Fn) const {
+    return Enabled && !CacheReadFn.empty() && Fn == CacheReadFn;
+  }
+
   /// Value-closure step-budget override (0 = none).
   uint64_t closureStepOverride() const { return ClosureSteps; }
 
@@ -102,6 +111,7 @@ private:
   std::string ThrowFn;
   std::string PipelineThrowFn;
   std::string ThrowChecker;
+  std::string CacheReadFn;
 };
 
 } // namespace pinpoint

@@ -1,0 +1,74 @@
+//===- support/Hasher.h - Streaming structural hashing --------------------===//
+//
+// Part of the Pinpoint reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small streaming 64-bit hasher (FNV-1a core with a final avalanche mix)
+/// used for stable, platform-independent content keys: IR fingerprints, the
+/// summary-cache SCC keys, and cache file names. Not cryptographic — the
+/// cache pairs every key with an explicit payload checksum and the stored
+/// function name, so a collision degrades to a detected mismatch, never to
+/// silently wrong results.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PINPOINT_SUPPORT_HASHER_H
+#define PINPOINT_SUPPORT_HASHER_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace pinpoint {
+
+class Hasher {
+public:
+  Hasher &bytes(const void *Data, size_t N) {
+    const auto *P = static_cast<const unsigned char *>(Data);
+    for (size_t I = 0; I < N; ++I)
+      H = (H ^ P[I]) * 1099511628211ull;
+    return *this;
+  }
+
+  Hasher &u8(uint8_t V) { return bytes(&V, 1); }
+  Hasher &u32(uint32_t V) {
+    // Byte-serialise explicitly so the digest is endianness-independent.
+    uint8_t B[4] = {static_cast<uint8_t>(V), static_cast<uint8_t>(V >> 8),
+                    static_cast<uint8_t>(V >> 16),
+                    static_cast<uint8_t>(V >> 24)};
+    return bytes(B, sizeof(B));
+  }
+  Hasher &u64(uint64_t V) {
+    u32(static_cast<uint32_t>(V));
+    return u32(static_cast<uint32_t>(V >> 32));
+  }
+  Hasher &i64(int64_t V) { return u64(static_cast<uint64_t>(V)); }
+  /// Length-prefixed, so "ab"+"c" and "a"+"bc" hash differently.
+  Hasher &str(const std::string &S) {
+    u64(S.size());
+    return bytes(S.data(), S.size());
+  }
+
+  /// The digest. A final mix (splitmix64 finaliser) spreads the FNV state's
+  /// low-entropy high bits before the value is truncated or bucketed.
+  uint64_t digest() const {
+    uint64_t Z = H;
+    Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebull;
+    return Z ^ (Z >> 31);
+  }
+
+  /// One-shot convenience for short keys (cache file names).
+  static uint64_t hashString(const std::string &S) {
+    return Hasher().str(S).digest();
+  }
+
+private:
+  uint64_t H = 1469598103934665603ull;
+};
+
+} // namespace pinpoint
+
+#endif // PINPOINT_SUPPORT_HASHER_H

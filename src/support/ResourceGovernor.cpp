@@ -31,6 +31,8 @@ const char *toString(DegradationKind K) {
     return "run-budget-exhausted";
   case DegradationKind::InjectedFault:
     return "injected-fault";
+  case DegradationKind::CacheCorrupt:
+    return "cache-corrupt";
   case DegradationKind::NumKinds:
     break;
   }

@@ -70,6 +70,7 @@ enum class DegradationKind : uint8_t {
   CheckerFailed,        ///< Exception isolated to one checker's run.
   RunBudgetExhausted,   ///< Whole-run wall clock expired.
   InjectedFault,        ///< A FaultInjector-forced event fired.
+  CacheCorrupt,         ///< Summary-cache entry failed integrity checks.
   NumKinds
 };
 

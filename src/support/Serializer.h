@@ -1,0 +1,107 @@
+//===- support/Serializer.h - Bounds-checked binary (de)serialisation -----===//
+//
+// Part of the Pinpoint reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Little-endian binary writer/reader used by the persistent summary cache.
+/// The writer appends into a byte vector; the reader is strictly
+/// bounds-checked and *throws* `SerializationError` on any attempt to read
+/// past the payload — a truncated or bit-flipped cache entry surfaces as one
+/// catchable error, never as undefined behaviour. Numbers are serialised
+/// byte-by-byte, so payloads are portable across hosts.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PINPOINT_SUPPORT_SERIALIZER_H
+#define PINPOINT_SUPPORT_SERIALIZER_H
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace pinpoint {
+
+class SerializationError : public std::runtime_error {
+public:
+  explicit SerializationError(const std::string &What)
+      : std::runtime_error(What) {}
+};
+
+class ByteWriter {
+public:
+  void u8(uint8_t V) { Buf.push_back(V); }
+  void u32(uint32_t V) {
+    Buf.push_back(static_cast<uint8_t>(V));
+    Buf.push_back(static_cast<uint8_t>(V >> 8));
+    Buf.push_back(static_cast<uint8_t>(V >> 16));
+    Buf.push_back(static_cast<uint8_t>(V >> 24));
+  }
+  void u64(uint64_t V) {
+    u32(static_cast<uint32_t>(V));
+    u32(static_cast<uint32_t>(V >> 32));
+  }
+  void i64(int64_t V) { u64(static_cast<uint64_t>(V)); }
+  void boolean(bool B) { u8(B ? 1 : 0); }
+  void str(const std::string &S) {
+    u32(static_cast<uint32_t>(S.size()));
+    Buf.insert(Buf.end(), S.begin(), S.end());
+  }
+
+  const std::vector<uint8_t> &buffer() const { return Buf; }
+  std::vector<uint8_t> take() { return std::move(Buf); }
+
+private:
+  std::vector<uint8_t> Buf;
+};
+
+class ByteReader {
+public:
+  ByteReader(const uint8_t *Data, size_t Size) : P(Data), End(Data + Size) {}
+  explicit ByteReader(const std::vector<uint8_t> &Buf)
+      : ByteReader(Buf.data(), Buf.size()) {}
+
+  uint8_t u8() {
+    need(1);
+    return *P++;
+  }
+  uint32_t u32() {
+    need(4);
+    uint32_t V = static_cast<uint32_t>(P[0]) |
+                 (static_cast<uint32_t>(P[1]) << 8) |
+                 (static_cast<uint32_t>(P[2]) << 16) |
+                 (static_cast<uint32_t>(P[3]) << 24);
+    P += 4;
+    return V;
+  }
+  uint64_t u64() {
+    uint64_t Lo = u32();
+    return Lo | (static_cast<uint64_t>(u32()) << 32);
+  }
+  int64_t i64() { return static_cast<int64_t>(u64()); }
+  bool boolean() { return u8() != 0; }
+  std::string str() {
+    uint32_t N = u32();
+    need(N);
+    std::string S(reinterpret_cast<const char *>(P), N);
+    P += N;
+    return S;
+  }
+
+  size_t remaining() const { return static_cast<size_t>(End - P); }
+  bool atEnd() const { return P == End; }
+
+private:
+  void need(size_t N) {
+    if (static_cast<size_t>(End - P) < N)
+      throw SerializationError("truncated payload");
+  }
+  const uint8_t *P;
+  const uint8_t *End;
+};
+
+} // namespace pinpoint
+
+#endif // PINPOINT_SUPPORT_SERIALIZER_H

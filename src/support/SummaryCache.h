@@ -1,0 +1,90 @@
+//===- support/SummaryCache.h - Persistent function-summary store ---------===//
+//
+// Part of the Pinpoint reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The on-disk half of incremental reanalysis (`--cache-dir`): a directory
+/// of per-function entry files, one per analysed function, in a versioned
+/// binary format. This layer is deliberately IR-agnostic — it stores opaque
+/// payload bytes against a (function name, content key) pair; encoding and
+/// decoding the pipeline artifacts lives in svfa/SummaryIO.
+///
+/// Entry file layout (little-endian, see support/Serializer.h):
+///
+///   "PPSC"            magic
+///   u32               format version
+///   u64               content key (transitive SCC hash, see DESIGN.md §10)
+///   str               function name (guards file-name hash collisions)
+///   u64               payload checksum (Hasher digest of the payload)
+///   u32               payload size
+///   bytes             payload
+///
+/// Every integrity failure — short file, bad magic, version mismatch,
+/// checksum mismatch — is reported as `Corrupt` with a human-readable
+/// detail; a key mismatch is `Stale` (the function or its callees changed).
+/// Callers fall back to a full rebuild in both cases. Writes go through a
+/// unique temp file plus an atomic rename, so concurrent `--jobs` stores
+/// and a reader racing a writer never observe a half-written entry.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PINPOINT_SUPPORT_SUMMARYCACHE_H
+#define PINPOINT_SUPPORT_SUMMARYCACHE_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pinpoint {
+
+class SummaryCache {
+public:
+  enum class Mode { Read, ReadWrite };
+
+  /// Bump whenever the payload encoding or the key derivation changes; old
+  /// entries then read as Corrupt("format version ...") and are rebuilt.
+  static constexpr uint32_t FormatVersion = 1;
+
+  SummaryCache(std::string Directory, Mode M)
+      : Dir(std::move(Directory)), M(M) {}
+
+  const std::string &directory() const { return Dir; }
+  bool writable() const { return M == Mode::ReadWrite; }
+
+  /// Creates the directory when writable. Returns false (with \p Err set)
+  /// only if it cannot be created; a missing directory in read mode is not
+  /// an error — every probe simply misses.
+  bool prepare(std::string &Err) const;
+
+  enum class LoadStatus : uint8_t {
+    Missing, ///< No entry (or a file-name hash collision with another fn).
+    Corrupt, ///< Integrity failure; Detail says which check tripped.
+    Stale,   ///< Entry exists but its content key does not match.
+    Ok,
+  };
+  struct Loaded {
+    LoadStatus Status;
+    std::vector<uint8_t> Payload; ///< Filled only for Ok.
+    std::string Detail;           ///< Filled for Corrupt.
+  };
+
+  Loaded load(const std::string &FnName, uint64_t ExpectKey) const;
+
+  /// Atomically (re)writes \p FnName's entry. Returns false on I/O failure;
+  /// the previous entry, if any, is left intact in that case.
+  bool store(const std::string &FnName, uint64_t Key,
+             const std::vector<uint8_t> &Payload) const;
+
+  /// The entry file backing \p FnName (exposed for tests that corrupt it).
+  std::string entryPath(const std::string &FnName) const;
+
+private:
+  std::string Dir;
+  Mode M;
+};
+
+} // namespace pinpoint
+
+#endif // PINPOINT_SUPPORT_SUMMARYCACHE_H

@@ -5,10 +5,14 @@
 //===----------------------------------------------------------------------===//
 
 #include "svfa/Pipeline.h"
+#include "ir/Fingerprint.h"
 #include "ir/SSA.h"
+#include "support/Hasher.h"
 #include "support/ResourceGovernor.h"
 #include "support/Statistics.h"
+#include "support/SummaryCache.h"
 #include "support/ThreadPool.h"
+#include "svfa/SummaryIO.h"
 
 #include <functional>
 #include <stdexcept>
@@ -26,7 +30,8 @@ size_t countStmts(const ir::Function &F) {
 
 } // namespace
 
-void AnalyzedModule::analyzeOne(ir::Function *F, ResourceGovernor &Gov,
+void AnalyzedModule::analyzeOne(ir::Function *F, size_t SCCId,
+                                bool CalleeTainted, ResourceGovernor &Gov,
                                 const PipelineOptions &Opts,
                                 transform::InterfaceMap &Interfaces,
                                 std::atomic<bool> &RunExhaustedNoted) {
@@ -35,6 +40,8 @@ void AnalyzedModule::analyzeOne(ir::Function *F, ResourceGovernor &Gov,
 
   // Budget gates: oversized functions and post-deadline stragglers get
   // the conservative fallback instead of the full per-function pipeline.
+  // Oversized is a deterministic function of the (key-hashed) budget, so
+  // it does not taint; a wall-clock skip is not reproducible and does.
   bool SkipFull = false;
   size_t NumStmts = countStmts(*F);
   if (Gov.budget().MaxFunctionStmts > 0 &&
@@ -48,6 +55,7 @@ void AnalyzedModule::analyzeOne(ir::Function *F, ResourceGovernor &Gov,
       Gov.note(DegradationKind::RunBudgetExhausted, "pipeline", "",
                "wall clock expired; remaining functions degraded");
     SkipFull = true;
+    SCCOwnTaint[SCCId] = 1;
   }
 
   if (!SkipFull) {
@@ -65,6 +73,56 @@ void AnalyzedModule::analyzeOne(ir::Function *F, ResourceGovernor &Gov,
       transform::rewriteCallSites(*F, *CG, Interfaces);
 
       Info.Conds = std::make_unique<ir::ConditionMap>(*F, Syms);
+
+      // Cache probe: on a key match, replay the stored interface + load
+      // dependences instead of running both points-to passes. Any
+      // integrity failure falls back to the full rebuild below — the cache
+      // can cost a rebuild, never a wrong result.
+      if (Cache && !CalleeTainted) {
+        bool Probe = true;
+        if (Gov.faults().injectCacheReadFault(F->name())) {
+          Gov.note(DegradationKind::InjectedFault, "cache", F->name(),
+                   "forced cache read fault");
+          Counters::get().add("cache.corrupt", 1);
+          Counters::get().add("cache.misses", 1);
+          Probe = false;
+        }
+        if (Probe) {
+          SummaryCache::Loaded L = Cache->load(F->name(), SCCKeys[SCCId]);
+          if (L.Status == SummaryCache::LoadStatus::Ok) {
+            FunctionSummaryEntry E;
+            std::string Err;
+            if (decodeFunctionSummary(L.Payload, E, Err) &&
+                validateSummary(E, *F, Err)) {
+              replayFunctionSummary(*F, E, Syms, Info.Interface, Info.PTA);
+              Interfaces.set(F, Info.Interface);
+              if (E.NoteTruncated)
+                Gov.note(DegradationKind::PTATruncated, "pipeline", F->name(),
+                         "points-to step budget hit");
+              Info.Seg =
+                  std::make_unique<seg::SEG>(*F, Syms, *Info.Conds, Info.PTA);
+              Counters::get().add("seg.edges",
+                                  static_cast<int64_t>(Info.Seg->numEdges()));
+              Counters::get().add("cache.hits", 1);
+              Fns.at(F) = std::move(Info);
+              return;
+            }
+            Gov.note(DegradationKind::CacheCorrupt, "cache", F->name(), Err);
+            Counters::get().add("cache.corrupt", 1);
+            Counters::get().add("cache.misses", 1);
+          } else if (L.Status == SummaryCache::LoadStatus::Corrupt) {
+            Gov.note(DegradationKind::CacheCorrupt, "cache", F->name(),
+                     L.Detail);
+            Counters::get().add("cache.corrupt", 1);
+            Counters::get().add("cache.misses", 1);
+          } else if (L.Status == SummaryCache::LoadStatus::Stale) {
+            Counters::get().add("cache.invalidated", 1);
+            Counters::get().add("cache.misses", 1);
+          } else {
+            Counters::get().add("cache.misses", 1);
+          }
+        }
+      }
 
       // Pass 1: discover this function's own side effects.
       pta::PTAConfig Cfg1;
@@ -91,11 +149,26 @@ void AnalyzedModule::analyzeOne(ir::Function *F, ResourceGovernor &Gov,
       Counters::get().add("seg.edges",
                           static_cast<int64_t>(Info.Seg->numEdges()));
 
+      // Persist the freshly-built artifacts. Tainted chains are never
+      // stored: their interfaces reflect this run's nondeterministic
+      // degradation, not the keyed source content. Unrepresentable
+      // summaries are silently skipped (the function just stays uncached).
+      if (Cache && Cache->writable() && !CalleeTainted &&
+          !SCCOwnTaint[SCCId]) {
+        std::vector<uint8_t> Payload;
+        if (encodeFunctionSummary(*F, Info, Syms,
+                                  Pass1.truncated() || Info.PTA.truncated(),
+                                  Payload) &&
+            Cache->store(F->name(), SCCKeys[SCCId], Payload))
+          Counters::get().add("cache.stored", 1);
+      }
+
       Fns.at(F) = std::move(Info);
       return;
     } catch (const std::exception &Ex) {
       Gov.note(DegradationKind::FunctionFailed, "pipeline", F->name(),
                Ex.what());
+      SCCOwnTaint[SCCId] = 1;
       Info = AnalyzedFunction();
       Info.F = F;
     }
@@ -113,6 +186,7 @@ void AnalyzedModule::analyzeOne(ir::Function *F, ResourceGovernor &Gov,
   } catch (const std::exception &Ex) {
     Gov.note(DegradationKind::FunctionSkipped, "pipeline", F->name(),
              std::string("fallback failed: ") + Ex.what());
+    SCCOwnTaint[SCCId] = 1;
     Info.Conds = nullptr;
     Info.Seg = nullptr;
   }
@@ -134,6 +208,7 @@ AnalyzedModule::AnalyzedModule(ir::Module &M, smt::ExprContext &Ctx,
   }
 
   CG = std::make_unique<ir::CallGraph>(M);
+  const std::vector<ir::CallGraph::SCCNode> &SCCs = CG->sccs();
 
   // Pre-create every function's result slot and interface slot so the
   // parallel schedule mutates fixed storage, never a growing map.
@@ -141,12 +216,49 @@ AnalyzedModule::AnalyzedModule(ir::Module &M, smt::ExprContext &Ctx,
   for (ir::Function *F : CG->bottomUpOrder())
     Fns[F];
 
+  SCCOwnTaint.assign(SCCs.size(), 0);
+  SCCTaint.assign(SCCs.size(), 0);
+  Cache = Opts.Cache;
+  if (Cache) {
+    // Transitive content keys over the condensation. SCC ids are
+    // topological (callee < caller), so one ascending pass sees every
+    // callee key before it is consumed. The key covers everything a cached
+    // artifact can depend on: analysis knobs, the post-SSA fingerprints of
+    // every member, and the callee SCCs' transitive keys (a change
+    // anywhere below invalidates the whole caller chain).
+    Hasher ConfigH;
+    ConfigH.u8(Opts.UseLinearFilter ? 1 : 0);
+    ConfigH.u64(static_cast<uint64_t>(Gov.budget().MaxPTASteps));
+    ConfigH.u64(static_cast<uint64_t>(Gov.budget().MaxFunctionStmts));
+    uint64_t ConfigKey = ConfigH.digest();
+
+    SCCKeys.resize(SCCs.size());
+    for (size_t I = 0; I < SCCs.size(); ++I) {
+      Hasher H;
+      H.u64(ConfigKey);
+      for (const ir::Function *F : SCCs[I].Members)
+        H.u64(ir::fingerprintFunction(*F));
+      for (size_t Callee : SCCs[I].CalleeSCCs)
+        H.u64(SCCKeys[Callee]);
+      SCCKeys[I] = H.digest();
+    }
+  }
+
   std::atomic<bool> RunExhaustedNoted{false};
 
   if (!Opts.Pool || Opts.Pool->workers() <= 1) {
-    // Serial: the historical bottom-up loop, bit-for-bit.
-    for (ir::Function *F : CG->bottomUpOrder())
-      analyzeOne(F, Gov, Opts, Interfaces, RunExhaustedNoted);
+    // Serial: ascending SCC ids with members in order is exactly the
+    // historical `bottomUpOrder()` loop (ids are Tarjan completion order),
+    // plus the per-SCC taint bookkeeping the cache needs.
+    for (size_t I = 0; I < SCCs.size(); ++I) {
+      bool CalleeTainted = false;
+      for (size_t Callee : SCCs[I].CalleeSCCs)
+        CalleeTainted |= SCCTaint[Callee] != 0;
+      for (ir::Function *F : SCCs[I].Members)
+        analyzeOne(F, I, CalleeTainted, Gov, Opts, Interfaces,
+                   RunExhaustedNoted);
+      SCCTaint[I] = (SCCOwnTaint[I] || CalleeTainted) ? 1 : 0;
+    }
     return;
   }
 
@@ -154,7 +266,6 @@ AnalyzedModule::AnalyzedModule(ir::Module &M, smt::ExprContext &Ctx,
   // task; finishing a task decrements its dependents' counts and spawns
   // the newly-ready ones, so independent call-tree branches overlap while
   // every caller still starts after all its callees.
-  const std::vector<ir::CallGraph::SCCNode> &SCCs = CG->sccs();
   std::vector<std::atomic<size_t>> DepsLeft(SCCs.size());
   std::vector<std::vector<size_t>> Dependents(SCCs.size());
   for (size_t I = 0; I < SCCs.size(); ++I) {
@@ -165,8 +276,16 @@ AnalyzedModule::AnalyzedModule(ir::Module &M, smt::ExprContext &Ctx,
 
   ThreadPool::TaskGroup G(*Opts.Pool);
   std::function<void(size_t)> RunSCC = [&](size_t I) {
+    // Callee taints were finalised by callee tasks, which all completed
+    // before this task was spawned (the dependency decrement below is the
+    // acquire/release edge), so the plain reads are ordered.
+    bool CalleeTainted = false;
+    for (size_t Callee : SCCs[I].CalleeSCCs)
+      CalleeTainted |= SCCTaint[Callee] != 0;
     for (ir::Function *F : SCCs[I].Members)
-      analyzeOne(F, Gov, Opts, Interfaces, RunExhaustedNoted);
+      analyzeOne(F, I, CalleeTainted, Gov, Opts, Interfaces,
+                 RunExhaustedNoted);
+    SCCTaint[I] = (SCCOwnTaint[I] || CalleeTainted) ? 1 : 0;
     for (size_t Dep : Dependents[I])
       // acq_rel: publishes this SCC's interfaces/results to whichever task
       // performs the final decrement and runs the dependent.

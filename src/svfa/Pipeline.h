@@ -41,6 +41,7 @@
 
 namespace pinpoint {
 class ResourceGovernor;
+class SummaryCache;
 class ThreadPool;
 }
 
@@ -69,6 +70,9 @@ struct PipelineOptions {
   /// Worker pool for the SCC-DAG schedule; nullptr (or a 1-worker pool)
   /// runs the historical serial bottom-up loop.
   ThreadPool *Pool = nullptr;
+  /// Persistent function-summary cache for incremental reanalysis;
+  /// nullptr = from-scratch analysis (the historical behaviour).
+  SummaryCache *Cache = nullptr;
 };
 
 /// Owns the analysed state of a whole module.
@@ -100,9 +104,12 @@ private:
   /// Runs the whole per-function pipeline for \p F (including every
   /// degradation path) and fills its pre-created `Fns` slot. Never throws:
   /// failures are isolated per function, which is also what makes it safe
-  /// as the body of a pool task.
-  void analyzeOne(ir::Function *F, ResourceGovernor &Gov,
-                  const PipelineOptions &Opts,
+  /// as the body of a pool task. \p SCCId is F's condensation node;
+  /// \p CalleeTainted is true when any transitive callee SCC degraded
+  /// nondeterministically this run, which disables both cache probe and
+  /// store for F (its cached artifacts assume healthy callee interfaces).
+  void analyzeOne(ir::Function *F, size_t SCCId, bool CalleeTainted,
+                  ResourceGovernor &Gov, const PipelineOptions &Opts,
                   transform::InterfaceMap &Interfaces,
                   std::atomic<bool> &RunExhaustedNoted);
 
@@ -111,6 +118,19 @@ private:
   ir::SymbolMap Syms;
   std::unique_ptr<ir::CallGraph> CG;
   std::map<const ir::Function *, AnalyzedFunction> Fns;
+
+  /// Incremental-reanalysis state (empty when no cache is configured).
+  /// SCCKeys[I] is the transitive content key of condensation node I:
+  /// config knobs + member fingerprints + callee-SCC keys. The taint
+  /// vectors track *nondeterministic* degradation (failures, wall-clock
+  /// budget skips) — deterministic degradations are covered by the config
+  /// part of the key. Writes are ordered by the SCC-DAG schedule (a
+  /// dependent reads them only after the acquire/release dependency
+  /// decrement), so plain bytes suffice.
+  SummaryCache *Cache = nullptr;
+  std::vector<uint64_t> SCCKeys;
+  std::vector<uint8_t> SCCOwnTaint; ///< This SCC degraded nondeterministically.
+  std::vector<uint8_t> SCCTaint;    ///< Own taint OR any callee-SCC taint.
 };
 
 } // namespace pinpoint::svfa

@@ -19,6 +19,12 @@
 ///     --jobs=N          worker threads (default 1 = serial; 0 = all
 ///                       hardware threads). Reports are byte-identical
 ///                       across values of N.
+///     --cache-dir=PATH  persistent function-summary cache for incremental
+///                       reanalysis; unchanged call-graph SCCs load their
+///                       pipeline artifacts instead of rebuilding. Reports
+///                       are byte-identical to a from-scratch run.
+///     --cache=MODE      off | read | readwrite (default readwrite when
+///                       --cache-dir is given)
 ///
 ///   Resource governance (see support/ResourceGovernor.h):
 ///     --time-budget-ms=N      whole-run wall clock; past it, remaining
@@ -45,6 +51,7 @@
 #include "frontend/Parser.h"
 #include "support/ResourceGovernor.h"
 #include "support/Statistics.h"
+#include "support/SummaryCache.h"
 #include "support/ThreadPool.h"
 #include "support/Timer.h"
 #include "svfa/GlobalSVFA.h"
@@ -85,6 +92,8 @@ struct Options {
   long long MaxFnStmts = 0;
   long long Jobs = 1;
   std::string FaultSpec;
+  std::string CacheDir;
+  std::string CacheMode; ///< "", "off", "read" or "readwrite".
 };
 
 void usage() {
@@ -99,6 +108,10 @@ void usage() {
       "  --stats                  print statistics\n"
       "  --jobs=N                 worker threads (default 1 = serial, 0 = "
       "all hardware threads)\n"
+      "  --cache-dir=PATH         persistent function-summary cache for "
+      "incremental reanalysis\n"
+      "  --cache=MODE             off | read | readwrite (default readwrite "
+      "when --cache-dir is given)\n"
       "resource governance:\n"
       "  --time-budget-ms=N       whole-run wall clock budget\n"
       "  --fn-budget-ms=N         per-function wall clock budget\n"
@@ -180,6 +193,22 @@ bool parseArgs(int Argc, char **Argv, Options &O) {
       O.MaxDepth = static_cast<int>(V);
     } else if (A.rfind("--fault-inject=", 0) == 0) {
       O.FaultSpec = A.substr(std::strlen("--fault-inject="));
+    } else if (A.rfind("--cache-dir=", 0) == 0) {
+      O.CacheDir = A.substr(std::strlen("--cache-dir="));
+      if (O.CacheDir.empty()) {
+        std::fprintf(stderr, "error: --cache-dir= needs a path\n");
+        return false;
+      }
+    } else if (A.rfind("--cache=", 0) == 0) {
+      O.CacheMode = A.substr(std::strlen("--cache="));
+      if (O.CacheMode != "off" && O.CacheMode != "read" &&
+          O.CacheMode != "readwrite") {
+        std::fprintf(stderr,
+                     "error: invalid --cache value '%s' (expected off, "
+                     "read or readwrite)\n",
+                     O.CacheMode.c_str());
+        return false;
+      }
     } else if (A == "--no-path-sensitivity") {
       O.PathSensitive = false;
     } else if (A == "--no-linear-filter") {
@@ -218,6 +247,11 @@ bool parseArgs(int Argc, char **Argv, Options &O) {
   }
   if (O.Files.empty()) {
     std::fprintf(stderr, "error: no input files\n");
+    return false;
+  }
+  if (O.CacheDir.empty() && !O.CacheMode.empty() && O.CacheMode != "off") {
+    std::fprintf(stderr, "error: --cache=%s requires --cache-dir=PATH\n",
+                 O.CacheMode.c_str());
     return false;
   }
   return true;
@@ -294,12 +328,25 @@ int main(int Argc, char **Argv) {
   if (Jobs > 1)
     Pool = std::make_unique<ThreadPool>(Jobs);
 
+  std::unique_ptr<SummaryCache> Cache;
+  if (!O.CacheDir.empty() && O.CacheMode != "off") {
+    Cache = std::make_unique<SummaryCache>(
+        O.CacheDir, O.CacheMode == "read" ? SummaryCache::Mode::Read
+                                          : SummaryCache::Mode::ReadWrite);
+    std::string Err;
+    if (!Cache->prepare(Err)) {
+      std::fprintf(stderr, "error: --cache-dir: %s\n", Err.c_str());
+      return 2;
+    }
+  }
+
   Timer Total;
   smt::ExprContext Ctx;
   svfa::PipelineOptions PO;
   PO.UseLinearFilter = O.LinearFilter;
   PO.Governor = &Gov;
   PO.Pool = Pool.get();
+  PO.Cache = Cache.get();
   svfa::AnalyzedModule AM(M, Ctx, PO);
   double PipelineSec = Total.seconds();
 
@@ -416,6 +463,16 @@ int main(int Argc, char **Argv) {
                 "%.3fs total, %.1f MB peak\n",
                 M.functions().size(), AM.totalSEGEdges(), PipelineSec,
                 Total.seconds(), MemStats::get().peakBytes() / 1e6);
+    if (Cache) {
+      Counters &C = Counters::get();
+      std::printf("[cache] hits=%lld misses=%lld invalidated=%lld "
+                  "corrupt=%lld stored=%lld\n",
+                  (long long)C.value("cache.hits"),
+                  (long long)C.value("cache.misses"),
+                  (long long)C.value("cache.invalidated"),
+                  (long long)C.value("cache.corrupt"),
+                  (long long)C.value("cache.stored"));
+    }
     std::printf("[governor] %s\n", Gov.log().summary().c_str());
   }
   if (O.DegradationLog) {

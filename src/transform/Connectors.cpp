@@ -36,12 +36,19 @@ std::string pathName(const pta::ParamPath &P, const char *Prefix) {
 
 FunctionInterface applyInterfaceTransform(Function &F,
                                           const pta::PointsToResult &PTA) {
+  return applyInterfaceTransform(F, sortedPaths(PTA.refs()),
+                                 sortedPaths(PTA.mods()));
+}
+
+FunctionInterface applyInterfaceTransform(Function &F,
+                                          std::vector<pta::ParamPath> RefPaths,
+                                          std::vector<pta::ParamPath> ModPaths) {
   FunctionInterface I;
   Module &M = *F.parent();
 
   // Aux formal parameters with entry stores *(p,k) ← F, inserted in
   // ascending level order so deeper paths resolve through shallower ones.
-  I.RefPaths = sortedPaths(PTA.refs());
+  I.RefPaths = std::move(RefPaths);
   std::vector<Stmt *> EntryStores;
   for (const pta::ParamPath &P : I.RefPaths) {
     Type AuxTy = P.first->type().deref(P.second);
@@ -62,7 +69,7 @@ FunctionInterface applyInterfaceTransform(Function &F,
   }
 
   // Aux return values with pre-return loads R ← *(q,r).
-  I.ModPaths = sortedPaths(PTA.mods());
+  I.ModPaths = std::move(ModPaths);
   ReturnStmt *Ret = F.returnStmt();
   assert(Ret && "function must have its unified return");
   for (const pta::ParamPath &P : I.ModPaths) {

@@ -102,6 +102,16 @@ private:
 FunctionInterface applyInterfaceTransform(ir::Function &F,
                                           const pta::PointsToResult &PTA);
 
+/// Replay overload for the incremental summary cache: applies the exact same
+/// transform from pre-resolved path lists instead of a points-to result.
+/// Both lists must already be in the canonical (parameter index, level)
+/// order — the cache stores them in the order the original transform
+/// produced, so a cached function's replayed IR is bit-identical to the
+/// from-scratch build.
+FunctionInterface
+applyInterfaceTransform(ir::Function &F, std::vector<pta::ParamPath> RefPaths,
+                        std::vector<pta::ParamPath> ModPaths);
+
 /// Applies Fig. 3(b) to every call in \p F whose callee has an interface in
 /// \p Interfaces. Intra-SCC (recursive) calls are left untouched — the
 /// paper unrolls call-graph cycles once. Returns the number of rewritten

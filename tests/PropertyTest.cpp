@@ -12,14 +12,20 @@
 //===----------------------------------------------------------------------===//
 
 #include "frontend/Parser.h"
+#include "ir/CallGraph.h"
 #include "ir/Verifier.h"
 #include "smt/LinearSolver.h"
 #include "smt/Solver.h"
 #include "support/RNG.h"
+#include "support/Statistics.h"
+#include "support/SummaryCache.h"
 #include "svfa/GlobalSVFA.h"
 #include "workload/Evaluate.h"
 
 #include <gtest/gtest.h>
+
+#include <array>
+#include <filesystem>
 
 using namespace pinpoint::ir;
 
@@ -211,6 +217,119 @@ TEST_P(PipelineProperty, ReportsAreDeterministic) {
     return Keys;
   };
   EXPECT_EQ(runOnce(), runOnce());
+}
+
+TEST_P(PipelineProperty, CacheInvalidationTracksDirtySCCs) {
+  // Randomised invalidation fuzzing: mutate one seed-picked function body,
+  // then check against the call graph that *exactly* the dirty SCC plus
+  // its transitive callers rebuild — and that the partially-warm run's
+  // reports equal a from-scratch run on the edited source.
+  workload::Workload W = makeWorkload();
+  RNG Rand(GetParam() * 0x9e37u + 1);
+
+  // Pick a function by mutating its column-0 header's following line.
+  std::vector<size_t> HeaderEnds;
+  std::vector<std::string> Names;
+  size_t Pos = 0;
+  while (Pos < W.Source.size()) {
+    size_t EOL = W.Source.find('\n', Pos);
+    if (EOL == std::string::npos)
+      EOL = W.Source.size();
+    std::string Line = W.Source.substr(Pos, EOL - Pos);
+    if (Line.rfind("int ", 0) == 0 && Line.find('(') != std::string::npos &&
+        !Line.empty() && Line.back() == '{') {
+      HeaderEnds.push_back(EOL);
+      size_t NameStart = Line.find_first_not_of("* ", 4);
+      Names.push_back(Line.substr(NameStart, Line.find('(') - NameStart));
+    }
+    Pos = EOL + 1;
+  }
+  ASSERT_FALSE(HeaderEnds.empty());
+  size_t Idx = Rand.below(HeaderEnds.size());
+  const std::string &EditedFn = Names[Idx];
+  std::string Edited = W.Source;
+  Edited.insert(HeaderEnds[Idx], "\n  int zqcachepad = 7;");
+
+  const std::string Dir =
+      "prop_cache_" + std::to_string(GetParam());
+  std::filesystem::remove_all(Dir);
+  SummaryCache Cache(Dir, SummaryCache::Mode::ReadWrite);
+  std::string Err;
+  ASSERT_TRUE(Cache.prepare(Err)) << Err;
+
+  auto counters = [] {
+    Counters &C = Counters::get();
+    return std::array<int64_t, 4>{
+        C.value("cache.hits"), C.value("cache.misses"),
+        C.value("cache.invalidated"), C.value("cache.stored")};
+  };
+  auto runWith = [&](const std::string &Src,
+                     SummaryCache *UseCache) {
+    Module M;
+    std::vector<frontend::Diag> Diags;
+    EXPECT_TRUE(frontend::parseModule(Src, M, Diags));
+    smt::ExprContext Ctx;
+    svfa::PipelineOptions PO;
+    PO.Cache = UseCache;
+    svfa::AnalyzedModule AM(M, Ctx, PO);
+    svfa::GlobalSVFA Engine(AM, checkers::useAfterFreeChecker());
+    std::vector<std::pair<uint32_t, uint32_t>> Keys;
+    for (const auto &R : Engine.run())
+      Keys.push_back({R.Source.Line, R.Sink.Line});
+    std::sort(Keys.begin(), Keys.end());
+    return std::make_pair(Keys, M.functions().size());
+  };
+
+  // Cold populate: every function missed and (for these simple subjects)
+  // every function's artifacts are representable, so all are stored.
+  auto C0 = counters();
+  auto [ColdKeys, NumFns] = runWith(W.Source, &Cache);
+  auto C1 = counters();
+  ASSERT_EQ(C1[1] - C0[1], (int64_t)NumFns) << "cold misses";
+  ASSERT_EQ(C1[3] - C0[3], (int64_t)NumFns)
+      << "unrepresentable summary in generated subject";
+
+  // Expected dirty set from the edited call graph: the edited function's
+  // SCC and every SCC that transitively calls into it (ascending SCC ids
+  // are topological, so one pass propagates taint caller-ward).
+  size_t ExpectedDirty = 0;
+  {
+    Module M;
+    std::vector<frontend::Diag> Diags;
+    ASSERT_TRUE(frontend::parseModule(Edited, M, Diags));
+    CallGraph CG(M);
+    const auto &SCCs = CG.sccs();
+    std::vector<bool> Dirty(SCCs.size(), false);
+    for (size_t I = 0; I < SCCs.size(); ++I) {
+      for (Function *F : SCCs[I].Members)
+        if (F->name() == EditedFn)
+          Dirty[I] = true;
+      for (size_t Callee : SCCs[I].CalleeSCCs)
+        if (Dirty[Callee])
+          Dirty[I] = true;
+      if (Dirty[I])
+        ExpectedDirty += SCCs[I].Members.size();
+    }
+  }
+  ASSERT_GT(ExpectedDirty, 0u);
+
+  // Edited warm run: exactly the dirty functions miss (all as explicit
+  // invalidations — their entries exist under the old key), the rest hit.
+  auto C2 = counters();
+  auto [WarmKeys, NumFns2] = runWith(Edited, &Cache);
+  auto C3 = counters();
+  EXPECT_EQ(C3[2] - C2[2], (int64_t)ExpectedDirty) << "fn " << EditedFn;
+  EXPECT_EQ(C3[1] - C2[1], (int64_t)ExpectedDirty) << "fn " << EditedFn;
+  EXPECT_EQ(C3[0] - C2[0], (int64_t)(NumFns2 - ExpectedDirty))
+      << "fn " << EditedFn;
+
+  // And the differential guarantee: identical findings to a cold run on
+  // the edited source.
+  auto [RefKeys, NumFns3] = runWith(Edited, nullptr);
+  EXPECT_EQ(WarmKeys, RefKeys) << "fn " << EditedFn;
+  (void)NumFns3;
+
+  std::filesystem::remove_all(Dir);
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, PipelineProperty,
