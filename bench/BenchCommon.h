@@ -28,6 +28,7 @@
 #include <cstdlib>
 #include <memory>
 #include <string>
+#include <vector>
 
 namespace pinpoint::bench {
 
@@ -92,6 +93,57 @@ template <typename FnT> double peakMB(FnT &&Fn) {
   Fn();
   return static_cast<double>(MemStats::get().peakBytes() - Base) / 1e6;
 }
+
+/// Minimal writer for the BENCH_*.json exhibits: one flat object,
+/// insertion-ordered fields, two-space indent — the schema the bench
+/// binaries and the CI perf-smoke greps share. Values are emitted exactly
+/// as formatted, so numeric fields stay grep-able (no exponent notation).
+class BenchJson {
+public:
+  explicit BenchJson(const char *BenchName) { field("bench", BenchName); }
+
+  void field(const char *K, const char *V) {
+    Fields.push_back(std::string("\"") + K + "\": \"" + V + "\"");
+  }
+  void field(const char *K, bool V) {
+    Fields.push_back(std::string("\"") + K + "\": " + (V ? "true" : "false"));
+  }
+  void field(const char *K, long long V) {
+    char Buf[64];
+    std::snprintf(Buf, sizeof(Buf), "\"%s\": %lld", K, V);
+    Fields.push_back(Buf);
+  }
+  void field(const char *K, unsigned long long V) {
+    field(K, static_cast<long long>(V));
+  }
+  void field(const char *K, size_t V) { field(K, static_cast<long long>(V)); }
+  void field(const char *K, double V, int Precision = 4) {
+    char Buf[96];
+    std::snprintf(Buf, sizeof(Buf), "\"%s\": %.*f", K, Precision, V);
+    Fields.push_back(Buf);
+  }
+
+  /// Writes the object to \p Path; returns false (with a stderr note) on
+  /// I/O failure so benches can keep their exit-status contract.
+  bool write(const char *Path) const {
+    std::FILE *J = std::fopen(Path, "w");
+    if (!J) {
+      std::fprintf(stderr, "warning: cannot write %s\n", Path);
+      return false;
+    }
+    std::fputs("{\n", J);
+    for (size_t I = 0; I < Fields.size(); ++I)
+      std::fprintf(J, "  %s%s\n", Fields[I].c_str(),
+                   I + 1 < Fields.size() ? "," : "");
+    std::fputs("}\n", J);
+    std::fclose(J);
+    std::printf("wrote %s\n", Path);
+    return true;
+  }
+
+private:
+  std::vector<std::string> Fields;
+};
 
 inline void hr(char C = '-', int Width = 86) {
   for (int I = 0; I < Width; ++I)

@@ -39,9 +39,9 @@
 #include "ir/IR.h"
 #include "pta/PointsTo.h"
 
-#include <map>
 #include <mutex>
-#include <set>
+#include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 namespace pinpoint::seg {
@@ -164,13 +164,19 @@ private:
   ir::ConditionMap &Conds;
   smt::ExprContext &Ctx;
 
-  std::map<const ir::Variable *, std::vector<FlowEdge>> FlowOut;
-  std::map<const ir::Variable *, std::vector<FlowEdge>> FlowIn;
-  std::map<const ir::Variable *, std::vector<Use>> Uses;
+  // Adjacency and memo tables are hash maps: every access is a point
+  // lookup (flowsOut/flowsIn/usesOf/dd/localDef — nothing iterates them),
+  // so pointer-hash ordering can never reach reports while the hot
+  // closure walk skips the red-black-tree probes. References into
+  // node-based unordered_map stay stable under growth, which dd() relies
+  // on exactly as it did with std::map.
+  std::unordered_map<const ir::Variable *, std::vector<FlowEdge>> FlowOut;
+  std::unordered_map<const ir::Variable *, std::vector<FlowEdge>> FlowIn;
+  std::unordered_map<const ir::Variable *, std::vector<Use>> Uses;
   std::vector<const ir::CallStmt *> Calls;
-  std::set<const ir::Variable *> Vertices;
-  std::map<const ir::Variable *, LocalDef> LocalDefs;
-  std::map<const ir::Variable *, Closure> DDCache;
+  std::unordered_set<const ir::Variable *> Vertices;
+  std::unordered_map<const ir::Variable *, LocalDef> LocalDefs;
+  std::unordered_map<const ir::Variable *, Closure> DDCache;
   mutable std::mutex QueryMu; ///< Guards the lazy query caches above.
   size_t EdgeCount = 0;
 };

@@ -88,6 +88,19 @@ size_t ExprContext::bytesUsed() const {
   return N;
 }
 
+ExprContext::InternStats ExprContext::internStats() const {
+  InternStats St;
+  St.Nodes = numNodes();
+  for (const InternShard &S : Shards) {
+    std::lock_guard<std::mutex> L(S.Mu);
+    St.TableSlots += S.Table.size();
+    for (const auto &[Key, Chain] : S.Table)
+      St.MaxChain = std::max(St.MaxChain, Chain.size());
+    St.ArenaBytes += S.Mem.bytesUsed();
+  }
+  return St;
+}
+
 const Expr *ExprContext::freshBoolVar(std::string Name) {
   uint32_t Id;
   {

@@ -220,6 +220,17 @@ public:
   size_t numNodes() const { return NextId.load(std::memory_order_relaxed); }
   size_t bytesUsed() const;
 
+  /// Intern-table observability (--stats): how full the hash-consing
+  /// tables are and what the nodes cost. Taken under the shard locks, so
+  /// the snapshot is consistent per shard (cheap: 64 small tables).
+  struct InternStats {
+    size_t Nodes = 0;      ///< Interned expression nodes.
+    size_t TableSlots = 0; ///< Occupied hash keys across all shards.
+    size_t MaxChain = 0;   ///< Longest same-hash collision chain.
+    size_t ArenaBytes = 0; ///< Arena memory backing the nodes.
+  };
+  InternStats internStats() const;
+
 private:
   const Expr *intern(ExprKind K, std::span<const Expr *const> Ops,
                      uint32_t Var, int64_t Const);

@@ -1,0 +1,95 @@
+//===- smt/QueryCache.h - Shared verdict cache for SMT queries ------------===//
+//
+// Part of the Pinpoint reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A sharded, thread-safe verdict cache keyed by interned `Expr` identity.
+/// Because every condition in the system is hash-consed (smt/Expr.h), two
+/// candidates guarded by the same formula — or by the same variable-disjoint
+/// sub-conjunction after slicing — share one `const Expr *`, so a pointer is
+/// a sound cache key within one `ExprContext`.
+///
+/// Only *definite* verdicts (Sat / Unsat) are stored: Unknown depends on
+/// run state (backend timeouts, step budgets, injected faults) and replaying
+/// it would freeze a transient failure into a semantic answer.
+///
+/// One cache instance is shared by the serial discharge path and every
+/// per-chunk `StagedSolver` of a `--jobs N` run (DESIGN.md section 11), so
+/// lookup/store are sharded by pointer hash to keep contention low. Races
+/// between chunks are benign: backends are deterministic on definite
+/// verdicts, so a lost store only costs a re-solve, never a wrong answer.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PINPOINT_SMT_QUERYCACHE_H
+#define PINPOINT_SMT_QUERYCACHE_H
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+
+namespace pinpoint::smt {
+
+class Expr;
+enum class SatResult;
+
+/// Verdict cache shared across StagedSolver instances of one analysis run.
+class QueryCache {
+public:
+  QueryCache() = default;
+  QueryCache(const QueryCache &) = delete;
+  QueryCache &operator=(const QueryCache &) = delete;
+
+  /// Returns the cached verdict for \p E, if any.
+  std::optional<SatResult> lookup(const Expr *E) const {
+    const Shard &Sh = shardFor(E);
+    std::lock_guard<std::mutex> L(Sh.Mu);
+    auto It = Sh.Map.find(E);
+    if (It == Sh.Map.end())
+      return std::nullopt;
+    return It->second;
+  }
+
+  /// Records a *definite* verdict for \p E. The caller must never pass
+  /// Unknown (asserted in StagedSolver); first writer wins on a race.
+  void store(const Expr *E, SatResult R) {
+    Shard &Sh = shardFor(E);
+    std::lock_guard<std::mutex> L(Sh.Mu);
+    Sh.Map.emplace(E, R);
+  }
+
+  /// Number of cached verdicts (approximate under concurrent stores).
+  size_t size() const {
+    size_t N = 0;
+    for (const Shard &Sh : Shards) {
+      std::lock_guard<std::mutex> L(Sh.Mu);
+      N += Sh.Map.size();
+    }
+    return N;
+  }
+
+private:
+  struct Shard {
+    mutable std::mutex Mu;
+    std::unordered_map<const Expr *, SatResult> Map;
+  };
+  static constexpr size_t NumShards = 16;
+
+  Shard &shardFor(const Expr *E) {
+    return Shards[(reinterpret_cast<uintptr_t>(E) >> 4) % NumShards];
+  }
+  const Shard &shardFor(const Expr *E) const {
+    return Shards[(reinterpret_cast<uintptr_t>(E) >> 4) % NumShards];
+  }
+
+  std::array<Shard, NumShards> Shards;
+};
+
+} // namespace pinpoint::smt
+
+#endif // PINPOINT_SMT_QUERYCACHE_H

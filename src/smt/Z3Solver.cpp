@@ -59,8 +59,12 @@ private:
     auto It = Vars.find(VarId);
     if (It != Vars.end())
       return It->second;
-    Z3_symbol Sym =
-        Z3_mk_string_symbol(Z, Ctx.varName(VarId).c_str());
+    // The variable's identity is its varId, not its display name — two
+    // fresh variables may share a name (e.g. per-function locals), and a
+    // name-keyed Z3 constant would soundlessly conflate them. Suffix the
+    // id so distinct Expr variables stay distinct in Z3.
+    std::string Sym_ = Ctx.varName(VarId) + "#" + std::to_string(VarId);
+    Z3_symbol Sym = Z3_mk_string_symbol(Z, Sym_.c_str());
     Z3_ast A = Z3_mk_const(Z, Sym, Ctx.varIsBool(VarId) ? BoolSort : IntSort);
     Vars.emplace(VarId, A);
     return A;

@@ -14,6 +14,7 @@
 #include <mutex>
 #include <set>
 #include <stdexcept>
+#include <unordered_map>
 
 using namespace pinpoint::ir;
 
@@ -77,20 +78,39 @@ struct SourceEvent {
 };
 
 /// CFG reachability oracle (per function): can control reach T after S?
+/// One bitset row of ceil(B/64) words per block, indexed by the function's
+/// deterministic block order: a query is one word probe instead of a
+/// red-black-tree walk, and the whole table is B*B/8 bytes instead of a
+/// node allocation per reachable pair.
 class ReachOracle {
 public:
   explicit ReachOracle(const Function &F) : F(F) {
-    for (const BasicBlock *B : F.blocks()) {
-      std::set<const BasicBlock *> Seen;
-      std::vector<const BasicBlock *> Work{B};
+    const std::vector<BasicBlock *> &Blocks = F.blocks();
+    const size_t NumBlocks = Blocks.size();
+    Words = (NumBlocks + 63) / 64;
+    Index.reserve(NumBlocks);
+    for (size_t I = 0; I < NumBlocks; ++I)
+      Index.emplace(Blocks[I], static_cast<uint32_t>(I));
+    Bits.assign(NumBlocks * Words, 0);
+    // Per-row DFS over block indices; the row itself doubles as the
+    // visited set (loops are fine: a set bit is never pushed again).
+    std::vector<uint32_t> Work;
+    for (size_t Row = 0; Row < NumBlocks; ++Row) {
+      uint64_t *R = &Bits[Row * Words];
+      Work.clear();
+      for (const BasicBlock *Succ : Blocks[Row]->succs())
+        Work.push_back(Index.at(Succ));
       while (!Work.empty()) {
-        const BasicBlock *Cur = Work.back();
+        uint32_t Cur = Work.back();
         Work.pop_back();
-        for (const BasicBlock *Succ : Cur->succs())
-          if (Seen.insert(Succ).second)
-            Work.push_back(Succ);
+        uint64_t &W = R[Cur >> 6];
+        const uint64_t Bit = uint64_t(1) << (Cur & 63);
+        if (W & Bit)
+          continue;
+        W |= Bit;
+        for (const BasicBlock *Succ : Blocks[Cur]->succs())
+          Work.push_back(Index.at(Succ));
       }
-      Reach.emplace(B, std::move(Seen));
     }
   }
 
@@ -99,12 +119,16 @@ public:
       return false;
     if (A->parent() == B->parent())
       return F.stmtOrder(A) < F.stmtOrder(B);
-    return Reach.at(A->parent()).count(B->parent()) > 0;
+    const uint32_t From = Index.at(A->parent()), To = Index.at(B->parent());
+    return (Bits[size_t(From) * Words + (To >> 6)] >>
+            (To & 63)) & 1;
   }
 
 private:
   const Function &F;
-  std::map<const BasicBlock *, std::set<const BasicBlock *>> Reach;
+  std::unordered_map<const BasicBlock *, uint32_t> Index;
+  std::vector<uint64_t> Bits; ///< Row-major reachability matrix.
+  size_t Words = 0;           ///< Words per row.
 };
 
 } // namespace
@@ -124,7 +148,11 @@ public:
                smt::createDefaultSolver(
                    AM.context(),
                    smt::SolverConfig{.TimeoutMs = Gov.solverTimeoutMs()}),
-               Opts.UseLinearFilter, &Gov) {}
+               Opts.UseLinearFilter, &Gov) {
+    if (Opts.SolverCache)
+      Solver.setQueryCache(&QCache);
+    Solver.setSlicing(Opts.SolverSlicing);
+  }
 
   std::vector<Report> run();
   const smt::StagedSolver::Stats &solverStats() const {
@@ -137,6 +165,10 @@ public:
     Merged.BackendUnsat += Deferred.BackendUnsat;
     Merged.BackendUnknown += Deferred.BackendUnknown;
     Merged.InjectedUnknown += Deferred.InjectedUnknown;
+    Merged.BackendCalls += Deferred.BackendCalls;
+    Merged.CacheHits += Deferred.CacheHits;
+    Merged.SlicedQueries += Deferred.SlicedQueries;
+    Merged.ComponentsRefuted += Deferred.ComponentsRefuted;
     return Merged;
   }
 
@@ -300,11 +332,28 @@ private:
   ContextTable CT;
   smt::LinearSolver Linear;
   ResourceGovernor &Gov;
+  /// One verdict cache per run, shared by the inline solver and every
+  /// parallel discharge chunk (declared before Solver so it outlives it).
+  smt::QueryCache QCache;
   smt::StagedSolver Solver;
 
-  std::map<const Function *, FnSummaries> Summaries;
-  std::map<const Function *, std::unique_ptr<ReachOracle>> ReachCache;
-  std::map<std::pair<const Function *, const Stmt *>, seg::Closure> CDCache;
+  /// Hot per-function caches: accessed only by point lookup (never
+  /// iterated), so hash maps are safe for determinism and shave the
+  /// tree-walk off every summary/control-dependence probe.
+  struct FnStmtHash {
+    size_t operator()(const std::pair<const Function *, const Stmt *> &K)
+        const {
+      uintptr_t A = reinterpret_cast<uintptr_t>(K.first);
+      uintptr_t B = reinterpret_cast<uintptr_t>(K.second);
+      return std::hash<uintptr_t>()(A * 0x9e3779b97f4a7c15ULL ^ B);
+    }
+  };
+  std::unordered_map<const Function *, FnSummaries> Summaries;
+  std::unordered_map<const Function *, std::unique_ptr<ReachOracle>>
+      ReachCache;
+  std::unordered_map<std::pair<const Function *, const Stmt *>, seg::Closure,
+                     FnStmtHash>
+      CDCache;
   std::vector<Report> Reports;
   std::set<std::tuple<std::string, uint32_t, uint32_t>> Reported;
 
@@ -864,12 +913,17 @@ void GlobalSVFA::Impl::dischargePending() {
       continue;
     G.spawn([this, Begin, End, &Verdicts, &StatsMu] {
       // Each chunk owns its StagedSolver (and thereby its Z3 context /
-      // MiniSolver state), so chunks never share backend state.
+      // MiniSolver state), so chunks never share backend state — only the
+      // run-wide QueryCache, which is sharded and thread-safe, so a
+      // component refuted in one chunk is a cache hit in every other.
       smt::StagedSolver ChunkSolver(
           Ctx,
           smt::createDefaultSolver(
               Ctx, smt::SolverConfig{.TimeoutMs = Gov.solverTimeoutMs()}),
           Opts.UseLinearFilter, &Gov);
+      if (Opts.SolverCache)
+        ChunkSolver.setQueryCache(&QCache);
+      ChunkSolver.setSlicing(Opts.SolverSlicing);
       for (size_t I = Begin; I < End; ++I) {
         ChunkSolver.setQueryOrigin(Pending[I].R.SourceFn);
         Verdicts[I] = ChunkSolver.checkSat(Pending[I].Full);
@@ -882,6 +936,10 @@ void GlobalSVFA::Impl::dischargePending() {
       Deferred.BackendUnsat += CS.BackendUnsat;
       Deferred.BackendUnknown += CS.BackendUnknown;
       Deferred.InjectedUnknown += CS.InjectedUnknown;
+      Deferred.BackendCalls += CS.BackendCalls;
+      Deferred.CacheHits += CS.CacheHits;
+      Deferred.SlicedQueries += CS.SlicedQueries;
+      Deferred.ComponentsRefuted += CS.ComponentsRefuted;
     });
   }
   G.wait();

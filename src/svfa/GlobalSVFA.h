@@ -68,6 +68,14 @@ struct GlobalOptions {
   bool PathSensitive = true;
   /// Linear pre-filter in the staged solver (ablation knob).
   bool UseLinearFilter = true;
+  /// Shared verdict cache in the staged solver: one QueryCache per run,
+  /// consulted by the inline path and every parallel discharge chunk
+  /// (ablation knob; CLI --solver-cache).
+  bool SolverCache = true;
+  /// Conjunct slicing in the staged solver: variable-disjoint components
+  /// discharged independently (ablation knob; toggled with SolverCache by
+  /// the CLI, separable here for the four-way ablation bench).
+  bool SolverSlicing = true;
   /// Budgets, degradation log and fault injection (see
   /// support/ResourceGovernor.h); nullptr = ungoverned.
   ResourceGovernor *Governor = nullptr;

@@ -14,6 +14,11 @@
 ///     --max-depth=N     calling-context depth (default 6)
 ///     --no-path-sensitivity   skip the SMT feasibility stage
 ///     --no-linear-filter      disable the linear-time pre-filter
+///     --solver-cache=MODE     on | off (default on): the query-acceleration
+///                       layer in the staged solver — shared verdict cache +
+///                       conjunct slicing (DESIGN.md section 11). Reports
+///                       are byte-identical across modes; only speed and
+///                       the acceleration counters change.
 ///     --dump-ir         print the transformed IR
 ///     --stats           print pipeline and solver statistics
 ///     --jobs=N          worker threads (default 1 = serial; 0 = all
@@ -81,6 +86,7 @@ struct Options {
   int MaxDepth = 6;
   bool PathSensitive = true;
   bool LinearFilter = true;
+  bool SolverCache = true;
   bool DumpIR = false;
   bool Stats = false;
   bool DegradationLog = false;
@@ -104,6 +110,8 @@ void usage() {
       "  --max-depth=N            calling context depth (default 6)\n"
       "  --no-path-sensitivity    report all candidates (no SMT stage)\n"
       "  --no-linear-filter       disable the linear-time pre-filter\n"
+      "  --solver-cache=MODE      on | off (default on): SMT verdict cache "
+      "+ conjunct slicing\n"
       "  --dump-ir                print the transformed IR\n"
       "  --stats                  print statistics\n"
       "  --jobs=N                 worker threads (default 1 = serial, 0 = "
@@ -209,6 +217,16 @@ bool parseArgs(int Argc, char **Argv, Options &O) {
                      O.CacheMode.c_str());
         return false;
       }
+    } else if (A.rfind("--solver-cache=", 0) == 0) {
+      const std::string Mode = A.substr(std::strlen("--solver-cache="));
+      if (Mode != "on" && Mode != "off") {
+        std::fprintf(stderr,
+                     "error: invalid --solver-cache value '%s' (expected on "
+                     "or off)\n",
+                     Mode.c_str());
+        return false;
+      }
+      O.SolverCache = Mode == "on";
     } else if (A == "--no-path-sensitivity") {
       O.PathSensitive = false;
     } else if (A == "--no-linear-filter") {
@@ -357,6 +375,8 @@ int main(int Argc, char **Argv) {
   GO.MaxContextDepth = O.MaxDepth;
   GO.PathSensitive = O.PathSensitive;
   GO.UseLinearFilter = O.LinearFilter;
+  GO.SolverCache = O.SolverCache;
+  GO.SolverSlicing = O.SolverCache;
   GO.Governor = &Gov;
   GO.Pool = Pool.get();
 
@@ -444,9 +464,13 @@ int main(int Argc, char **Argv) {
     svfa::GlobalSVFA::Stats &EngineStats = Slot.EngineStats;
     smt::StagedSolver::Stats &SolverStats = Slot.SolverStats;
     if (O.Stats && Name != "leak") {
+      // The trailing acceleration counters (backend-calls onward) are
+      // interleaving-dependent under --jobs with the shared cache; every
+      // field before them is deterministic.
       std::printf("[%s] events=%llu candidates=%llu sat=%llu unsat=%llu "
                   "unknown=%llu linear-pruned=%llu smt-queries=%llu "
-                  "isolated-failures=%llu\n",
+                  "isolated-failures=%llu backend-calls=%llu "
+                  "cache-hits=%llu sliced=%llu comps-refuted=%llu\n",
                   Name.c_str(), (unsigned long long)EngineStats.Events,
                   (unsigned long long)EngineStats.Candidates,
                   (unsigned long long)EngineStats.SolverSat,
@@ -454,7 +478,11 @@ int main(int Argc, char **Argv) {
                   (unsigned long long)EngineStats.SolverUnknown,
                   (unsigned long long)EngineStats.LinearPruned,
                   (unsigned long long)SolverStats.BackendQueries,
-                  (unsigned long long)EngineStats.IsolatedFailures);
+                  (unsigned long long)EngineStats.IsolatedFailures,
+                  (unsigned long long)SolverStats.BackendCalls,
+                  (unsigned long long)SolverStats.CacheHits,
+                  (unsigned long long)SolverStats.SlicedQueries,
+                  (unsigned long long)SolverStats.ComponentsRefuted);
     }
   }
 
@@ -463,6 +491,14 @@ int main(int Argc, char **Argv) {
                 "%.3fs total, %.1f MB peak\n",
                 M.functions().size(), AM.totalSEGEdges(), PipelineSec,
                 Total.seconds(), MemStats::get().peakBytes() / 1e6);
+    // Intern-table health of the shared expression context: node ids are
+    // allocation-order dependent, so these figures may differ across
+    // --jobs values (new observability counters, not a determinism
+    // surface).
+    const smt::ExprContext::InternStats IS = Ctx.internStats();
+    std::printf("[exprs] nodes=%zu table-slots=%zu max-chain=%zu "
+                "arena-mb=%.1f\n",
+                IS.Nodes, IS.TableSlots, IS.MaxChain, IS.ArenaBytes / 1e6);
     if (Cache) {
       Counters &C = Counters::get();
       std::printf("[cache] hits=%lld misses=%lld invalidated=%lld "
