@@ -49,6 +49,25 @@ private:
     Diags.push_back({Loc, Msg});
   }
 
+  /// Recursion-depth cap for the mutually recursive expression/statement
+  /// grammar: hostile or generated inputs with thousands of nested parens,
+  /// unary operators or blocks must produce a diagnostic, never overflow
+  /// the stack. The cap bounds *grammar* nesting, far above anything a
+  /// legitimate MiniC source reaches.
+  static constexpr int MaxNestingDepth = 256;
+
+  struct DepthGuard {
+    Parser &P;
+    bool Ok;
+    DepthGuard(Parser &P, SourceLoc Loc)
+        : P(P), Ok(++P.NestingDepth <= MaxNestingDepth) {
+      if (!Ok)
+        P.error(Loc, "nesting too deep (max " +
+                         std::to_string(MaxNestingDepth) + " levels)");
+    }
+    ~DepthGuard() { --P.NestingDepth; }
+  };
+
   bool expect(TokKind K, const char *What) {
     if (Lex.peek().is(K)) {
       Lex.next();
@@ -264,6 +283,9 @@ private:
   }
 
   bool parseStmt() {
+    DepthGuard G(*this, Lex.peek().Loc);
+    if (!G.Ok)
+      return false;
     const Token &T = Lex.peek();
     switch (T.Kind) {
     case TokKind::LBrace:
@@ -511,6 +533,9 @@ private:
   /// expr := or-chain. \p Expected propagates the target type into
   /// context-sensitive leaves (null, malloc, externals).
   TypedValue parseExpr(std::optional<Type> Expected) {
+    DepthGuard G(*this, Lex.peek().Loc);
+    if (!G.Ok)
+      return {};
     TypedValue L = parseAnd(Expected);
     if (!L.valid())
       return {};
@@ -622,6 +647,9 @@ private:
   }
 
   TypedValue parseUnary(std::optional<Type> Expected) {
+    DepthGuard G(*this, Lex.peek().Loc);
+    if (!G.Ok)
+      return {};
     const Token &T = Lex.peek();
     if (T.is(TokKind::Minus)) {
       SourceLoc Loc = Lex.next().Loc;
@@ -779,6 +807,7 @@ private:
   Variable *RetVar = nullptr;
   unsigned TempCount = 0;
   bool CalleeIsVoid = false;
+  int NestingDepth = 0; ///< Current grammar recursion depth (DepthGuard).
   std::vector<std::map<std::string, Variable *>> Scopes;
   std::map<std::string, FnSig> Signatures;
 };

@@ -89,6 +89,18 @@ public:
   /// True when the pass stopped early on its step budget.
   bool truncated() const { return Truncated; }
 
+  /// Total conditional entries held (points-to tuples + load dependences) —
+  /// the cardinality the memory governor charges against `--mem-budget-mb`
+  /// via `MemStats::notePTEntries` (see support/Statistics.h).
+  size_t numGovernedEntries() const {
+    size_t N = 0;
+    for (const auto &[L, Vals] : LoadDeps)
+      N += Vals.size();
+    for (const auto &[V, Pts] : VarPts)
+      N += Pts.size();
+    return N;
+  }
+
 private:
   friend class PointsToAnalysis;
   friend class PointsToRebuilder;

@@ -130,6 +130,9 @@ public:
     uint64_t CacheHits = 0;    ///< Full-query + component verdicts replayed.
     uint64_t SlicedQueries = 0; ///< Queries split into >1 component.
     uint64_t ComponentsRefuted = 0; ///< Unsat components refuting a query.
+    // Resilience layer (DESIGN.md section 12).
+    uint64_t Retries = 0; ///< Backend attempts repeated after a transient.
+    uint64_t TransientFailures = 0; ///< Calls degraded: retries exhausted.
   };
   const Stats &stats() const { return S; }
 

@@ -23,6 +23,15 @@
 ///                         (forces walk truncation)
 ///   cache-read=NAME       treat NAME's summary-cache entry as corrupt on
 ///                         read (exercises the fallback-to-rebuild path)
+///   transient=P           fail each SMT backend *attempt* transiently with
+///                         probability P percent (0-100); the staged solver
+///                         retries with capped backoff (--retry-transient)
+///   transient-fails=K     deterministic variant: every backend call fails
+///                         its first K attempts, then succeeds (takes
+///                         precedence over transient=P when both are set)
+///   pace-fn-ms=N          sleep N ms at each function's pipeline entry — a
+///                         deterministic throttle so interrupt tests can
+///                         reliably catch a run mid-flight
 ///
 //===----------------------------------------------------------------------===//
 
@@ -46,13 +55,17 @@ public:
   // every field except the (stateless-by-value) lock.
   FaultInjector(const FaultInjector &O)
       : Enabled(O.Enabled), Rng(O.Rng), SolverUnknownPct(O.SolverUnknownPct),
-        ClosureSteps(O.ClosureSteps), ThrowFn(O.ThrowFn),
+        TransientPct(O.TransientPct), TransientFails(O.TransientFails),
+        PaceFnMs(O.PaceFnMs), ClosureSteps(O.ClosureSteps), ThrowFn(O.ThrowFn),
         PipelineThrowFn(O.PipelineThrowFn), ThrowChecker(O.ThrowChecker),
         CacheReadFn(O.CacheReadFn) {}
   FaultInjector &operator=(const FaultInjector &O) {
     Enabled = O.Enabled;
     Rng = O.Rng;
     SolverUnknownPct = O.SolverUnknownPct;
+    TransientPct = O.TransientPct;
+    TransientFails = O.TransientFails;
+    PaceFnMs = O.PaceFnMs;
     ClosureSteps = O.ClosureSteps;
     ThrowFn = O.ThrowFn;
     PipelineThrowFn = O.PipelineThrowFn;
@@ -78,6 +91,25 @@ public:
     std::lock_guard<std::mutex> L(Mu);
     return Rng.chance(SolverUnknownPct, 100);
   }
+
+  /// True when backend attempt number \p Attempt (0-based, per call) of the
+  /// current SMT discharge should fail transiently. `transient-fails=K`
+  /// fails attempts 0..K-1 of every call deterministically; otherwise
+  /// `transient=P` draws per attempt (probabilistic — only 0 and 100 are
+  /// deterministic across job counts, like injectSolverUnknown).
+  bool injectSolverTransient(int Attempt) {
+    if (!Enabled)
+      return false;
+    if (TransientFails > 0)
+      return static_cast<uint64_t>(Attempt) < TransientFails;
+    if (TransientPct == 0)
+      return false;
+    std::lock_guard<std::mutex> L(Mu);
+    return Rng.chance(TransientPct, 100);
+  }
+
+  /// Per-function pipeline pacing in ms (0 = none; interrupt-test throttle).
+  uint64_t paceFunctionMs() const { return Enabled ? PaceFnMs : 0; }
 
   /// True when the global SVFA stage should throw while analysing \p Fn.
   bool injectFunctionThrow(const std::string &Fn) const {
@@ -107,6 +139,9 @@ private:
   std::mutex Mu; ///< Guards Rng; the other fields are immutable after parse().
   RNG Rng;
   uint64_t SolverUnknownPct = 0;
+  uint64_t TransientPct = 0;
+  uint64_t TransientFails = 0;
+  uint64_t PaceFnMs = 0;
   uint64_t ClosureSteps = 0;
   std::string ThrowFn;
   std::string PipelineThrowFn;

@@ -1,0 +1,53 @@
+//===- support/Interrupt.cpp -----------------------------------------------===//
+//
+// Part of the Pinpoint reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Interrupt.h"
+
+#include <csignal>
+
+namespace pinpoint::interrupt {
+
+namespace {
+
+// Constant-initialised so the handler can touch them even if a signal lands
+// before main() runs any of this file's code.
+CancelToken ProcessToken;
+std::atomic<int> LastSignal{0};
+
+void handleSignal(int Sig) {
+  // Async-signal-safe: two lock-free atomic stores, nothing else.
+  LastSignal.store(Sig, std::memory_order_relaxed);
+  ProcessToken.cancel();
+}
+
+} // namespace
+
+CancelToken &processToken() { return ProcessToken; }
+
+bool installSignalHandlers() {
+#ifdef _WIN32
+  return std::signal(SIGINT, handleSignal) != SIG_ERR &&
+         std::signal(SIGTERM, handleSignal) != SIG_ERR;
+#else
+  struct sigaction SA = {};
+  SA.sa_handler = handleSignal;
+  sigemptyset(&SA.sa_mask);
+  // No SA_RESTART: a blocking read should fail with EINTR so the polling
+  // loops get to observe the token promptly.
+  SA.sa_flags = 0;
+  return sigaction(SIGINT, &SA, nullptr) == 0 &&
+         sigaction(SIGTERM, &SA, nullptr) == 0;
+#endif
+}
+
+int lastSignal() { return LastSignal.load(std::memory_order_relaxed); }
+
+void resetForTesting() {
+  LastSignal.store(0, std::memory_order_relaxed);
+  ProcessToken.reset();
+}
+
+} // namespace pinpoint::interrupt

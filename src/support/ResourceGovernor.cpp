@@ -33,6 +33,12 @@ const char *toString(DegradationKind K) {
     return "injected-fault";
   case DegradationKind::CacheCorrupt:
     return "cache-corrupt";
+  case DegradationKind::MemoryPressure:
+    return "memory-pressure";
+  case DegradationKind::Cancelled:
+    return "cancelled";
+  case DegradationKind::SolverTransient:
+    return "solver-transient";
   case DegradationKind::NumKinds:
     break;
   }
@@ -70,6 +76,11 @@ void ResourceGovernor::note(DegradationKind K, std::string Stage,
                             std::string Function, std::string Detail) {
   Counters::get().add(std::string("governor.") + toString(K));
   Log.note(K, std::move(Stage), std::move(Function), std::move(Detail));
+}
+
+bool ResourceGovernor::memHardExceeded() const {
+  return B.MemBudgetMB > 0 &&
+         MemStats::get().governedBytes() > B.MemBudgetMB * 1024 * 1024;
 }
 
 ResourceGovernor &ResourceGovernor::ungoverned() {

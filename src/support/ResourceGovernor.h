@@ -37,6 +37,7 @@
 #define PINPOINT_SUPPORT_RESOURCEGOVERNOR_H
 
 #include "support/FaultInjector.h"
+#include "support/Interrupt.h"
 #include "support/Timer.h"
 
 #include <array>
@@ -57,6 +58,13 @@ struct Budget {
   uint64_t MaxPTASteps = 0;     ///< Per local points-to pass (statements).
   int SolverTimeoutMs = 10000;  ///< Per SMT query (Z3 ms / MiniSolver-scaled).
   size_t MaxFunctionStmts = 0;  ///< Oversized-function pipeline skip.
+  /// Governed-memory budget in MB (0 = unlimited). Crossing the modelled
+  /// soft threshold pre-degrades the largest SCCs deterministically
+  /// (svfa/Pipeline.cpp); crossing the hard threshold at run time degrades
+  /// remaining work reactively (DESIGN.md section 12).
+  int64_t MemBudgetMB = 0;
+  /// Max retries per transient SMT-backend failure (smt/Solver.cpp).
+  int RetryTransient = 2;
 };
 
 enum class DegradationKind : uint8_t {
@@ -71,6 +79,9 @@ enum class DegradationKind : uint8_t {
   RunBudgetExhausted,   ///< Whole-run wall clock expired.
   InjectedFault,        ///< A FaultInjector-forced event fired.
   CacheCorrupt,         ///< Summary-cache entry failed integrity checks.
+  MemoryPressure,       ///< SCC degraded to fit the governed-memory budget.
+  Cancelled,            ///< Remaining work dropped: cancellation requested.
+  SolverTransient,      ///< Transient backend failure persisted past retries.
   NumKinds
 };
 
@@ -141,6 +152,25 @@ public:
     return B.RunWallMs >= 0 && RunTimer.millis() > (double)B.RunWallMs;
   }
 
+  //===--- Cooperative cancellation ---------------------------------------===
+
+  /// Attaches the cancellation token stages poll (nullptr detaches). The
+  /// driver wires the process-wide signal token here; library callers may
+  /// use their own. Not owned; must outlive the governed run.
+  void setCancelToken(CancelToken *T) { Cancel = T; }
+  CancelToken *cancelToken() const { return Cancel; }
+  /// True once cancellation was requested; remaining work should degrade
+  /// and unwind so partial results can be flushed.
+  bool cancelled() const { return Cancel && Cancel->cancelled(); }
+
+  //===--- Governed-memory budget -----------------------------------------===
+
+  /// True when the live governed bytes (arena + per-structure accounting in
+  /// MemStats) exceed the hard memory budget. The reactive backstop behind
+  /// the deterministic pre-degradation plan: actual usage is interleaving-
+  /// dependent, so this fires only when the model under-estimated.
+  bool memHardExceeded() const;
+
   //===--- Function-level wall clock --------------------------------------===
   //
   // The function clock and the closure step budget are *per task*: each
@@ -207,6 +237,7 @@ private:
   FaultInjector FI;
   DegradationLog Log;
   Timer RunTimer;
+  CancelToken *Cancel = nullptr;
 };
 
 } // namespace pinpoint

@@ -1,0 +1,108 @@
+//===- support/RunJournal.cpp ----------------------------------------------===//
+//
+// Part of the Pinpoint reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/RunJournal.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace pinpoint {
+
+namespace {
+
+std::string toHex(uint64_t V) {
+  char Buf[17];
+  std::snprintf(Buf, sizeof(Buf), "%016llx",
+                static_cast<unsigned long long>(V));
+  return Buf;
+}
+
+bool fromHex(const std::string &S, uint64_t &Out) {
+  if (S.empty() || S.size() > 16)
+    return false;
+  uint64_t V = 0;
+  for (char C : S) {
+    int D;
+    if (C >= '0' && C <= '9')
+      D = C - '0';
+    else if (C >= 'a' && C <= 'f')
+      D = C - 'a' + 10;
+    else
+      return false;
+    V = (V << 4) | static_cast<uint64_t>(D);
+  }
+  Out = V;
+  return true;
+}
+
+} // namespace
+
+std::string RunJournal::path(const std::string &Dir) {
+  return (std::filesystem::path(Dir) / "run-journal").string();
+}
+
+bool RunJournal::load(const std::string &Dir) {
+  *this = RunJournal();
+  std::ifstream In(path(Dir));
+  if (!In)
+    return false;
+
+  std::string Line;
+  if (!std::getline(In, Line))
+    return false;
+  std::istringstream Header(Line);
+  std::string Magic, FpHex;
+  uint32_t Version = 0;
+  if (!(Header >> Magic >> Version >> FpHex) || Magic != "PPRJ" ||
+      Version != FormatVersion || !fromHex(FpHex, SubjectFingerprint)) {
+    *this = RunJournal();
+    return false;
+  }
+
+  while (std::getline(In, Line)) {
+    if (Line.empty())
+      continue;
+    std::istringstream LS(Line);
+    std::string KeyHex, Status;
+    Entry E;
+    if (!(LS >> KeyHex >> Status) || !fromHex(KeyHex, E.Key) ||
+        (Status != "completed" && Status != "degraded")) {
+      *this = RunJournal();
+      return false;
+    }
+    E.Completed = Status == "completed";
+    SCCs.push_back(E);
+  }
+  return true;
+}
+
+bool RunJournal::store(const std::string &Dir) const {
+  std::string Final = path(Dir);
+  std::string Tmp = Final + ".tmp";
+  {
+    std::ofstream Out(Tmp, std::ios::trunc);
+    if (!Out)
+      return false;
+    Out << "PPRJ " << FormatVersion << " " << toHex(SubjectFingerprint)
+        << "\n";
+    for (const Entry &E : SCCs)
+      Out << toHex(E.Key) << " " << (E.Completed ? "completed" : "degraded")
+          << "\n";
+    if (!Out)
+      return false;
+  }
+  std::error_code EC;
+  std::filesystem::rename(Tmp, Final, EC);
+  if (EC) {
+    std::filesystem::remove(Tmp, EC);
+    return false;
+  }
+  return true;
+}
+
+} // namespace pinpoint

@@ -1,0 +1,65 @@
+//===- support/RunJournal.h - Interrupt/resume run journal ----------------===//
+//
+// Part of the Pinpoint reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The on-disk run journal of the resilience layer (DESIGN.md section 12).
+/// Every cache-enabled run records, in its `--cache-dir`, the subject
+/// fingerprint and the completed/degraded status of every call-graph SCC
+/// (keyed by the same transitive content keys the summary cache uses). A
+/// later run over the same subject reads the previous journal and counts
+/// how many of its SCCs were already completed — the `resumed-sccs` stat
+/// that makes interrupt/resume observable. Resume *correctness* needs no
+/// journal at all: completed SCC summaries are flushed to the cache as they
+/// finish, so a rerun simply replays them.
+///
+/// Format (text, one record per line, written via atomic tmp+rename):
+///
+///   PPRJ 1 <subject-fingerprint-hex>
+///   <scc-key-hex> completed
+///   <scc-key-hex> degraded
+///   ...
+///
+/// A missing or corrupt journal is never an error — the run just reports
+/// zero resumed SCCs and rewrites the journal at the end.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PINPOINT_SUPPORT_RUNJOURNAL_H
+#define PINPOINT_SUPPORT_RUNJOURNAL_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pinpoint {
+
+struct RunJournal {
+  static constexpr uint32_t FormatVersion = 1;
+
+  struct Entry {
+    uint64_t Key = 0; ///< The SCC's transitive content key.
+    bool Completed = false;
+  };
+
+  uint64_t SubjectFingerprint = 0;
+  std::vector<Entry> SCCs;
+
+  /// Journal path inside cache directory \p Dir.
+  static std::string path(const std::string &Dir);
+
+  /// Loads the journal from \p Dir. Returns false (leaving *this default)
+  /// when the file is missing, unreadable, or fails format checks.
+  bool load(const std::string &Dir);
+
+  /// Atomically writes the journal into \p Dir (tmp file + rename, like the
+  /// summary cache). Returns false on I/O failure; callers treat that as a
+  /// non-fatal degradation, never an abort.
+  bool store(const std::string &Dir) const;
+};
+
+} // namespace pinpoint
+
+#endif // PINPOINT_SUPPORT_RUNJOURNAL_H

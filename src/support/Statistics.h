@@ -93,28 +93,80 @@ private:
 /// Tracks bytes held by all live arenas, with a resettable high-water mark.
 /// Thread-safe: arenas on concurrent analysis tasks report through atomics
 /// (the peak is maintained with a CAS loop, so it never under-reports).
+///
+/// Beyond arenas, the memory governor (`--mem-budget-mb`) also needs the
+/// big non-arena structures accounted: points-to sets and SEG vertices live
+/// in heap containers the arena counter never sees. Their owners charge
+/// per-structure deltas (entry/node counts times a coarse byte weight)
+/// through `notePTEntries`/`noteSEGNodes` and discharge them on
+/// destruction; `governedBytes()` is the budget the governor polls and
+/// `peakGovernedBytes()` feeds the `mem.peak-governed` stat.
 class MemStats {
 public:
   static MemStats &get();
 
+  /// Approximate heap cost of one points-to/load-dependence entry and one
+  /// SEG vertex (node + map overhead + average edge share). Coarse on
+  /// purpose: governance needs proportionality, not malloc-exact bytes.
+  static constexpr int64_t PTEntryBytes = 48;
+  static constexpr int64_t SEGNodeBytes = 96;
+
   void noteArenaBytes(int64_t Delta) {
     int64_t Now = Live.fetch_add(Delta, std::memory_order_relaxed) + Delta;
-    int64_t Seen = Peak.load(std::memory_order_relaxed);
-    while (Now > Seen &&
-           !Peak.compare_exchange_weak(Seen, Now, std::memory_order_relaxed)) {
-    }
+    raisePeak(Peak, Now);
+    raisePeak(GovernedPeak,
+              Now + Struct.load(std::memory_order_relaxed));
   }
   int64_t liveBytes() const { return Live.load(std::memory_order_relaxed); }
   int64_t peakBytes() const { return Peak.load(std::memory_order_relaxed); }
   void resetPeak() { Peak.store(liveBytes(), std::memory_order_relaxed); }
+
+  /// Per-structure accounting hooks (negative deltas discharge).
+  void notePTEntries(int64_t N) {
+    PTEntries.fetch_add(N, std::memory_order_relaxed);
+    noteStructBytes(N * PTEntryBytes);
+  }
+  void noteSEGNodes(int64_t N) {
+    SEGNodes.fetch_add(N, std::memory_order_relaxed);
+    noteStructBytes(N * SEGNodeBytes);
+  }
+  int64_t ptEntries() const {
+    return PTEntries.load(std::memory_order_relaxed);
+  }
+  int64_t segNodes() const { return SEGNodes.load(std::memory_order_relaxed); }
+
+  /// Everything the memory governor charges against `--mem-budget-mb`:
+  /// live arena bytes plus the weighted per-structure accounting.
+  int64_t governedBytes() const {
+    return Live.load(std::memory_order_relaxed) +
+           Struct.load(std::memory_order_relaxed);
+  }
+  int64_t peakGovernedBytes() const {
+    return GovernedPeak.load(std::memory_order_relaxed);
+  }
 
   /// Reads VmHWM (peak resident set) from /proc/self/status, in bytes.
   /// Returns 0 if unavailable.
   static int64_t processPeakRSS();
 
 private:
+  void noteStructBytes(int64_t Delta) {
+    int64_t Now = Struct.fetch_add(Delta, std::memory_order_relaxed) + Delta;
+    raisePeak(GovernedPeak, Now + Live.load(std::memory_order_relaxed));
+  }
+  static void raisePeak(std::atomic<int64_t> &P, int64_t Now) {
+    int64_t Seen = P.load(std::memory_order_relaxed);
+    while (Now > Seen &&
+           !P.compare_exchange_weak(Seen, Now, std::memory_order_relaxed)) {
+    }
+  }
+
   std::atomic<int64_t> Live{0};
   std::atomic<int64_t> Peak{0};
+  std::atomic<int64_t> Struct{0}; ///< Weighted per-structure bytes.
+  std::atomic<int64_t> GovernedPeak{0};
+  std::atomic<int64_t> PTEntries{0};
+  std::atomic<int64_t> SEGNodes{0};
 };
 
 } // namespace pinpoint

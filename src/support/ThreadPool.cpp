@@ -22,11 +22,21 @@ ThreadPool::~ThreadPool() {
   {
     std::lock_guard<std::mutex> L(Mu);
     assert(Queue.empty() && "destroying pool with queued tasks");
-    Stopping = true;
   }
-  Cv.notify_all();
+  requestStop();
   for (std::thread &T : Threads)
     T.join();
+}
+
+void ThreadPool::requestStop() {
+  {
+    // Flipped under Mu: a worker that just evaluated the wait predicate
+    // false still holds the lock until it blocks, so the cancel cannot slip
+    // into that window and lose its wakeup.
+    std::lock_guard<std::mutex> L(Mu);
+    Shutdown.cancel();
+  }
+  Cv.notify_all();
 }
 
 unsigned ThreadPool::hardwareConcurrency() {
@@ -37,8 +47,11 @@ unsigned ThreadPool::hardwareConcurrency() {
 void ThreadPool::workerLoop() {
   std::unique_lock<std::mutex> L(Mu);
   while (true) {
-    Cv.wait(L, [this] { return Stopping || !Queue.empty(); });
-    if (Stopping)
+    // Task-boundary poll: the shutdown token is checked between tasks,
+    // never inside one — a running task finishes (or polls its own run
+    // token) before the worker exits.
+    Cv.wait(L, [this] { return Shutdown.cancelled() || !Queue.empty(); });
+    if (Shutdown.cancelled())
       return;
     Task T = std::move(Queue.front());
     Queue.pop_front();

@@ -31,6 +31,8 @@
 #ifndef PINPOINT_SUPPORT_THREADPOOL_H
 #define PINPOINT_SUPPORT_THREADPOOL_H
 
+#include "support/Interrupt.h"
+
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
@@ -55,6 +57,17 @@ public:
 
   /// std::thread::hardware_concurrency(), never 0.
   static unsigned hardwareConcurrency();
+
+  /// Cancels the shutdown token and wakes every worker — the single drain
+  /// path shared by destructor teardown and explicit cancellation. Workers
+  /// exit at their next task boundary; queued tasks still drain through
+  /// helping waits (`TaskGroup::wait`), so pending groups complete.
+  void requestStop();
+
+  /// The token the worker loops observe. Exposed so lifecycle tests can
+  /// assert the drain path; cancelling it directly is equivalent to
+  /// `requestStop()` minus the wakeup (prefer `requestStop`).
+  const CancelToken &shutdownToken() const { return Shutdown; }
 
   /// A batch of tasks that can be waited on together. Not thread-safe
   /// itself: spawn/wait from one owner thread (tasks may spawn into their
@@ -96,7 +109,11 @@ private:
   std::condition_variable Cv;
   std::deque<Task> Queue;
   std::vector<std::thread> Threads;
-  bool Stopping = false;
+  /// Worker shutdown signal. A CancelToken instead of a plain flag so
+  /// teardown reuses the same cancellation primitive the rest of the
+  /// lifecycle layer polls; it is still flipped under Mu (and observed
+  /// under Mu in the wait predicate) to keep the no-missed-wakeup protocol.
+  CancelToken Shutdown;
 };
 
 } // namespace pinpoint

@@ -169,6 +169,8 @@ public:
     Merged.CacheHits += Deferred.CacheHits;
     Merged.SlicedQueries += Deferred.SlicedQueries;
     Merged.ComponentsRefuted += Deferred.ComponentsRefuted;
+    Merged.Retries += Deferred.Retries;
+    Merged.TransientFailures += Deferred.TransientFailures;
     return Merged;
   }
 
@@ -389,6 +391,11 @@ GlobalSVFA::Impl::valueClosure(const Function *F, const Variable *Start,
   Gov.beginClosure();
   uint64_t WalkSteps = 0;
   while (!Work.empty()) {
+    // Cooperative cancellation: a cancelled run keeps whatever the closure
+    // found so far (silent — the run-level Cancelled event is logged once
+    // by the driving loop, not per closure).
+    if (Gov.cancelled())
+      break;
     // Graceful truncation: past the step budget (or the function's wall
     // clock) the closure computed so far is returned as-is — a best-effort
     // under-approximation, logged so the degradation is visible.
@@ -878,8 +885,14 @@ void GlobalSVFA::Impl::addCandidate(const Function *F, const SourceEvent &Ev,
       Pending.push_back({std::move(R), Full, std::move(Key)});
       return;
     }
-    Solver.setQueryOrigin(R.SourceFn);
-    R.Verdict = Solver.checkSat(Full);
+    // Cancelled runs stop paying for SMT: the candidate is kept soundily
+    // as Unknown, exactly like a solver timeout.
+    if (Gov.cancelled()) {
+      R.Verdict = smt::SatResult::Unknown;
+    } else {
+      Solver.setQueryOrigin(R.SourceFn);
+      R.Verdict = Solver.checkSat(Full);
+    }
     if (R.Verdict == smt::SatResult::Unsat) {
       ++S.SolverUnsat;
       return; // Infeasible path: not a bug.
@@ -925,6 +938,14 @@ void GlobalSVFA::Impl::dischargePending() {
         ChunkSolver.setQueryCache(&QCache);
       ChunkSolver.setSlicing(Opts.SolverSlicing);
       for (size_t I = Begin; I < End; ++I) {
+        // Per-query cancellation poll: the chunk drains by downgrading its
+        // remaining candidates to Unknown (kept soundily, tagged in the
+        // report) instead of abandoning slots at their Sat default.
+        if (Gov.cancelled()) {
+          for (size_t J = I; J < End; ++J)
+            Verdicts[J] = smt::SatResult::Unknown;
+          break;
+        }
         ChunkSolver.setQueryOrigin(Pending[I].R.SourceFn);
         Verdicts[I] = ChunkSolver.checkSat(Pending[I].Full);
       }
@@ -940,6 +961,8 @@ void GlobalSVFA::Impl::dischargePending() {
       Deferred.CacheHits += CS.CacheHits;
       Deferred.SlicedQueries += CS.SlicedQueries;
       Deferred.ComponentsRefuted += CS.ComponentsRefuted;
+      Deferred.Retries += CS.Retries;
+      Deferred.TransientFailures += CS.TransientFailures;
     });
   }
   G.wait();
@@ -969,6 +992,22 @@ std::vector<Report> GlobalSVFA::Impl::run() {
   const auto &Order = AM.bottomUpOrder();
   for (size_t I = 0; I < Order.size(); ++I) {
     const Function *F = Order[I];
+    // Task-boundary cancellation poll: drain here so the caller can still
+    // flush reports already found and the summaries stay coherent.
+    if (Gov.cancelled()) {
+      Gov.note(DegradationKind::Cancelled, "svfa", F->name(),
+               "cancellation requested; " +
+                   std::to_string(Order.size() - I) +
+                   " function(s) skipped");
+      break;
+    }
+    if (Gov.budget().MemBudgetMB > 0 && Gov.memHardExceeded()) {
+      Gov.note(DegradationKind::MemoryPressure, "svfa", F->name(),
+               "governed bytes over --mem-budget-mb; " +
+                   std::to_string(Order.size() - I) +
+                   " function(s) skipped");
+      break;
+    }
     if (Gov.runExpired()) {
       Gov.note(DegradationKind::RunBudgetExhausted, "svfa", F->name(),
                "wall clock expired; " + std::to_string(Order.size() - I) +

@@ -9,13 +9,17 @@
 #include "ir/SSA.h"
 #include "support/Hasher.h"
 #include "support/ResourceGovernor.h"
+#include "support/RunJournal.h"
 #include "support/Statistics.h"
 #include "support/SummaryCache.h"
 #include "support/ThreadPool.h"
 #include "svfa/SummaryIO.h"
 
+#include <chrono>
 #include <functional>
 #include <stdexcept>
+#include <thread>
+#include <unordered_set>
 
 namespace pinpoint::svfa {
 
@@ -34,7 +38,12 @@ void AnalyzedModule::analyzeOne(ir::Function *F, size_t SCCId,
                                 bool CalleeTainted, ResourceGovernor &Gov,
                                 const PipelineOptions &Opts,
                                 transform::InterfaceMap &Interfaces,
-                                std::atomic<bool> &RunExhaustedNoted) {
+                                RunState &RS) {
+  // Fault-injected pacing: slows every function down so lifecycle tests can
+  // interrupt a run mid-flight reproducibly.
+  if (uint64_t Pace = Gov.faults().paceFunctionMs())
+    std::this_thread::sleep_for(std::chrono::milliseconds(Pace));
+
   AnalyzedFunction Info;
   Info.F = F;
 
@@ -42,6 +51,10 @@ void AnalyzedModule::analyzeOne(ir::Function *F, size_t SCCId,
   // the conservative fallback instead of the full per-function pipeline.
   // Oversized is a deterministic function of the (key-hashed) budget, so
   // it does not taint; a wall-clock skip is not reproducible and does.
+  // Cancellation and the reactive memory backstop are likewise run-local
+  // accidents and taint; the pre-computed memory plan is deterministic but
+  // still taints — the issue's rule is that memory-degraded chains neither
+  // probe nor populate the summary cache, and taint is that mechanism.
   bool SkipFull = false;
   size_t NumStmts = countStmts(*F);
   if (Gov.budget().MaxFunctionStmts > 0 &&
@@ -50,10 +63,28 @@ void AnalyzedModule::analyzeOne(ir::Function *F, size_t SCCId,
              std::to_string(NumStmts) + " stmts > cap " +
                  std::to_string(Gov.budget().MaxFunctionStmts));
     SkipFull = true;
+  } else if (Gov.cancelled()) {
+    if (!RS.CancelNoted.exchange(true))
+      Gov.note(DegradationKind::Cancelled, "pipeline", "",
+               "cancellation requested; remaining functions degraded");
+    SkipFull = true;
+    SCCOwnTaint[SCCId] = 1;
   } else if (Gov.runExpired()) {
-    if (!RunExhaustedNoted.exchange(true))
+    if (!RS.RunExhaustedNoted.exchange(true))
       Gov.note(DegradationKind::RunBudgetExhausted, "pipeline", "",
                "wall clock expired; remaining functions degraded");
+    SkipFull = true;
+    SCCOwnTaint[SCCId] = 1;
+  } else if (!MemPlanDegrade.empty() && MemPlanDegrade[SCCId]) {
+    Gov.note(DegradationKind::MemoryPressure, "pipeline", F->name(),
+             "memory plan: projected footprint over --mem-budget-mb");
+    SkipFull = true;
+    SCCOwnTaint[SCCId] = 1;
+  } else if (Gov.memHardExceeded()) {
+    if (!RS.MemHardNoted.exchange(true))
+      Gov.note(DegradationKind::MemoryPressure, "pipeline", "",
+               "governed bytes over --mem-budget-mb; remaining functions "
+               "degraded");
     SkipFull = true;
     SCCOwnTaint[SCCId] = 1;
   }
@@ -104,6 +135,7 @@ void AnalyzedModule::analyzeOne(ir::Function *F, size_t SCCId,
               Counters::get().add("seg.edges",
                                   static_cast<int64_t>(Info.Seg->numEdges()));
               Counters::get().add("cache.hits", 1);
+              chargeGoverned(Info);
               Fns.at(F) = std::move(Info);
               return;
             }
@@ -163,6 +195,7 @@ void AnalyzedModule::analyzeOne(ir::Function *F, size_t SCCId,
           Counters::get().add("cache.stored", 1);
       }
 
+      chargeGoverned(Info);
       Fns.at(F) = std::move(Info);
       return;
     } catch (const std::exception &Ex) {
@@ -191,7 +224,125 @@ void AnalyzedModule::analyzeOne(ir::Function *F, size_t SCCId,
     Info.Seg = nullptr;
   }
   Interfaces.set(F, Info.Interface);
+  chargeGoverned(Info);
   Fns.at(F) = std::move(Info);
+}
+
+void AnalyzedModule::chargeGoverned(const AnalyzedFunction &Info) {
+  MemStats &MS = MemStats::get();
+  if (int64_t PT = static_cast<int64_t>(Info.PTA.numGovernedEntries())) {
+    MS.notePTEntries(PT);
+    PTCharge.fetch_add(PT, std::memory_order_relaxed);
+  }
+  if (Info.Seg) {
+    if (int64_t SG = static_cast<int64_t>(Info.Seg->numVertices())) {
+      MS.noteSEGNodes(SG);
+      SEGCharge.fetch_add(SG, std::memory_order_relaxed);
+    }
+  }
+}
+
+void AnalyzedModule::planMemoryPressure(
+    const std::vector<ir::CallGraph::SCCNode> &SCCs, ResourceGovernor &Gov) {
+  int64_t BudgetMB = Gov.budget().MemBudgetMB;
+  if (BudgetMB <= 0 || SCCs.empty())
+    return;
+
+  // Byte model: the per-function pipeline's footprint is dominated by the
+  // conditional points-to sets and the SEG, both roughly linear in statement
+  // count; the fallback keeps only the SSA'd IR and a def-use SEG. The
+  // estimate only has to *rank* SCCs consistently — it is a pure function of
+  // the subject and the budget, never of measured usage, so the plan (and
+  // with it the degraded-SCC set) is identical across runs and job counts.
+  constexpr int64_t FnBaseBytes = 16384;
+  constexpr int64_t FullBytesPerStmt = 4096;
+  constexpr int64_t FallbackBytesPerStmt = 256;
+
+  std::vector<int64_t> Est(SCCs.size()), Fallback(SCCs.size());
+  int64_t Total = 0;
+  for (size_t I = 0; I < SCCs.size(); ++I) {
+    int64_t Full = 0, Fb = 0;
+    for (const ir::Function *F : SCCs[I].Members) {
+      int64_t Stmts = static_cast<int64_t>(countStmts(*F));
+      Full += FnBaseBytes + Stmts * FullBytesPerStmt;
+      Fb += FnBaseBytes / 4 + Stmts * FallbackBytesPerStmt;
+    }
+    Est[I] = Full;
+    Fallback[I] = Fb;
+    Total += Full;
+  }
+
+  // Soft threshold at 80% of the budget leaves headroom for everything the
+  // model does not see (expression arena, checker state). Degrade the
+  // largest projected SCC first — one big SCC displaced buys the most
+  // relief — with ties broken towards the smaller id for determinism.
+  const int64_t Soft = BudgetMB * 1024 * 1024 * 8 / 10;
+  MemPlanDegrade.assign(SCCs.size(), 0);
+  while (Total > Soft) {
+    size_t Best = SCCs.size();
+    for (size_t I = 0; I < SCCs.size(); ++I)
+      if (!MemPlanDegrade[I] && (Best == SCCs.size() || Est[I] > Est[Best]))
+        Best = I;
+    if (Best == SCCs.size())
+      break; // Everything degraded; the plan can do no more.
+    MemPlanDegrade[Best] = 1;
+    ++MemPlanDegraded;
+    Total -= Est[Best] - Fallback[Best];
+  }
+  if (MemPlanDegraded == 0)
+    MemPlanDegrade.clear();
+}
+
+void AnalyzedModule::finishLifecycle(
+    const std::vector<ir::CallGraph::SCCNode> &SCCs) {
+  if (!Cache)
+    return;
+
+  // Resume accounting: SCCs whose key the previous run (same subject, same
+  // cache directory) already completed are the ones this run replays
+  // instead of recomputing — the `resumed-sccs` stat.
+  RunJournal Prev;
+  if (Prev.load(Cache->directory()) && Prev.SubjectFingerprint == SubjectFP) {
+    std::unordered_set<uint64_t> Done;
+    for (const RunJournal::Entry &E : Prev.SCCs)
+      if (E.Completed)
+        Done.insert(E.Key);
+    for (uint64_t K : SCCKeys)
+      if (Done.count(K))
+        ++Resumed;
+  }
+
+  // Completed = every member ran undegraded and no nondeterministic taint
+  // anywhere below — exactly the SCCs a rerun may trust from the cache.
+  Records.resize(SCCs.size());
+  for (size_t I = 0; I < SCCs.size(); ++I) {
+    bool Completed = SCCTaint[I] == 0;
+    for (const ir::Function *F : SCCs[I].Members)
+      Completed = Completed && !Fns.at(F).Degraded;
+    Records[I] = {SCCKeys[I], Completed};
+  }
+
+  // Rewrite the journal even on interrupted runs: flushing the completed
+  // set is what makes a warm rerun resume rather than start over. Failure
+  // to write is harmless (the next run just resumes less).
+  if (Cache->writable()) {
+    RunJournal J;
+    J.SubjectFingerprint = SubjectFP;
+    J.SCCs.reserve(Records.size());
+    for (const SCCRecord &R : Records)
+      J.SCCs.push_back({R.Key, R.Completed});
+    J.store(Cache->directory());
+  }
+}
+
+AnalyzedModule::~AnalyzedModule() {
+  // Balance the governed-memory ledger so sequential AnalyzedModules in one
+  // process (tests, benchmarks) do not accumulate phantom bytes.
+  MemStats &MS = MemStats::get();
+  if (int64_t PT = PTCharge.load(std::memory_order_relaxed))
+    MS.notePTEntries(-PT);
+  if (int64_t SG = SEGCharge.load(std::memory_order_relaxed))
+    MS.noteSEGNodes(-SG);
 }
 
 AnalyzedModule::AnalyzedModule(ir::Module &M, smt::ExprContext &Ctx,
@@ -242,9 +393,19 @@ AnalyzedModule::AnalyzedModule(ir::Module &M, smt::ExprContext &Ctx,
         H.u64(SCCKeys[Callee]);
       SCCKeys[I] = H.digest();
     }
+
+    // Whole-subject fingerprint for the run journal: a journal from a
+    // different subject must never feed the resume accounting even when
+    // individual SCC keys happen to collide across subjects.
+    Hasher SubjectH;
+    for (const ir::Function *F : M.functions())
+      SubjectH.u64(ir::fingerprintFunction(*F));
+    SubjectFP = SubjectH.digest();
   }
 
-  std::atomic<bool> RunExhaustedNoted{false};
+  planMemoryPressure(SCCs, Gov);
+
+  RunState RS;
 
   if (!Opts.Pool || Opts.Pool->workers() <= 1) {
     // Serial: ascending SCC ids with members in order is exactly the
@@ -255,10 +416,10 @@ AnalyzedModule::AnalyzedModule(ir::Module &M, smt::ExprContext &Ctx,
       for (size_t Callee : SCCs[I].CalleeSCCs)
         CalleeTainted |= SCCTaint[Callee] != 0;
       for (ir::Function *F : SCCs[I].Members)
-        analyzeOne(F, I, CalleeTainted, Gov, Opts, Interfaces,
-                   RunExhaustedNoted);
+        analyzeOne(F, I, CalleeTainted, Gov, Opts, Interfaces, RS);
       SCCTaint[I] = (SCCOwnTaint[I] || CalleeTainted) ? 1 : 0;
     }
+    finishLifecycle(SCCs);
     return;
   }
 
@@ -283,8 +444,7 @@ AnalyzedModule::AnalyzedModule(ir::Module &M, smt::ExprContext &Ctx,
     for (size_t Callee : SCCs[I].CalleeSCCs)
       CalleeTainted |= SCCTaint[Callee] != 0;
     for (ir::Function *F : SCCs[I].Members)
-      analyzeOne(F, I, CalleeTainted, Gov, Opts, Interfaces,
-                 RunExhaustedNoted);
+      analyzeOne(F, I, CalleeTainted, Gov, Opts, Interfaces, RS);
     SCCTaint[I] = (SCCOwnTaint[I] || CalleeTainted) ? 1 : 0;
     for (size_t Dep : Dependents[I])
       // acq_rel: publishes this SCC's interfaces/results to whichever task
@@ -301,6 +461,7 @@ AnalyzedModule::AnalyzedModule(ir::Module &M, smt::ExprContext &Ctx,
     if (SCCs[I].CalleeSCCs.empty())
       G.spawn([&RunSCC, I] { RunSCC(I); });
   G.wait();
+  finishLifecycle(SCCs);
 }
 
 size_t AnalyzedModule::totalSEGEdges() const {

@@ -80,6 +80,8 @@ class AnalyzedModule {
 public:
   AnalyzedModule(ir::Module &M, smt::ExprContext &Ctx,
                  const PipelineOptions &Opts = {});
+  /// Discharges this module's governed-memory accounting (see MemStats).
+  ~AnalyzedModule();
 
   ir::Module &module() { return M; }
   const ir::CallGraph &callGraph() const { return *CG; }
@@ -100,7 +102,34 @@ public:
   size_t totalSEGEdges() const;
   size_t totalSEGVertices() const;
 
+  //===--- Run-lifecycle state (DESIGN.md section 12) ---------------------===
+
+  /// Per-SCC completion record for the run journal. Completed means every
+  /// member ran the full pipeline (or replayed from cache) undegraded, so a
+  /// rerun with the same cache resumes past it.
+  struct SCCRecord {
+    uint64_t Key = 0;
+    bool Completed = false;
+  };
+  /// Empty when no summary cache is configured (keys need the cache).
+  const std::vector<SCCRecord> &sccRecords() const { return Records; }
+  /// Post-SSA fingerprint of the whole subject (0 without a cache).
+  uint64_t subjectFingerprint() const { return SubjectFP; }
+  /// SCCs of this run whose keys a previous run's journal had already
+  /// completed — the `resumed-sccs` stat.
+  size_t resumedSCCs() const { return Resumed; }
+  /// SCCs the deterministic memory plan pre-degraded for --mem-budget-mb.
+  size_t memPlanDegradedSCCs() const { return MemPlanDegraded; }
+
 private:
+  /// One-shot note guards shared by every analyzeOne call of a run, so
+  /// run-level degradations (wall clock, cancellation, memory backstop)
+  /// log once instead of once per remaining function.
+  struct RunState {
+    std::atomic<bool> RunExhaustedNoted{false};
+    std::atomic<bool> CancelNoted{false};
+    std::atomic<bool> MemHardNoted{false};
+  };
   /// Runs the whole per-function pipeline for \p F (including every
   /// degradation path) and fills its pre-created `Fns` slot. Never throws:
   /// failures are isolated per function, which is also what makes it safe
@@ -110,8 +139,23 @@ private:
   /// store for F (its cached artifacts assume healthy callee interfaces).
   void analyzeOne(ir::Function *F, size_t SCCId, bool CalleeTainted,
                   ResourceGovernor &Gov, const PipelineOptions &Opts,
-                  transform::InterfaceMap &Interfaces,
-                  std::atomic<bool> &RunExhaustedNoted);
+                  transform::InterfaceMap &Interfaces, RunState &RS);
+
+  /// Charges \p Info's points-to entries and SEG vertices to the governed-
+  /// memory accounting (discharged again by the destructor).
+  void chargeGoverned(const AnalyzedFunction &Info);
+
+  /// Builds the deterministic memory-pressure plan: with a memory budget
+  /// set, pre-degrades the largest not-yet-analyzed SCCs (by modelled byte
+  /// estimate, ties to the smaller id) until the model fits the soft
+  /// threshold. Purely a function of the subject and the budget, so the
+  /// degraded-SCC set is identical across runs and job counts.
+  void planMemoryPressure(const std::vector<ir::CallGraph::SCCNode> &SCCs,
+                          ResourceGovernor &Gov);
+
+  /// Post-analysis lifecycle bookkeeping: completion records, resume
+  /// counting against the previous journal, journal rewrite.
+  void finishLifecycle(const std::vector<ir::CallGraph::SCCNode> &SCCs);
 
   ir::Module &M;
   smt::ExprContext &Ctx;
@@ -131,6 +175,17 @@ private:
   std::vector<uint64_t> SCCKeys;
   std::vector<uint8_t> SCCOwnTaint; ///< This SCC degraded nondeterministically.
   std::vector<uint8_t> SCCTaint;    ///< Own taint OR any callee-SCC taint.
+
+  /// Run-lifecycle state (DESIGN.md section 12).
+  std::vector<uint8_t> MemPlanDegrade; ///< Plan-degraded SCCs (empty = none).
+  size_t MemPlanDegraded = 0;
+  std::vector<SCCRecord> Records;
+  uint64_t SubjectFP = 0;
+  size_t Resumed = 0;
+  /// Governed-memory charges to discharge at destruction (atomic: charged
+  /// from concurrent SCC tasks).
+  std::atomic<int64_t> PTCharge{0};
+  std::atomic<int64_t> SEGCharge{0};
 };
 
 } // namespace pinpoint::svfa

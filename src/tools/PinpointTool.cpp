@@ -1,0 +1,613 @@
+//===- tools/PinpointTool.cpp - The pinpoint command-line driver -----------===//
+//
+// Part of the Pinpoint reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The `pinpoint` tool: parses MiniC sources, runs the selected checkers
+/// through the full pipeline, and prints reports and statistics.
+///
+///   pinpoint [options] file.mc [file2.mc ...]
+///     --checker=LIST    comma list of uaf,df,taint-path,taint-data,
+///                       null-deref,leak (default: uaf,df)
+///     --max-depth=N     calling-context depth (default 6)
+///     --no-path-sensitivity   skip the SMT feasibility stage
+///     --no-linear-filter      disable the linear-time pre-filter
+///     --solver-cache=MODE     on | off (default on): the query-acceleration
+///                       layer in the staged solver — shared verdict cache +
+///                       conjunct slicing (DESIGN.md section 11). Reports
+///                       are byte-identical across modes; only speed and
+///                       the acceleration counters change.
+///     --dump-ir         print the transformed IR
+///     --stats           print pipeline and solver statistics
+///     --jobs=N          worker threads (default 1 = serial; 0 = all
+///                       hardware threads). Reports are byte-identical
+///                       across values of N.
+///     --cache-dir=PATH  persistent function-summary cache for incremental
+///                       reanalysis; unchanged call-graph SCCs load their
+///                       pipeline artifacts instead of rebuilding. Reports
+///                       are byte-identical to a from-scratch run. The
+///                       directory also holds the run journal: an
+///                       interrupted run records its completed SCCs so a
+///                       rerun resumes instead of starting over.
+///     --cache=MODE      off | read | readwrite (default readwrite when
+///                       --cache-dir is given)
+///
+///   Resource governance (see support/ResourceGovernor.h):
+///     --time-budget-ms=N      whole-run wall clock; past it, remaining
+///                             work degrades instead of running
+///     --fn-budget-ms=N        per-function wall clock in the global stage
+///     --solver-timeout-ms=N   per-query SMT timeout (default 10000)
+///     --max-closure-steps=N   step budget per value-closure walk
+///     --max-pta-steps=N       step budget per local points-to pass
+///     --max-fn-stmts=N        skip (degrade) functions larger than N stmts
+///     --mem-budget-mb=N       governed-memory budget; the largest SCCs
+///                             are deterministically degraded until the
+///                             projected footprint fits (0 = unlimited)
+///     --retry-transient=N     retries per transient SMT backend failure
+///                             (default 2; 0 = fail to Unknown immediately)
+///     --fault-inject=SPEC     deterministic fault injection
+///     --degradation-log       print every degradation event
+///
+/// The tool always terminates with best-effort reports: budget hits, solver
+/// Unknowns and per-function/per-checker failures degrade gracefully and
+/// are surfaced in the [governor] stats line. SIGINT/SIGTERM cancel the run
+/// cooperatively: in-flight work drains at the next task boundary and the
+/// partial report, statistics and degradation log are still flushed.
+///
+/// Exit status: 0 = analysis completed (reports, possibly degraded);
+/// 2 = usage or input error; 3 = interrupted, partial results flushed;
+/// 4 = internal error.
+///
+//===----------------------------------------------------------------------===//
+
+#include "tools/PinpointTool.h"
+
+#include "checkers/Checker.h"
+#include "checkers/SpecialCheckers.h"
+#include "frontend/Parser.h"
+#include "support/Interrupt.h"
+#include "support/ResourceGovernor.h"
+#include "support/Statistics.h"
+#include "support/SummaryCache.h"
+#include "support/ThreadPool.h"
+#include "support/Timer.h"
+#include "svfa/GlobalSVFA.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+using namespace pinpoint;
+
+namespace pinpoint::tools {
+
+namespace {
+
+const char *const KnownCheckers[] = {"uaf",        "df",   "taint-path",
+                                     "taint-data", "null-deref", "leak"};
+
+struct Options {
+  std::vector<std::string> Files;
+  std::vector<std::string> Checkers{"uaf", "df"};
+  int MaxDepth = 6;
+  bool PathSensitive = true;
+  bool LinearFilter = true;
+  bool SolverCache = true;
+  bool DumpIR = false;
+  bool Stats = false;
+  bool DegradationLog = false;
+  long long TimeBudgetMs = -1;
+  long long FnBudgetMs = -1;
+  long long SolverTimeoutMs = 10000;
+  long long MaxClosureSteps = 0;
+  long long MaxPTASteps = 0;
+  long long MaxFnStmts = 0;
+  long long MemBudgetMB = 0;
+  long long RetryTransient = 2;
+  long long Jobs = 1;
+  std::string FaultSpec;
+  std::string CacheDir;
+  std::string CacheMode; ///< "", "off", "read" or "readwrite".
+};
+
+void usage() {
+  std::puts(
+      "usage: pinpoint [options] file.mc [...]\n"
+      "  --checker=LIST           uaf,df,taint-path,taint-data,null-deref,"
+      "leak\n"
+      "  --max-depth=N            calling context depth (default 6)\n"
+      "  --no-path-sensitivity    report all candidates (no SMT stage)\n"
+      "  --no-linear-filter       disable the linear-time pre-filter\n"
+      "  --solver-cache=MODE      on | off (default on): SMT verdict cache "
+      "+ conjunct slicing\n"
+      "  --dump-ir                print the transformed IR\n"
+      "  --stats                  print statistics\n"
+      "  --jobs=N                 worker threads (default 1 = serial, 0 = "
+      "all hardware threads)\n"
+      "  --cache-dir=PATH         persistent function-summary cache for "
+      "incremental reanalysis\n"
+      "  --cache=MODE             off | read | readwrite (default readwrite "
+      "when --cache-dir is given)\n"
+      "resource governance:\n"
+      "  --time-budget-ms=N       whole-run wall clock budget\n"
+      "  --fn-budget-ms=N         per-function wall clock budget\n"
+      "  --solver-timeout-ms=N    per-query SMT timeout (default 10000)\n"
+      "  --max-closure-steps=N    step budget per value-closure walk\n"
+      "  --max-pta-steps=N        step budget per points-to pass\n"
+      "  --max-fn-stmts=N         degrade functions larger than N stmts\n"
+      "  --mem-budget-mb=N        governed-memory budget (0 = unlimited)\n"
+      "  --retry-transient=N      retries per transient solver failure "
+      "(default 2)\n"
+      "  --fault-inject=SPEC      e.g. seed=7,solver-unknown=50,throw-fn=f\n"
+      "  --degradation-log        print every degradation event\n"
+      "exit codes: 0 = completed, 2 = usage/input error, 3 = interrupted "
+      "(partial results flushed), 4 = internal error");
+}
+
+/// Strict non-negative integer parse of the value part of --opt=N.
+/// Garbage, empty, negative and overflowing values are all rejected.
+bool parseCount(const std::string &Arg, size_t PrefixLen, long long &Out) {
+  const std::string Val = Arg.substr(PrefixLen);
+  if (Val.empty() || Val[0] == '-' || Val[0] == '+')
+    return false;
+  errno = 0;
+  char *End = nullptr;
+  long long V = std::strtoll(Val.c_str(), &End, 10);
+  if (errno != 0 || End != Val.c_str() + Val.size())
+    return false;
+  Out = V;
+  return true;
+}
+
+bool knownChecker(const std::string &Name) {
+  for (const char *K : KnownCheckers)
+    if (Name == K)
+      return true;
+  return false;
+}
+
+enum class ParseResult { Ok, Help, Error };
+
+ParseResult parseArgs(int Argc, char **Argv, Options &O) {
+  // Numeric --opt=N flags that share the strict-parse-and-error path.
+  struct CountFlag {
+    const char *Prefix;
+    long long *Slot;
+  } CountFlags[] = {
+      {"--max-depth=", nullptr}, // Handled below (int slot).
+      {"--time-budget-ms=", &O.TimeBudgetMs},
+      {"--fn-budget-ms=", &O.FnBudgetMs},
+      {"--solver-timeout-ms=", &O.SolverTimeoutMs},
+      {"--max-closure-steps=", &O.MaxClosureSteps},
+      {"--max-pta-steps=", &O.MaxPTASteps},
+      {"--max-fn-stmts=", &O.MaxFnStmts},
+      {"--mem-budget-mb=", &O.MemBudgetMB},
+      {"--retry-transient=", &O.RetryTransient},
+      {"--jobs=", &O.Jobs},
+  };
+
+  for (int I = 1; I < Argc; ++I) {
+    std::string A = Argv[I];
+    if (A.rfind("--checker=", 0) == 0) {
+      O.Checkers.clear();
+      std::stringstream SS(A.substr(10));
+      std::string Item;
+      while (std::getline(SS, Item, ','))
+        O.Checkers.push_back(Item);
+      if (O.Checkers.empty()) {
+        std::fprintf(stderr, "error: --checker= needs at least one name\n");
+        return ParseResult::Error;
+      }
+      for (const std::string &Name : O.Checkers)
+        if (!knownChecker(Name)) {
+          std::fprintf(stderr,
+                       "error: unknown checker '%s' (expected one of: uaf, "
+                       "df, taint-path, taint-data, null-deref, leak)\n",
+                       Name.c_str());
+          return ParseResult::Error;
+        }
+    } else if (A.rfind("--max-depth=", 0) == 0) {
+      long long V = 0;
+      if (!parseCount(A, std::strlen("--max-depth="), V) || V > 64) {
+        std::fprintf(stderr,
+                     "error: invalid --max-depth value '%s' (expected an "
+                     "integer in [0, 64])\n",
+                     A.c_str() + std::strlen("--max-depth="));
+        return ParseResult::Error;
+      }
+      O.MaxDepth = static_cast<int>(V);
+    } else if (A.rfind("--fault-inject=", 0) == 0) {
+      O.FaultSpec = A.substr(std::strlen("--fault-inject="));
+    } else if (A.rfind("--cache-dir=", 0) == 0) {
+      O.CacheDir = A.substr(std::strlen("--cache-dir="));
+      if (O.CacheDir.empty()) {
+        std::fprintf(stderr, "error: --cache-dir= needs a path\n");
+        return ParseResult::Error;
+      }
+    } else if (A.rfind("--cache=", 0) == 0) {
+      O.CacheMode = A.substr(std::strlen("--cache="));
+      if (O.CacheMode != "off" && O.CacheMode != "read" &&
+          O.CacheMode != "readwrite") {
+        std::fprintf(stderr,
+                     "error: invalid --cache value '%s' (expected off, "
+                     "read or readwrite)\n",
+                     O.CacheMode.c_str());
+        return ParseResult::Error;
+      }
+    } else if (A.rfind("--solver-cache=", 0) == 0) {
+      const std::string Mode = A.substr(std::strlen("--solver-cache="));
+      if (Mode != "on" && Mode != "off") {
+        std::fprintf(stderr,
+                     "error: invalid --solver-cache value '%s' (expected on "
+                     "or off)\n",
+                     Mode.c_str());
+        return ParseResult::Error;
+      }
+      O.SolverCache = Mode == "on";
+    } else if (A == "--no-path-sensitivity") {
+      O.PathSensitive = false;
+    } else if (A == "--no-linear-filter") {
+      O.LinearFilter = false;
+    } else if (A == "--dump-ir") {
+      O.DumpIR = true;
+    } else if (A == "--stats") {
+      O.Stats = true;
+    } else if (A == "--degradation-log") {
+      O.DegradationLog = true;
+    } else if (A == "--help" || A == "-h") {
+      // No std::exit here: every exit funnels through pinpointToolMain's
+      // single return path (the run-lifecycle contract).
+      return ParseResult::Help;
+    } else if (!A.empty() && A[0] == '-') {
+      bool Matched = false;
+      for (const CountFlag &CF : CountFlags) {
+        if (!CF.Slot || A.rfind(CF.Prefix, 0) != 0)
+          continue;
+        if (!parseCount(A, std::strlen(CF.Prefix), *CF.Slot)) {
+          std::fprintf(stderr,
+                       "error: invalid value in '%s' (expected a "
+                       "non-negative integer)\n",
+                       A.c_str());
+          return ParseResult::Error;
+        }
+        Matched = true;
+        break;
+      }
+      if (!Matched) {
+        std::fprintf(stderr, "unknown option: %s\n", A.c_str());
+        return ParseResult::Error;
+      }
+    } else {
+      O.Files.push_back(A);
+    }
+  }
+  if (O.Files.empty()) {
+    std::fprintf(stderr, "error: no input files\n");
+    return ParseResult::Error;
+  }
+  if (O.CacheDir.empty() && !O.CacheMode.empty() && O.CacheMode != "off") {
+    std::fprintf(stderr, "error: --cache=%s requires --cache-dir=PATH\n",
+                 O.CacheMode.c_str());
+    return ParseResult::Error;
+  }
+  return ParseResult::Ok;
+}
+
+bool specFor(const std::string &Name, checkers::CheckerSpec &Out) {
+  if (Name == "uaf")
+    Out = checkers::useAfterFreeChecker();
+  else if (Name == "df")
+    Out = checkers::doubleFreeChecker();
+  else if (Name == "taint-path")
+    Out = checkers::pathTraversalChecker();
+  else if (Name == "taint-data")
+    Out = checkers::dataTransmissionChecker();
+  else if (Name == "null-deref")
+    Out = checkers::nullDerefChecker();
+  else
+    return false;
+  return true;
+}
+
+} // namespace
+
+int pinpointToolMain(int Argc, char **Argv) {
+  Options O;
+  switch (parseArgs(Argc, Argv, O)) {
+  case ParseResult::Help:
+    usage();
+    return 0;
+  case ParseResult::Error:
+    usage();
+    return 2;
+  case ParseResult::Ok:
+    break;
+  }
+
+  // Read & concatenate the inputs (one module).
+  std::string Source;
+  for (const std::string &File : O.Files) {
+    std::ifstream In(File);
+    if (!In) {
+      std::fprintf(stderr, "error: cannot open %s\n", File.c_str());
+      return 2;
+    }
+    std::stringstream SS;
+    SS << In.rdbuf();
+    Source += SS.str();
+    Source += "\n";
+  }
+
+  ir::Module M;
+  std::vector<frontend::Diag> Diags;
+  if (!frontend::parseModule(Source, M, Diags)) {
+    for (const auto &D : Diags)
+      std::fprintf(stderr, "error: %s\n", D.str().c_str());
+    return 2;
+  }
+
+  // Assemble the resource governor: budgets + fault injection.
+  Budget Bud;
+  Bud.RunWallMs = O.TimeBudgetMs;
+  Bud.FunctionWallMs = O.FnBudgetMs;
+  Bud.SolverTimeoutMs = static_cast<int>(O.SolverTimeoutMs);
+  Bud.MaxClosureSteps = static_cast<uint64_t>(O.MaxClosureSteps);
+  Bud.MaxPTASteps = static_cast<uint64_t>(O.MaxPTASteps);
+  Bud.MaxFunctionStmts = static_cast<size_t>(O.MaxFnStmts);
+  Bud.MemBudgetMB = O.MemBudgetMB;
+  Bud.RetryTransient = static_cast<int>(O.RetryTransient);
+  FaultInjector FI;
+  if (!O.FaultSpec.empty()) {
+    std::string Err;
+    if (!FI.parse(O.FaultSpec, Err)) {
+      std::fprintf(stderr, "error: --fault-inject: %s\n", Err.c_str());
+      return 2;
+    }
+  }
+  ResourceGovernor Gov(Bud, std::move(FI));
+
+  // Cooperative cancellation: SIGINT/SIGTERM flip the process token; every
+  // long-running stage polls it at task boundaries, drains, and falls
+  // through to the flush below, which prints whatever was found.
+  interrupt::installSignalHandlers();
+  Gov.setCancelToken(&interrupt::processToken());
+
+  // Everything from here on either completes or is an internal error (4):
+  // input validation is done, so an escaping exception is a bug, not a
+  // usage problem.
+  try {
+    const unsigned Jobs = O.Jobs == 0 ? ThreadPool::hardwareConcurrency()
+                                      : static_cast<unsigned>(O.Jobs);
+    std::unique_ptr<ThreadPool> Pool;
+    if (Jobs > 1)
+      Pool = std::make_unique<ThreadPool>(Jobs);
+
+    std::unique_ptr<SummaryCache> Cache;
+    if (!O.CacheDir.empty() && O.CacheMode != "off") {
+      Cache = std::make_unique<SummaryCache>(
+          O.CacheDir, O.CacheMode == "read" ? SummaryCache::Mode::Read
+                                            : SummaryCache::Mode::ReadWrite);
+      std::string Err;
+      if (!Cache->prepare(Err)) {
+        std::fprintf(stderr, "error: --cache-dir: %s\n", Err.c_str());
+        return 2;
+      }
+    }
+
+    Timer Total;
+    smt::ExprContext Ctx;
+    svfa::PipelineOptions PO;
+    PO.UseLinearFilter = O.LinearFilter;
+    PO.Governor = &Gov;
+    PO.Pool = Pool.get();
+    PO.Cache = Cache.get();
+    svfa::AnalyzedModule AM(M, Ctx, PO);
+    double PipelineSec = Total.seconds();
+
+    if (O.DumpIR)
+      std::fputs(M.str().c_str(), stdout);
+
+    svfa::GlobalOptions GO;
+    GO.MaxContextDepth = O.MaxDepth;
+    GO.PathSensitive = O.PathSensitive;
+    GO.UseLinearFilter = O.LinearFilter;
+    GO.SolverCache = O.SolverCache;
+    GO.SolverSlicing = O.SolverCache;
+    GO.Governor = &Gov;
+    GO.Pool = Pool.get();
+
+    // Each checker's results land in an indexed slot; with a pool the
+    // checkers run concurrently (they share only thread-safe state: the
+    // analysed module, the expression context and the governor) but slots
+    // are always printed serially in command-line order, so the output is
+    // byte-identical to the serial run.
+    struct CheckerRun {
+      std::vector<svfa::Report> Reports;
+      svfa::GlobalSVFA::Stats EngineStats;
+      smt::StagedSolver::Stats SolverStats;
+      bool Failed = false;
+      bool Unknown = false;
+      std::string Error;
+    };
+    std::vector<CheckerRun> Runs(O.Checkers.size());
+
+    auto runChecker = [&](size_t Idx) {
+      const std::string &Name = O.Checkers[Idx];
+      CheckerRun &Slot = Runs[Idx];
+      // Checker-level fault isolation: one failing checker must not take
+      // down the run — log, warn, move on to the next checker.
+      try {
+        if (Gov.faults().injectCheckerThrow(Name)) {
+          Gov.note(DegradationKind::InjectedFault, "checker", Name,
+                   "forced checker throw");
+          throw std::runtime_error("injected checker fault");
+        }
+        if (Name == "leak") {
+          Slot.Reports = checkers::checkMemoryLeaks(AM);
+        } else {
+          checkers::CheckerSpec Spec;
+          if (!specFor(Name, Spec)) {
+            Slot.Unknown = true;
+            return;
+          }
+          svfa::GlobalSVFA Engine(AM, Spec, GO);
+          Slot.Reports = Engine.run();
+          Slot.EngineStats = Engine.stats();
+          Slot.SolverStats = Engine.solverStats();
+        }
+      } catch (const std::exception &Ex) {
+        Gov.note(DegradationKind::CheckerFailed, "checker", Name, Ex.what());
+        Slot.Failed = true;
+        Slot.Error = Ex.what();
+      }
+    };
+
+    if (Pool) {
+      ThreadPool::TaskGroup G(*Pool);
+      for (size_t Idx = 0; Idx < O.Checkers.size(); ++Idx)
+        G.spawn([&runChecker, Idx] { runChecker(Idx); });
+      G.wait();
+    } else {
+      for (size_t Idx = 0; Idx < O.Checkers.size(); ++Idx)
+        runChecker(Idx);
+    }
+
+    // --- Flush. Every post-analysis exit goes through this block so an
+    // interrupted run still emits its partial report, statistics,
+    // degradation log and run journal (written by the pipeline above).
+    const bool Interrupted = Gov.cancelled();
+
+    int TotalReports = 0;
+    uint64_t TotalRetries = 0, TotalTransientFailures = 0;
+    for (size_t Idx = 0; Idx < O.Checkers.size(); ++Idx) {
+      const std::string &Name = O.Checkers[Idx];
+      CheckerRun &Slot = Runs[Idx];
+      if (Slot.Unknown) {
+        std::fprintf(stderr, "unknown checker: %s\n", Name.c_str());
+        return 2;
+      }
+      if (Slot.Failed) {
+        std::fprintf(stderr, "warning: checker %s failed (%s); continuing\n",
+                     Name.c_str(), Slot.Error.c_str());
+        continue;
+      }
+
+      for (const auto &R : Slot.Reports) {
+        ++TotalReports;
+        std::printf("%s: source %s:%s -> sink %s:%s%s%s\n", R.Checker.c_str(),
+                    R.SourceFn.c_str(), R.Source.str().c_str(),
+                    R.SinkFn.c_str(), R.Sink.str().c_str(),
+                    R.Verdict == smt::SatResult::Unknown
+                        ? " [verdict=unknown]"
+                        : "",
+                    Interrupted ? " [partial]" : "");
+        for (const auto &Step : R.Path)
+          std::printf("    via %s\n", Step.c_str());
+      }
+      svfa::GlobalSVFA::Stats &EngineStats = Slot.EngineStats;
+      smt::StagedSolver::Stats &SolverStats = Slot.SolverStats;
+      TotalRetries += SolverStats.Retries;
+      TotalTransientFailures += SolverStats.TransientFailures;
+      if (O.Stats && Name != "leak") {
+        // The trailing acceleration counters (backend-calls onward) are
+        // interleaving-dependent under --jobs with the shared cache; every
+        // field before them is deterministic.
+        std::printf("[%s] events=%llu candidates=%llu sat=%llu unsat=%llu "
+                    "unknown=%llu linear-pruned=%llu smt-queries=%llu "
+                    "isolated-failures=%llu backend-calls=%llu "
+                    "cache-hits=%llu sliced=%llu comps-refuted=%llu\n",
+                    Name.c_str(), (unsigned long long)EngineStats.Events,
+                    (unsigned long long)EngineStats.Candidates,
+                    (unsigned long long)EngineStats.SolverSat,
+                    (unsigned long long)EngineStats.SolverUnsat,
+                    (unsigned long long)EngineStats.SolverUnknown,
+                    (unsigned long long)EngineStats.LinearPruned,
+                    (unsigned long long)SolverStats.BackendQueries,
+                    (unsigned long long)EngineStats.IsolatedFailures,
+                    (unsigned long long)SolverStats.BackendCalls,
+                    (unsigned long long)SolverStats.CacheHits,
+                    (unsigned long long)SolverStats.SlicedQueries,
+                    (unsigned long long)SolverStats.ComponentsRefuted);
+      }
+    }
+
+    if (O.Stats) {
+      std::printf("[pipeline] %zu functions, %zu SEG edges, %.3fs build, "
+                  "%.3fs total, %.1f MB peak\n",
+                  M.functions().size(), AM.totalSEGEdges(), PipelineSec,
+                  Total.seconds(), MemStats::get().peakBytes() / 1e6);
+      // Intern-table health of the shared expression context: node ids are
+      // allocation-order dependent, so these figures may differ across
+      // --jobs values (new observability counters, not a determinism
+      // surface).
+      const smt::ExprContext::InternStats IS = Ctx.internStats();
+      std::printf("[exprs] nodes=%zu table-slots=%zu max-chain=%zu "
+                  "arena-mb=%.1f\n",
+                  IS.Nodes, IS.TableSlots, IS.MaxChain, IS.ArenaBytes / 1e6);
+      if (Cache) {
+        Counters &C = Counters::get();
+        std::printf("[cache] hits=%lld misses=%lld invalidated=%lld "
+                    "corrupt=%lld stored=%lld\n",
+                    (long long)C.value("cache.hits"),
+                    (long long)C.value("cache.misses"),
+                    (long long)C.value("cache.invalidated"),
+                    (long long)C.value("cache.corrupt"),
+                    (long long)C.value("cache.stored"));
+      }
+      // Run-lifecycle counters, gated on something in the layer being
+      // active so no-budget/no-signal/no-fault runs keep byte-identical
+      // output.
+      if (O.MemBudgetMB > 0 || Cache || TotalRetries > 0 ||
+          TotalTransientFailures > 0 || Interrupted) {
+        std::printf("[lifecycle] mem.peak-governed=%.1fMB "
+                    "mem-plan-degraded=%zu resumed-sccs=%zu "
+                    "solver.retries=%llu transient-failures=%llu\n",
+                    MemStats::get().peakGovernedBytes() / 1e6,
+                    AM.memPlanDegradedSCCs(), AM.resumedSCCs(),
+                    (unsigned long long)TotalRetries,
+                    (unsigned long long)TotalTransientFailures);
+      }
+      std::printf("[governor] %s\n", Gov.log().summary().c_str());
+    }
+    if (O.DegradationLog) {
+      // Under --jobs>1 events arrive in completion order; sort so the log
+      // is stable across thread interleavings (and across --jobs values).
+      std::vector<DegradationEvent> Events = Gov.log().events();
+      std::stable_sort(
+          Events.begin(), Events.end(),
+          [](const DegradationEvent &A, const DegradationEvent &B) {
+            return std::tie(A.Stage, A.Function, A.Kind, A.Detail) <
+                   std::tie(B.Stage, B.Function, B.Kind, B.Detail);
+          });
+      for (const DegradationEvent &E : Events)
+        std::printf("[degradation] %s %s fn=%s: %s\n", toString(E.Kind),
+                    E.Stage.c_str(),
+                    E.Function.empty() ? "-" : E.Function.c_str(),
+                    E.Detail.c_str());
+    }
+
+    if (Interrupted)
+      std::printf("[partial] run interrupted (signal %d); results above "
+                  "were flushed before exit\n",
+                  interrupt::lastSignal());
+    std::printf("%d report(s)\n", TotalReports);
+    std::fflush(stdout);
+    return Interrupted ? 3 : 0;
+  } catch (const std::exception &Ex) {
+    std::fprintf(stderr, "internal error: %s\n", Ex.what());
+    std::fflush(stdout);
+    return 4;
+  }
+}
+
+} // namespace pinpoint::tools

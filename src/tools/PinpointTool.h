@@ -1,0 +1,33 @@
+//===- tools/PinpointTool.h - Reusable pinpoint CLI entry point ------------===//
+//
+// Part of the Pinpoint reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The `pinpoint` tool's whole driver as a library function, so lifecycle
+/// tests can fork a child, run the exact CLI code path (signal handlers,
+/// partial-result flush, exit codes) and assert on the child's output and
+/// status without exec'ing the installed binary.
+///
+/// Exit codes (the run-lifecycle contract, DESIGN.md section 12):
+///   0  analysis completed (reports possibly degraded, never silently lost)
+///   2  usage or input error
+///   3  interrupted (SIGINT/SIGTERM): partial results were flushed
+///   4  internal error (unexpected exception escaping the analysis)
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PINPOINT_TOOLS_PINPOINTTOOL_H
+#define PINPOINT_TOOLS_PINPOINTTOOL_H
+
+namespace pinpoint::tools {
+
+/// Runs the complete `pinpoint` command line: argument parsing, analysis,
+/// report/stats printing, and the interrupt-aware flush. Returns the
+/// process exit code documented above.
+int pinpointToolMain(int Argc, char **Argv);
+
+} // namespace pinpoint::tools
+
+#endif // PINPOINT_TOOLS_PINPOINTTOOL_H

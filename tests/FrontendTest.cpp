@@ -309,5 +309,63 @@ TEST(ParserErrors, UnterminatedBlock) {
   ASSERT_FALSE(Diags.empty());
 }
 
+//===----------------------------------------------------------------------===
+// Nesting-depth cap (run-lifecycle resilience: adversarial input must be
+// diagnosed, never allowed to overflow the recursive-descent stack)
+//===----------------------------------------------------------------------===
+
+std::string nestedParens(int N, const std::string &Core) {
+  std::string E(N, '(');
+  E += Core;
+  E += std::string(N, ')');
+  return "int f(int a) { return " + E + "; }";
+}
+
+std::string nestedBlocks(int N) {
+  std::string S = "void f() { int x = 0; ";
+  for (int I = 0; I < N; ++I)
+    S += "if (x < 1) { ";
+  S += "x = 1; ";
+  S += std::string(N, '}');
+  S += " }";
+  return S;
+}
+
+TEST(ParserDepth, DeepParensDiagnosedNotCrashed) {
+  // 5000 levels would overflow the parse stack without the cap; with it,
+  // the parser reports a diagnostic and returns.
+  auto Diags = parseErr(nestedParens(5000, "a"));
+  ASSERT_FALSE(Diags.empty());
+  EXPECT_NE(Diags[0].Msg.find("nesting too deep"), std::string::npos);
+}
+
+TEST(ParserDepth, DeepUnaryDiagnosedNotCrashed) {
+  std::string E(5000, '!');
+  auto Diags =
+      parseErr("int f(int a) { return " + E + "(a < 1); }");
+  ASSERT_FALSE(Diags.empty());
+  EXPECT_NE(Diags[0].Msg.find("nesting too deep"), std::string::npos);
+}
+
+TEST(ParserDepth, DeepBlocksDiagnosedNotCrashed) {
+  auto Diags = parseErr(nestedBlocks(5000));
+  ASSERT_FALSE(Diags.empty());
+  EXPECT_NE(Diags[0].Msg.find("nesting too deep"), std::string::npos);
+}
+
+TEST(ParserDepth, ShallowNestingStillParses) {
+  // Well under the cap (each paren level costs two recursion frames):
+  // legitimate code is unaffected.
+  Module M1;
+  std::vector<Diag> D1;
+  EXPECT_TRUE(parseModule(nestedParens(40, "a"), M1, D1)) << nestedParens(40, "a");
+  EXPECT_TRUE(D1.empty());
+
+  Module M2;
+  std::vector<Diag> D2;
+  EXPECT_TRUE(parseModule(nestedBlocks(50), M2, D2));
+  EXPECT_TRUE(D2.empty());
+}
+
 } // namespace
 } // namespace pinpoint::frontend

@@ -1,0 +1,565 @@
+//===- tests/LifecycleTest.cpp - Run-lifecycle resilience tests ------------===//
+//
+// Part of the Pinpoint reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The run-lifecycle contract (DESIGN.md section 12), enforced end to end:
+///
+///  * SIGTERM mid-run: the forked CLI child exits with code 3 and a
+///    well-formed partial report ([partial] trailer, stats, degradation
+///    log), having flushed completed-SCC cache entries and the run journal;
+///  * interrupt/resume: an interrupted run followed by a warm rerun over
+///    the same cache directory is byte-identical to an uninterrupted run,
+///    at --jobs 1 and 4, and the resumed run reports `resumed-sccs`;
+///  * memory governance: an undersized --mem-budget-mb yields the same
+///    MemoryPressure degradation set across runs and job counts, and the
+///    per-structure accounting balances when the module is destroyed;
+///  * cooperative cancellation at the library level: a pre-cancelled token
+///    degrades everything, logs once, stores nothing in the summary cache;
+///  * transient-fault retry: bounded retries recover from injected
+///    transient backend failures, exhaustion degrades to Unknown with a
+///    SolverTransient event, and 100%-transient injection still terminates;
+///  * the run journal round-trips and tolerates corruption.
+///
+/// The CLI tests fork a child that calls `pinpointToolMain` directly — the
+/// exact production code path including signal handlers and exit codes —
+/// and are skipped under TSan (fork + instrumented threads do not mix).
+///
+//===----------------------------------------------------------------------===//
+
+#include "checkers/Checker.h"
+#include "frontend/Parser.h"
+#include "smt/Solver.h"
+#include "support/Interrupt.h"
+#include "support/ResourceGovernor.h"
+#include "support/RunJournal.h"
+#include "support/Statistics.h"
+#include "support/SummaryCache.h"
+#include "support/ThreadPool.h"
+#include "svfa/GlobalSVFA.h"
+#include "tools/PinpointTool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#if !defined(_WIN32)
+#include <csignal>
+#include <sys/wait.h>
+#include <unistd.h>
+#endif
+
+#if defined(__SANITIZE_THREAD__)
+#define PINPOINT_TSAN 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define PINPOINT_TSAN 1
+#endif
+#endif
+
+using namespace pinpoint;
+
+namespace {
+
+//===----------------------------------------------------------------------===
+// Harness
+//===----------------------------------------------------------------------===
+
+/// A scratch directory under the test working directory, removed on exit.
+class TempDir {
+public:
+  explicit TempDir(const std::string &Tag) {
+    Path = "lifecycle_" + Tag + "_" +
+           std::to_string(Counter.fetch_add(1, std::memory_order_relaxed));
+    std::filesystem::remove_all(Path);
+    std::filesystem::create_directories(Path);
+  }
+  ~TempDir() {
+    std::error_code EC;
+    std::filesystem::remove_all(Path, EC);
+  }
+  std::string file(const std::string &Name) const {
+    return (std::filesystem::path(Path) / Name).string();
+  }
+  const std::string &path() const { return Path; }
+
+private:
+  static inline std::atomic<uint64_t> Counter{0};
+  std::string Path;
+};
+
+/// A deterministic subject with one feasible use-after-free per function
+/// pair: enough independent SCCs for the scheduler, the cache and the
+/// memory plan to have real work, with a known report per pair.
+std::string pairSubject(int Pairs) {
+  std::string S;
+  for (int I = 0; I < Pairs; ++I) {
+    std::string N = std::to_string(I);
+    S += "void use" + N + "(int *p, int c) { if (c > " + N +
+         ") { free(p); } if (c > " + std::to_string(I + 1) +
+         ") { int x = *p; } }\n";
+    S += "int caller" + N + "(int c) { int *p = malloc(4); use" + N +
+         "(p, c); return 0; }\n";
+  }
+  return S;
+}
+
+std::string readFile(const std::string &Path) {
+  std::ifstream In(Path);
+  std::stringstream SS;
+  SS << In.rdbuf();
+  return SS.str();
+}
+
+#if !defined(_WIN32) && !defined(PINPOINT_TSAN)
+
+/// Forks a child that runs the production CLI entry point with \p Args,
+/// stdout redirected to \p OutFile (stderr to /dev/null). Returns the pid.
+pid_t spawnTool(const std::vector<std::string> &Args,
+                const std::string &OutFile) {
+  pid_t Pid = fork();
+  if (Pid != 0)
+    return Pid;
+  // Child: run the exact driver and exit with its code (exit(), not
+  // _exit(), so stdio flushes — the flush behaviour is under test).
+  if (!std::freopen(OutFile.c_str(), "w", stdout))
+    std::exit(90);
+  if (!std::freopen("/dev/null", "w", stderr))
+    std::exit(91);
+  std::vector<std::string> Store = Args;
+  std::vector<char *> Argv;
+  static char Name[] = "pinpoint";
+  Argv.push_back(Name);
+  for (std::string &A : Store)
+    Argv.push_back(A.data());
+  std::exit(tools::pinpointToolMain(static_cast<int>(Argv.size()),
+                                    Argv.data()));
+}
+
+/// Waits for the child; returns its exit code (or -signal if killed).
+int waitTool(pid_t Pid) {
+  int Status = 0;
+  if (waitpid(Pid, &Status, 0) != Pid)
+    return -1000;
+  if (WIFEXITED(Status))
+    return WEXITSTATUS(Status);
+  if (WIFSIGNALED(Status))
+    return -WTERMSIG(Status);
+  return -1001;
+}
+
+int runTool(const std::vector<std::string> &Args, const std::string &OutFile) {
+  return waitTool(spawnTool(Args, OutFile));
+}
+
+size_t cacheEntryCount(const std::string &Dir) {
+  size_t N = 0;
+  std::error_code EC;
+  for (auto It = std::filesystem::directory_iterator(Dir, EC);
+       !EC && It != std::filesystem::directory_iterator(); ++It)
+    if (It->path().extension() == ".pps")
+      ++N;
+  return N;
+}
+
+/// Launches a paced run over \p CacheDir, waits until at least \p MinEntries
+/// summaries hit the disk, SIGTERMs the child and returns its exit code.
+int interruptPacedRun(const std::string &Subject, const std::string &CacheDir,
+                      const std::string &OutFile, size_t MinEntries) {
+  pid_t Pid = spawnTool({"--jobs=2", "--cache-dir=" + CacheDir,
+                         "--fault-inject=pace-fn-ms=20", "--stats",
+                         "--degradation-log", Subject},
+                        OutFile);
+  // Wait for real progress (flushed cache entries), then interrupt. The
+  // pacing gives the parent seconds of margin before the child finishes.
+  auto Deadline = std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  while (cacheEntryCount(CacheDir) < MinEntries &&
+         std::chrono::steady_clock::now() < Deadline)
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  EXPECT_GE(cacheEntryCount(CacheDir), MinEntries)
+      << "child made no progress before the deadline";
+  kill(Pid, SIGTERM);
+  return waitTool(Pid);
+}
+
+//===----------------------------------------------------------------------===
+// CLI lifecycle: interrupt, flush, resume
+//===----------------------------------------------------------------------===
+
+TEST(LifecycleCLI, SigtermFlushesPartialReportAndExits3) {
+  TempDir T("sigterm");
+  const std::string Subject = T.file("subject.mc");
+  std::ofstream(Subject) << pairSubject(60);
+  const std::string CacheDir = T.file("cache");
+
+  int RC = interruptPacedRun(Subject, CacheDir, T.file("int.out"), 4);
+  EXPECT_EQ(RC, 3);
+
+  const std::string Out = readFile(T.file("int.out"));
+  // Well-formed partial report: the trailer, the final count line, the
+  // stats blocks and the cancellation degradations all flushed.
+  EXPECT_NE(Out.find("[partial] run interrupted (signal 15)"),
+            std::string::npos)
+      << Out;
+  EXPECT_NE(Out.find(" report(s)\n"), std::string::npos) << Out;
+  EXPECT_NE(Out.find("[pipeline]"), std::string::npos) << Out;
+  EXPECT_NE(Out.find("[governor]"), std::string::npos) << Out;
+  EXPECT_NE(Out.find("cancelled"), std::string::npos) << Out;
+
+  // Completed SCCs were flushed: cache entries and the run journal exist.
+  EXPECT_GE(cacheEntryCount(CacheDir), size_t(4));
+  RunJournal J;
+  ASSERT_TRUE(J.load(CacheDir));
+  size_t Completed = 0;
+  for (const RunJournal::Entry &E : J.SCCs)
+    Completed += E.Completed;
+  EXPECT_GT(Completed, size_t(0));
+}
+
+TEST(LifecycleCLI, InterruptedPlusResumedMatchesUninterrupted) {
+  TempDir T("resume");
+  const std::string Subject = T.file("subject.mc");
+  std::ofstream(Subject) << pairSubject(60);
+  const std::string CacheDir = T.file("cache");
+
+  ASSERT_EQ(interruptPacedRun(Subject, CacheDir, T.file("int.out"), 4), 3);
+
+  // Uninterrupted reference (no cache, no pacing).
+  ASSERT_EQ(runTool({Subject}, T.file("clean.out")), 0);
+  const std::string Clean = readFile(T.file("clean.out"));
+  ASSERT_NE(Clean.find(" report(s)\n"), std::string::npos);
+
+  // Warm rerun over the interrupted run's cache: byte-identical, at both
+  // job counts.
+  ASSERT_EQ(runTool({"--cache-dir=" + CacheDir, Subject}, T.file("res1.out")),
+            0);
+  EXPECT_EQ(readFile(T.file("res1.out")), Clean);
+  ASSERT_EQ(runTool({"--jobs=4", "--cache-dir=" + CacheDir, Subject},
+                    T.file("res4.out")),
+            0);
+  EXPECT_EQ(readFile(T.file("res4.out")), Clean);
+
+  // A resumed --stats run reports the SCCs it resumed past.
+  ASSERT_EQ(runTool({"--stats", "--cache-dir=" + CacheDir, Subject},
+                    T.file("stats.out")),
+            0);
+  const std::string Stats = readFile(T.file("stats.out"));
+  size_t Pos = Stats.find("resumed-sccs=");
+  ASSERT_NE(Pos, std::string::npos) << Stats;
+  EXPECT_GT(std::atoll(Stats.c_str() + Pos + std::strlen("resumed-sccs=")),
+            0)
+      << Stats;
+}
+
+TEST(LifecycleCLI, ExitCodeContract) {
+  TempDir T("exitcodes");
+  const std::string Subject = T.file("subject.mc");
+  std::ofstream(Subject) << "int main() { return 0; }\n";
+
+  EXPECT_EQ(runTool({"--help"}, T.file("help.out")), 0);
+  EXPECT_NE(readFile(T.file("help.out")).find("exit codes:"),
+            std::string::npos);
+  EXPECT_EQ(runTool({"--no-such-flag", Subject}, T.file("bad.out")), 2);
+  EXPECT_EQ(runTool({T.file("missing.mc")}, T.file("miss.out")), 2);
+  EXPECT_EQ(runTool({Subject}, T.file("ok.out")), 0);
+}
+
+TEST(LifecycleCLI, MemBudgetDegradationIsDeterministicAcrossJobs) {
+  TempDir T("membudget");
+  const std::string Subject = T.file("subject.mc");
+  std::ofstream(Subject) << pairSubject(60);
+
+  ASSERT_EQ(runTool({"--mem-budget-mb=2", "--degradation-log", Subject},
+                    T.file("j1.out")),
+            0);
+  ASSERT_EQ(runTool({"--jobs=4", "--mem-budget-mb=2", "--degradation-log",
+                     Subject},
+                    T.file("j4.out")),
+            0);
+  ASSERT_EQ(runTool({"--mem-budget-mb=2", "--degradation-log", Subject},
+                    T.file("j1b.out")),
+            0);
+  const std::string J1 = readFile(T.file("j1.out"));
+  EXPECT_NE(J1.find("memory-pressure"), std::string::npos) << J1;
+  EXPECT_EQ(J1, readFile(T.file("j4.out")));
+  EXPECT_EQ(J1, readFile(T.file("j1b.out")));
+}
+
+#endif // !_WIN32 && !PINPOINT_TSAN
+
+//===----------------------------------------------------------------------===
+// Library-level memory governance
+//===----------------------------------------------------------------------===
+
+struct LibRun {
+  std::vector<std::string> Reports;
+  std::multiset<std::string> MemoryPressure; ///< Degraded function set.
+  size_t PlanDegraded = 0;
+};
+
+LibRun runWithBudget(const std::string &Src, int64_t MemBudgetMB,
+                     unsigned Jobs, CancelToken *Cancel = nullptr,
+                     SummaryCache *Cache = nullptr) {
+  LibRun Out;
+  ir::Module M;
+  std::vector<frontend::Diag> Diags;
+  EXPECT_TRUE(frontend::parseModule(Src, M, Diags));
+
+  Budget Bud;
+  Bud.MemBudgetMB = MemBudgetMB;
+  ResourceGovernor Gov(Bud, FaultInjector());
+  if (Cancel)
+    Gov.setCancelToken(Cancel);
+  if (Cache) {
+    std::string Err;
+    EXPECT_TRUE(Cache->prepare(Err)) << Err;
+  }
+
+  std::unique_ptr<ThreadPool> Pool;
+  if (Jobs > 1)
+    Pool = std::make_unique<ThreadPool>(Jobs);
+
+  smt::ExprContext Ctx;
+  svfa::PipelineOptions PO;
+  PO.Governor = &Gov;
+  PO.Pool = Pool.get();
+  PO.Cache = Cache;
+  svfa::AnalyzedModule AM(M, Ctx, PO);
+  Out.PlanDegraded = AM.memPlanDegradedSCCs();
+
+  svfa::GlobalOptions GO;
+  GO.Governor = &Gov;
+  GO.Pool = Pool.get();
+  svfa::GlobalSVFA Engine(AM, checkers::useAfterFreeChecker(), GO);
+  for (const svfa::Report &R : Engine.run())
+    Out.Reports.push_back(R.SourceFn + ":" + R.Source.str() + "->" +
+                          R.SinkFn + ":" + R.Sink.str());
+
+  for (const DegradationEvent &E : Gov.log().events())
+    if (E.Kind == DegradationKind::MemoryPressure)
+      Out.MemoryPressure.insert(E.Stage + "|" + E.Function);
+  return Out;
+}
+
+TEST(LifecycleMemory, PlanDegradesDeterministicallyAcrossRunsAndJobs) {
+  const std::string Src = pairSubject(40);
+  LibRun A = runWithBudget(Src, 2, 1);
+  LibRun B = runWithBudget(Src, 2, 4);
+  LibRun C = runWithBudget(Src, 2, 1);
+
+  EXPECT_GT(A.PlanDegraded, size_t(0));
+  EXPECT_FALSE(A.MemoryPressure.empty());
+  EXPECT_EQ(A.PlanDegraded, B.PlanDegraded);
+  EXPECT_EQ(A.PlanDegraded, C.PlanDegraded);
+  EXPECT_EQ(A.MemoryPressure, B.MemoryPressure);
+  EXPECT_EQ(A.MemoryPressure, C.MemoryPressure);
+  EXPECT_EQ(A.Reports, B.Reports);
+  EXPECT_EQ(A.Reports, C.Reports);
+}
+
+TEST(LifecycleMemory, UnlimitedBudgetDegradesNothing) {
+  LibRun A = runWithBudget(pairSubject(10), 0, 1);
+  EXPECT_EQ(A.PlanDegraded, size_t(0));
+  EXPECT_TRUE(A.MemoryPressure.empty());
+  LibRun B = runWithBudget(pairSubject(10), 1 << 20, 1);
+  EXPECT_EQ(B.PlanDegraded, size_t(0));
+  EXPECT_TRUE(B.MemoryPressure.empty());
+  EXPECT_EQ(A.Reports, B.Reports);
+}
+
+TEST(LifecycleMemory, GovernedAccountingBalancesOnDestruction) {
+  MemStats &MS = MemStats::get();
+  const int64_t PT0 = MS.ptEntries(), SG0 = MS.segNodes();
+  {
+    ir::Module M;
+    std::vector<frontend::Diag> Diags;
+    ASSERT_TRUE(frontend::parseModule(pairSubject(10), M, Diags));
+    smt::ExprContext Ctx;
+    svfa::AnalyzedModule AM(M, Ctx, {});
+    // The pipeline charged real structures while the module is alive.
+    EXPECT_GT(MS.segNodes(), SG0);
+  }
+  // ...and the destructor discharged every charge.
+  EXPECT_EQ(MS.ptEntries(), PT0);
+  EXPECT_EQ(MS.segNodes(), SG0);
+}
+
+//===----------------------------------------------------------------------===
+// Library-level cancellation
+//===----------------------------------------------------------------------===
+
+TEST(LifecycleCancel, PreCancelledRunDegradesAndStoresNothing) {
+  TempDir T("precancel");
+  SummaryCache Cache(T.file("cache"), SummaryCache::Mode::ReadWrite);
+  const int64_t Stored0 = Counters::get().value("cache.stored");
+
+  CancelToken Tok;
+  Tok.cancel();
+  LibRun Out = runWithBudget(pairSubject(8), 0, 1, &Tok, &Cache);
+
+  // Everything degraded (no crash, no hang), nothing entered the cache —
+  // cancellation taints exactly like any other nondeterministic skip.
+  EXPECT_TRUE(Out.Reports.empty());
+  EXPECT_EQ(Counters::get().value("cache.stored"), Stored0);
+}
+
+TEST(LifecycleCancel, CancelledEventIsLoggedOnce) {
+  ir::Module M;
+  std::vector<frontend::Diag> Diags;
+  ASSERT_TRUE(frontend::parseModule(pairSubject(8), M, Diags));
+  Budget Bud;
+  ResourceGovernor Gov(Bud, FaultInjector());
+  CancelToken Tok;
+  Tok.cancel();
+  Gov.setCancelToken(&Tok);
+  smt::ExprContext Ctx;
+  svfa::PipelineOptions PO;
+  PO.Governor = &Gov;
+  svfa::AnalyzedModule AM(M, Ctx, PO);
+
+  size_t CancelEvents = 0;
+  for (const DegradationEvent &E : Gov.log().events())
+    CancelEvents += E.Kind == DegradationKind::Cancelled;
+  EXPECT_EQ(CancelEvents, size_t(1)); // One-shot, not once per function.
+}
+
+//===----------------------------------------------------------------------===
+// Transient-fault retry in the staged solver
+//===----------------------------------------------------------------------===
+
+/// A satisfiable formula the linear filter cannot refute, so checkSat
+/// always reaches the backend discharge path where transients are
+/// injected.
+const smt::Expr *backendQuery(smt::ExprContext &Ctx) {
+  const smt::Expr *X = Ctx.freshIntVar("x");
+  return Ctx.mkAnd(Ctx.freshBoolVar("b"),
+                   Ctx.mkCmp(smt::ExprKind::Lt, X, Ctx.getInt(5)));
+}
+
+smt::StagedSolver makeSolver(smt::ExprContext &Ctx, ResourceGovernor &Gov) {
+  smt::StagedSolver S(Ctx, smt::createMiniSolver(Ctx),
+                      /*UseLinearFilter=*/true, &Gov);
+  // One backend discharge per query: conjunct slicing would otherwise
+  // split the test formula into per-component discharges, each with its
+  // own retry loop, making the retry accounting below component-shaped.
+  S.setSlicing(false);
+  return S;
+}
+
+ResourceGovernor makeGov(int RetryTransient, const std::string &FaultSpec) {
+  Budget Bud;
+  Bud.RetryTransient = RetryTransient;
+  FaultInjector FI;
+  std::string Err;
+  EXPECT_TRUE(FI.parse(FaultSpec, Err)) << Err;
+  return ResourceGovernor(Bud, std::move(FI));
+}
+
+TEST(LifecycleRetry, BoundedRetryRecoversFromTransients) {
+  smt::ExprContext Ctx;
+  ResourceGovernor Gov = makeGov(3, "transient-fails=2");
+  smt::StagedSolver S = makeSolver(Ctx, Gov);
+
+  // Two injected transients, then the real backend answers: a definite
+  // verdict, two retries, no degradation.
+  EXPECT_EQ(S.checkSat(backendQuery(Ctx)), smt::SatResult::Sat);
+  EXPECT_EQ(S.stats().Retries, 2u);
+  EXPECT_EQ(S.stats().TransientFailures, 0u);
+  for (const DegradationEvent &E : Gov.log().events())
+    EXPECT_NE(E.Kind, DegradationKind::SolverTransient);
+}
+
+TEST(LifecycleRetry, ExhaustedRetriesDegradeToUnknown) {
+  smt::ExprContext Ctx;
+  ResourceGovernor Gov = makeGov(1, "transient-fails=3");
+  smt::StagedSolver S = makeSolver(Ctx, Gov);
+
+  EXPECT_EQ(S.checkSat(backendQuery(Ctx)), smt::SatResult::Unknown);
+  EXPECT_EQ(S.stats().Retries, 1u);
+  EXPECT_EQ(S.stats().TransientFailures, 1u);
+  size_t TransientEvents = 0;
+  for (const DegradationEvent &E : Gov.log().events())
+    TransientEvents += E.Kind == DegradationKind::SolverTransient;
+  EXPECT_EQ(TransientEvents, size_t(1));
+}
+
+TEST(LifecycleRetry, FullyTransientBackendStillTerminates) {
+  smt::ExprContext Ctx;
+  ResourceGovernor Gov = makeGov(2, "seed=7,transient=100");
+  smt::StagedSolver S = makeSolver(Ctx, Gov);
+
+  // 100% transient injection: the retry budget bounds the loop, every
+  // query terminates with Unknown and exact retry accounting.
+  for (int I = 0; I < 3; ++I)
+    EXPECT_EQ(S.checkSat(backendQuery(Ctx)), smt::SatResult::Unknown);
+  EXPECT_EQ(S.stats().Retries, 3u * 2u);
+  EXPECT_EQ(S.stats().TransientFailures, 3u);
+}
+
+TEST(LifecycleRetry, ZeroRetriesFailImmediately) {
+  smt::ExprContext Ctx;
+  ResourceGovernor Gov = makeGov(0, "transient-fails=1");
+  smt::StagedSolver S = makeSolver(Ctx, Gov);
+  EXPECT_EQ(S.checkSat(backendQuery(Ctx)), smt::SatResult::Unknown);
+  EXPECT_EQ(S.stats().Retries, 0u);
+  EXPECT_EQ(S.stats().TransientFailures, 1u);
+}
+
+//===----------------------------------------------------------------------===
+// Run journal
+//===----------------------------------------------------------------------===
+
+TEST(RunJournalTest, RoundTripsEntries) {
+  TempDir T("journal");
+  RunJournal J;
+  J.SubjectFingerprint = 0xdeadbeefcafef00dull;
+  J.SCCs = {{0x1111, true}, {0x2222, false}, {0xffffffffffffffffull, true}};
+  ASSERT_TRUE(J.store(T.path()));
+
+  RunJournal L;
+  ASSERT_TRUE(L.load(T.path()));
+  EXPECT_EQ(L.SubjectFingerprint, J.SubjectFingerprint);
+  ASSERT_EQ(L.SCCs.size(), size_t(3));
+  EXPECT_EQ(L.SCCs[0].Key, 0x1111u);
+  EXPECT_TRUE(L.SCCs[0].Completed);
+  EXPECT_EQ(L.SCCs[1].Key, 0x2222u);
+  EXPECT_FALSE(L.SCCs[1].Completed);
+  EXPECT_EQ(L.SCCs[2].Key, 0xffffffffffffffffull);
+}
+
+TEST(RunJournalTest, MissingAndCorruptFilesAreNotErrors) {
+  TempDir T("journalbad");
+  RunJournal J;
+  EXPECT_FALSE(J.load(T.path())); // Missing: clean slate, no throw.
+  EXPECT_EQ(J.SCCs.size(), size_t(0));
+
+  std::ofstream(RunJournal::path(T.path())) << "not a journal at all\n";
+  EXPECT_FALSE(J.load(T.path()));
+  EXPECT_EQ(J.SCCs.size(), size_t(0));
+
+  std::ofstream(RunJournal::path(T.path()))
+      << "PPRJ 1 0000000000000001\nzzzz completed\n";
+  EXPECT_FALSE(J.load(T.path()));
+  EXPECT_EQ(J.SCCs.size(), size_t(0));
+
+  // Wrong version: rejected, never misinterpreted.
+  std::ofstream(RunJournal::path(T.path()))
+      << "PPRJ 999 0000000000000001\n0000000000000002 completed\n";
+  EXPECT_FALSE(J.load(T.path()));
+}
+
+} // namespace

@@ -447,5 +447,68 @@ TEST_P(PipelineProperty, CacheInvalidationTracksDirtySCCs) {
 INSTANTIATE_TEST_SUITE_P(Seeds, PipelineProperty,
                          ::testing::Values(11, 22, 33, 44, 55, 66));
 
+//===----------------------------------------------------------------------===
+// Malformed-input robustness (run-lifecycle resilience)
+//===----------------------------------------------------------------------===
+
+/// Adversarial-input property: no truncation or byte corruption of a valid
+/// subject may crash the frontend — every mutation either parses (and then
+/// survives the pipeline) or is rejected with diagnostics. Run under
+/// ASan/UBSan in CI, where "never crashes" is checked with teeth.
+class MalformedInput : public ::testing::TestWithParam<uint64_t> {
+protected:
+  std::string makeSource() {
+    workload::WorkloadConfig Cfg;
+    Cfg.Seed = GetParam();
+    Cfg.TargetLoC = 400;
+    Cfg.FeasibleUAF = 2;
+    Cfg.FeasibleTaint = 1;
+    Cfg.AliasNoise = 2;
+    return workload::generate(Cfg).Source;
+  }
+
+  /// Parses \p Src and, when it still parses, pushes it through the whole
+  /// per-function pipeline — corruption that survives parsing must also
+  /// survive analysis.
+  void expectNoCrash(const std::string &Src) {
+    Module M;
+    std::vector<frontend::Diag> Diags;
+    if (!frontend::parseModule(Src, M, Diags)) {
+      EXPECT_FALSE(Diags.empty()); // Rejection always says why.
+      return;
+    }
+    smt::ExprContext Ctx;
+    svfa::AnalyzedModule AM(M, Ctx);
+    auto Errs = verifyModule(M, /*ExpectSSA=*/true);
+    EXPECT_TRUE(Errs.empty()) << (Errs.empty() ? "" : Errs[0]);
+  }
+};
+
+TEST_P(MalformedInput, RandomTruncationsNeverCrash) {
+  const std::string Src = makeSource();
+  RNG Rand(GetParam() * 7919 + 1);
+  for (int I = 0; I < 24; ++I)
+    expectNoCrash(Src.substr(0, Rand.below(Src.size() + 1)));
+  // Degenerate prefixes too.
+  expectNoCrash("");
+  expectNoCrash(Src.substr(0, 1));
+}
+
+TEST_P(MalformedInput, RandomByteFlipsNeverCrash) {
+  const std::string Src = makeSource();
+  RNG Rand(GetParam() * 104729 + 3);
+  for (int I = 0; I < 24; ++I) {
+    std::string Mut = Src;
+    // Up to three arbitrary byte corruptions per variant (any value,
+    // including NUL and non-ASCII).
+    for (uint64_t K = Rand.below(3) + 1; K > 0; --K)
+      Mut[Rand.below(Mut.size())] = static_cast<char>(Rand.below(256));
+    expectNoCrash(Mut);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MalformedInput,
+                         ::testing::Values(101, 202, 303, 404));
+
 } // namespace
 } // namespace pinpoint

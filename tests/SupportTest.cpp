@@ -6,13 +6,17 @@
 
 #include "support/Arena.h"
 #include "support/Casting.h"
+#include "support/Interrupt.h"
 #include "support/RNG.h"
 #include "support/SourceLoc.h"
 #include "support/Statistics.h"
+#include "support/ThreadPool.h"
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <set>
+#include <thread>
 
 namespace pinpoint {
 namespace {
@@ -182,6 +186,83 @@ TEST(SourceLoc, Formatting) {
   EXPECT_TRUE(L.isValid());
   EXPECT_EQ(L.str(), "12:5");
   EXPECT_FALSE(SourceLoc().isValid());
+}
+
+//===----------------------------------------------------------------------===
+// CancelToken / cooperative cancellation
+//===----------------------------------------------------------------------===
+
+TEST(CancelToken, OneWayUntilReset) {
+  CancelToken T;
+  EXPECT_FALSE(T.cancelled());
+  T.cancel();
+  EXPECT_TRUE(T.cancelled());
+  T.cancel(); // Idempotent.
+  EXPECT_TRUE(T.cancelled());
+  T.reset();
+  EXPECT_FALSE(T.cancelled());
+}
+
+TEST(CancelToken, VisibleAcrossThreads) {
+  CancelToken T;
+  std::atomic<bool> Seen{false};
+  std::thread Poller([&] {
+    while (!T.cancelled())
+      std::this_thread::yield();
+    Seen.store(true);
+  });
+  T.cancel();
+  Poller.join();
+  EXPECT_TRUE(Seen.load());
+}
+
+//===----------------------------------------------------------------------===
+// ThreadPool shutdown via CancelToken
+//===----------------------------------------------------------------------===
+
+TEST(ThreadPoolShutdown, RequestStopCancelsTokenAndDrainsGroups) {
+  ThreadPool Pool(4);
+  EXPECT_FALSE(Pool.shutdownToken().cancelled());
+
+  // Queued work completes even when stop is requested mid-flight: the
+  // helping wait drains the queue, so no spawned task is lost.
+  std::atomic<int> Ran{0};
+  {
+    ThreadPool::TaskGroup G(Pool);
+    for (int I = 0; I < 64; ++I)
+      G.spawn([&] { Ran.fetch_add(1, std::memory_order_relaxed); });
+    Pool.requestStop();
+    G.wait();
+  }
+  EXPECT_EQ(Ran.load(), 64);
+  EXPECT_TRUE(Pool.shutdownToken().cancelled());
+}
+
+TEST(ThreadPoolShutdown, DestructionAfterStopIsClean) {
+  // requestStop() then destruction must not hang or double-drain; this is
+  // the driver's signal-exit path (run under TSan in CI).
+  auto Pool = std::make_unique<ThreadPool>(2);
+  std::atomic<int> Ran{0};
+  {
+    ThreadPool::TaskGroup G(*Pool);
+    for (int I = 0; I < 8; ++I)
+      G.spawn([&] { Ran.fetch_add(1, std::memory_order_relaxed); });
+    G.wait();
+  }
+  Pool->requestStop();
+  Pool.reset();
+  EXPECT_EQ(Ran.load(), 8);
+}
+
+TEST(ProcessToken, RecordsAndResets) {
+  interrupt::resetForTesting();
+  EXPECT_FALSE(interrupt::processToken().cancelled());
+  EXPECT_EQ(interrupt::lastSignal(), 0);
+  interrupt::processToken().cancel();
+  EXPECT_TRUE(interrupt::processToken().cancelled());
+  interrupt::resetForTesting();
+  EXPECT_FALSE(interrupt::processToken().cancelled());
+  EXPECT_EQ(interrupt::lastSignal(), 0);
 }
 
 } // namespace
