@@ -67,6 +67,14 @@ struct CheckerSpec {
     return std::nullopt;
   }
 
+  /// True if \p F contains a syntactic source site of this checker: a
+  /// source-function call the engine would seed an event from, or a
+  /// non-synthetic null-constant assignment when NullConstIsSource. This
+  /// is the seed predicate of the demand relevance pre-pass (svfa/Demand);
+  /// it deliberately over-approximates `sourceOf` — extra seeds only cost
+  /// analysis time, never change results.
+  bool hasSourceSite(const ir::Function &F) const;
+
   /// True if using \p V at \p U is a sink for this checker.
   bool isSinkUse(const seg::Use &U) const {
     if (DerefIsSink && U.Kind == seg::UseKind::DerefAddr &&

@@ -19,6 +19,29 @@
 
 namespace pinpoint::checkers {
 
+bool CheckerSpec::hasSourceSite(const ir::Function &F) const {
+  for (const ir::BasicBlock *B : F.blocks()) {
+    for (const ir::Stmt *S : B->stmts()) {
+      if (const auto *Call = dyn_cast<ir::CallStmt>(S)) {
+        if (SourceArgFns.count(Call->calleeName()) && !Call->args().empty())
+          return true;
+        if (SourceRetFns.count(Call->calleeName()) && Call->receiver())
+          return true;
+        continue;
+      }
+      if (!NullConstIsSource)
+        continue;
+      const auto *A = dyn_cast<ir::AssignStmt>(S);
+      if (!A || A->isSynthetic())
+        continue;
+      if (const auto *C = dyn_cast<ir::Constant>(A->src()))
+        if (C->isNull())
+          return true;
+    }
+  }
+  return false;
+}
+
 CheckerSpec useAfterFreeChecker() {
   CheckerSpec S;
   S.Name = "use-after-free";

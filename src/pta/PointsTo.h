@@ -101,6 +101,23 @@ public:
     return N;
   }
 
+  /// Measured heap footprint of the retained outputs: tree nodes plus
+  /// vector payloads. This is the byte figure the governor charges (the
+  /// entry *count* above feeds the balance assertions only).
+  size_t memoryBytes() const {
+    // Node overhead of the red-black trees: three links + color word.
+    const size_t MapNode = 4 * sizeof(void *);
+    size_t N = 0;
+    for (const auto &[L, Vals] : LoadDeps)
+      N += MapNode + sizeof(const ir::LoadStmt *) + sizeof(ValSet) +
+           Vals.capacity() * sizeof(ValSet::value_type);
+    for (const auto &[V, Pts] : VarPts)
+      N += MapNode + sizeof(const ir::Variable *) + sizeof(PtsSet) +
+           Pts.capacity() * sizeof(PtsSet::value_type);
+    N += (Refs.size() + Mods.size()) * (MapNode + sizeof(ParamPath));
+    return N;
+  }
+
 private:
   friend class PointsToAnalysis;
   friend class PointsToRebuilder;

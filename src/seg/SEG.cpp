@@ -5,6 +5,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "seg/SEG.h"
+#include "support/Statistics.h"
 
 #include <set>
 
@@ -16,6 +17,15 @@ SEG::SEG(const Function &F, SymbolMap &Syms, ConditionMap &Conds,
          const pta::PointsToResult &PTA)
     : F(F), Syms(Syms), Conds(Conds), Ctx(Syms.context()) {
   build(PTA);
+  freeze();
+}
+
+uint32_t SEG::vertexId(const Variable *V) {
+  auto [It, Inserted] =
+      VertexId.emplace(V, static_cast<uint32_t>(VertexOrder.size()));
+  if (Inserted)
+    VertexOrder.push_back(V);
+  return It->second;
 }
 
 void SEG::addFlow(const Value *From, const Variable *To,
@@ -23,18 +33,70 @@ void SEG::addFlow(const Value *From, const Variable *To,
   const auto *Var = dyn_cast<Variable>(From);
   if (!Var)
     return; // Constants do not flow.
-  FlowOut[Var].push_back({To, Cond, Direct, Via});
-  FlowIn[To].push_back({Var, Cond, Direct, Via});
-  Vertices.insert(Var);
-  Vertices.insert(To);
+  B->FlowOut[Var].push_back({To, Cond, Direct, Via});
+  B->FlowIn[To].push_back({Var, Cond, Direct, Via});
+  vertexId(Var);
+  vertexId(To);
   ++EdgeCount;
 }
 
 void SEG::addUse(const Value *V, const Stmt *S, UseKind K, int Index) {
   if (const auto *Var = dyn_cast<Variable>(V)) {
-    Uses[Var].push_back({S, K, Index});
-    Vertices.insert(Var);
+    B->Uses[Var].push_back({S, K, Index});
+    vertexId(Var);
   }
+}
+
+namespace {
+/// Packs one adjacency map into CSR form over \p Order: offsets are
+/// vertex-id indexed, rows preserve per-vertex build order.
+template <typename T>
+void packCSR(Arena &Mem,
+             const std::unordered_map<const Variable *, std::vector<T>> &Adj,
+             const std::vector<const Variable *> &Order,
+             const uint32_t *&OffOut, const T *&EdgesOut) {
+  const size_t N = Order.size();
+  uint32_t *Off = Mem.allocArray<uint32_t>(N + 1);
+  size_t Total = 0;
+  for (size_t I = 0; I < N; ++I) {
+    Off[I] = static_cast<uint32_t>(Total);
+    auto It = Adj.find(Order[I]);
+    if (It != Adj.end())
+      Total += It->second.size();
+  }
+  Off[N] = static_cast<uint32_t>(Total);
+  T *Edges = Mem.allocArray<T>(Total);
+  for (size_t I = 0; I < N; ++I) {
+    auto It = Adj.find(Order[I]);
+    if (It == Adj.end())
+      continue;
+    T *Row = Edges + Off[I];
+    for (size_t J = 0; J < It->second.size(); ++J)
+      Row[J] = It->second[J];
+  }
+  OffOut = Off;
+  EdgesOut = Edges;
+}
+} // namespace
+
+void SEG::freeze() {
+  packCSR(Mem, B->FlowOut, VertexOrder, FlowOutOff, FlowOutE);
+  packCSR(Mem, B->FlowIn, VertexOrder, FlowInOff, FlowInE);
+  packCSR(Mem, B->Uses, VertexOrder, UsesOff, UsesE);
+  B.reset();
+  Counters::get().add("seg.csr-bytes",
+                      static_cast<int64_t>(Mem.bytesUsed()));
+}
+
+size_t SEG::memoryBytes() const {
+  // CSR storage is exact (arena-reserved); the id index and call list are
+  // estimated from container geometry (bucket array + one node per entry).
+  const size_t MapNode =
+      sizeof(std::pair<const Variable *, uint32_t>) + 2 * sizeof(void *);
+  return Mem.bytesReserved() + VertexId.size() * MapNode +
+         VertexId.bucket_count() * sizeof(void *) +
+         VertexOrder.capacity() * sizeof(const Variable *) +
+         Calls.capacity() * sizeof(const CallStmt *);
 }
 
 void SEG::build(const pta::PointsToResult &PTA) {

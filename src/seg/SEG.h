@@ -38,10 +38,12 @@
 #include "ir/Conditions.h"
 #include "ir/IR.h"
 #include "pta/PointsTo.h"
+#include "support/Arena.h"
+#include "support/Span.h"
 
+#include <memory>
 #include <mutex>
 #include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 namespace pinpoint::seg {
@@ -89,24 +91,23 @@ public:
   const ir::Function &function() const { return F; }
 
   //===--- Graph access ----------------------------------------------------===
+  //
+  // Adjacency is frozen into immutable CSR arrays (offset + edge array per
+  // direction) once construction finishes; accessors hand out non-owning
+  // spans over the arena-backed rows. Per-vertex edge order is the build
+  // order, exactly as the mutable vectors stored it.
 
-  const std::vector<FlowEdge> &flowsOut(const ir::Variable *V) const {
-    static const std::vector<FlowEdge> None;
-    auto It = FlowOut.find(V);
-    return It == FlowOut.end() ? None : It->second;
+  Span<FlowEdge> flowsOut(const ir::Variable *V) const {
+    return row(FlowOutOff, FlowOutE, V);
   }
 
   /// Reverse edges: who flows *into* V (edge.To is then the source).
-  const std::vector<FlowEdge> &flowsIn(const ir::Variable *V) const {
-    static const std::vector<FlowEdge> None;
-    auto It = FlowIn.find(V);
-    return It == FlowIn.end() ? None : It->second;
+  Span<FlowEdge> flowsIn(const ir::Variable *V) const {
+    return row(FlowInOff, FlowInE, V);
   }
 
-  const std::vector<Use> &usesOf(const ir::Variable *V) const {
-    static const std::vector<Use> None;
-    auto It = Uses.find(V);
-    return It == Uses.end() ? None : It->second;
+  Span<Use> usesOf(const ir::Variable *V) const {
+    return row(UsesOff, UsesE, V);
   }
 
   /// All call statements in the function (for summary application).
@@ -135,8 +136,11 @@ public:
 
   //===--- Statistics -------------------------------------------------------
 
-  size_t numVertices() const { return Vertices.size(); }
+  size_t numVertices() const { return VertexId.size(); }
   size_t numEdges() const { return EdgeCount; }
+  /// Measured heap footprint of the frozen graph: CSR arena bytes plus the
+  /// vertex-id index and call list. Feeds `MemStats::noteSEGNodes`.
+  size_t memoryBytes() const;
 
 private:
   struct LocalDef {
@@ -148,6 +152,7 @@ private:
   };
 
   void build(const pta::PointsToResult &PTA);
+  void freeze();
   const Closure &ddImpl(const ir::Variable *V);
   Closure controlCondImpl(const ir::Stmt *S);
   void addFlow(const ir::Value *From, const ir::Variable *To,
@@ -164,17 +169,44 @@ private:
   ir::ConditionMap &Conds;
   smt::ExprContext &Ctx;
 
-  // Adjacency and memo tables are hash maps: every access is a point
-  // lookup (flowsOut/flowsIn/usesOf/dd/localDef — nothing iterates them),
-  // so pointer-hash ordering can never reach reports while the hot
-  // closure walk skips the red-black-tree probes. References into
-  // node-based unordered_map stay stable under growth, which dd() relies
-  // on exactly as it did with std::map.
-  std::unordered_map<const ir::Variable *, std::vector<FlowEdge>> FlowOut;
-  std::unordered_map<const ir::Variable *, std::vector<FlowEdge>> FlowIn;
-  std::unordered_map<const ir::Variable *, std::vector<Use>> Uses;
+  /// Mutable adjacency used only while build() runs; freeze() packs it
+  /// into the CSR arrays below and drops it, so a live SEG holds no
+  /// node-based adjacency maps.
+  struct Builder {
+    std::unordered_map<const ir::Variable *, std::vector<FlowEdge>> FlowOut;
+    std::unordered_map<const ir::Variable *, std::vector<FlowEdge>> FlowIn;
+    std::unordered_map<const ir::Variable *, std::vector<Use>> Uses;
+  };
+
+  uint32_t vertexId(const ir::Variable *V);
+  template <typename T>
+  Span<T> row(const uint32_t *Off, const T *Edges,
+              const ir::Variable *V) const {
+    auto It = VertexId.find(V);
+    if (It == VertexId.end())
+      return {};
+    uint32_t Id = It->second;
+    return {Edges + Off[Id], Off[Id + 1] - Off[Id]};
+  }
+
+  std::unique_ptr<Builder> B = std::make_unique<Builder>();
   std::vector<const ir::CallStmt *> Calls;
-  std::unordered_set<const ir::Variable *> Vertices;
+  /// Insertion-ordered vertex ids: the CSR row index of each variable.
+  /// The id lookup is a point query, never iterated, so pointer-hash
+  /// ordering can never reach reports.
+  std::unordered_map<const ir::Variable *, uint32_t> VertexId;
+  std::vector<const ir::Variable *> VertexOrder;
+  /// Frozen CSR adjacency: `*Off` has numVertices()+1 entries; row i of
+  /// the edge array is [Off[i], Off[i+1]). All storage lives in `Mem`.
+  /// The arena is unreported — its bytes are charged through the
+  /// per-structure `noteSEGNodes` channel instead (see Pipeline).
+  const uint32_t *FlowOutOff = nullptr, *FlowInOff = nullptr,
+                 *UsesOff = nullptr;
+  const FlowEdge *FlowOutE = nullptr, *FlowInE = nullptr;
+  const Use *UsesE = nullptr;
+  Arena Mem{/*Reported=*/false};
+  /// Lazy memo tables for the constraint queries (still node-based maps:
+  /// dd() hands out stable references into LocalDefs/DDCache).
   std::unordered_map<const ir::Variable *, LocalDef> LocalDefs;
   std::unordered_map<const ir::Variable *, Closure> DDCache;
   mutable std::mutex QueryMu; ///< Guards the lazy query caches above.

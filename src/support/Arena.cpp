@@ -24,7 +24,8 @@ void Arena::newSlab(size_t MinSize) {
   Cur = reinterpret_cast<uintptr_t>(Slab);
   End = Cur + Size;
   BytesReserved += Size;
-  MemStats::get().noteArenaBytes(static_cast<int64_t>(Size));
+  if (Reported)
+    MemStats::get().noteArenaBytes(static_cast<int64_t>(Size));
 }
 
 void Arena::reset() {
@@ -33,7 +34,8 @@ void Arena::reset() {
   Dtors.clear();
   for (char *Slab : Slabs)
     std::free(Slab);
-  MemStats::get().noteArenaBytes(-static_cast<int64_t>(BytesReserved));
+  if (Reported)
+    MemStats::get().noteArenaBytes(-static_cast<int64_t>(BytesReserved));
   Slabs.clear();
   Cur = End = 0;
   BytesUsed = BytesReserved = 0;

@@ -29,6 +29,12 @@ namespace pinpoint {
 class Arena {
 public:
   Arena() = default;
+  /// \p Reported controls whether slab bytes flow into the global
+  /// `MemStats` arena ledger. Pass false for arenas whose bytes are already
+  /// charged through another channel (e.g. the SEG CSR arena, charged as
+  /// per-structure bytes via `noteSEGNodes`), so governance never counts
+  /// the same byte twice.
+  explicit Arena(bool Reported) : Reported(Reported) {}
   Arena(const Arena &) = delete;
   Arena &operator=(const Arena &) = delete;
   ~Arena() { reset(); }
@@ -55,6 +61,32 @@ public:
     return Obj;
   }
 
+  /// Allocates an uninitialised array of \p N trivially-destructible Ts.
+  /// Returns nullptr for N == 0 so empty CSR rows cost nothing.
+  template <typename T> T *allocArray(size_t N) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "allocArray cannot register element destructors");
+    if (N == 0)
+      return nullptr;
+    return static_cast<T *>(allocate(N * sizeof(T), alignof(T)));
+  }
+
+  /// Moves the contents of \p Src into arena storage and returns the new
+  /// base pointer; elements with non-trivial destructors are registered
+  /// individually. \p Src is left empty.
+  template <typename T> T *allocMove(std::vector<T> &&Src) {
+    if (Src.empty())
+      return nullptr;
+    T *Base = static_cast<T *>(allocate(Src.size() * sizeof(T), alignof(T)));
+    for (size_t I = 0; I < Src.size(); ++I) {
+      T *Obj = new (Base + I) T(std::move(Src[I]));
+      if constexpr (!std::is_trivially_destructible_v<T>)
+        Dtors.push_back({Obj, [](void *P) { static_cast<T *>(P)->~T(); }});
+    }
+    Src.clear();
+    return Base;
+  }
+
   /// Total payload bytes handed out (excludes slab slack).
   size_t bytesUsed() const { return BytesUsed; }
   /// Total bytes reserved from the system.
@@ -75,6 +107,7 @@ private:
   std::vector<DtorEntry> Dtors;
   uintptr_t Cur = 0, End = 0;
   size_t BytesUsed = 0, BytesReserved = 0;
+  bool Reported = true;
   /// Slabs grow geometrically from MinSlabSize to MaxSlabSize so that many
   /// small arenas (one per analysed function) stay cheap.
   static constexpr size_t MinSlabSize = 4 << 10;

@@ -1,0 +1,43 @@
+//===- support/Span.h - Non-owning contiguous range view -----------------===//
+//
+// Part of the Pinpoint reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A minimal non-owning view over a contiguous range, used by the frozen
+/// CSR encodings (SEG adjacency, value-flow summaries) so consumers can
+/// range-for over arena-backed edge arrays without copying and without the
+/// containers that backed construction. Keeps us off C++20's std::span.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PINPOINT_SUPPORT_SPAN_H
+#define PINPOINT_SUPPORT_SPAN_H
+
+#include <cstddef>
+
+namespace pinpoint {
+
+template <typename T> class Span {
+public:
+  Span() = default;
+  Span(const T *Data, size_t Size) : Data(Data), N(Size) {}
+
+  const T *begin() const { return Data; }
+  const T *end() const { return Data + N; }
+  const T *data() const { return Data; }
+  size_t size() const { return N; }
+  bool empty() const { return N == 0; }
+  const T &operator[](size_t I) const { return Data[I]; }
+  const T &front() const { return Data[0]; }
+  const T &back() const { return Data[N - 1]; }
+
+private:
+  const T *Data = nullptr;
+  size_t N = 0;
+};
+
+} // namespace pinpoint
+
+#endif // PINPOINT_SUPPORT_SPAN_H

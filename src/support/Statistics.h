@@ -105,12 +105,6 @@ class MemStats {
 public:
   static MemStats &get();
 
-  /// Approximate heap cost of one points-to/load-dependence entry and one
-  /// SEG vertex (node + map overhead + average edge share). Coarse on
-  /// purpose: governance needs proportionality, not malloc-exact bytes.
-  static constexpr int64_t PTEntryBytes = 48;
-  static constexpr int64_t SEGNodeBytes = 96;
-
   void noteArenaBytes(int64_t Delta) {
     int64_t Now = Live.fetch_add(Delta, std::memory_order_relaxed) + Delta;
     raisePeak(Peak, Now);
@@ -120,15 +114,24 @@ public:
   int64_t liveBytes() const { return Live.load(std::memory_order_relaxed); }
   int64_t peakBytes() const { return Peak.load(std::memory_order_relaxed); }
   void resetPeak() { Peak.store(liveBytes(), std::memory_order_relaxed); }
-
-  /// Per-structure accounting hooks (negative deltas discharge).
-  void notePTEntries(int64_t N) {
-    PTEntries.fetch_add(N, std::memory_order_relaxed);
-    noteStructBytes(N * PTEntryBytes);
+  /// Rebases both high-water marks to the current live totals. Used by the
+  /// benchmark harness between phases so each phase reports its own peak.
+  void resetPeaks() {
+    Peak.store(liveBytes(), std::memory_order_relaxed);
+    GovernedPeak.store(governedBytes(), std::memory_order_relaxed);
   }
-  void noteSEGNodes(int64_t N) {
+
+  /// Per-structure accounting hooks (negative deltas discharge). \p Bytes
+  /// is the owner's *measured* heap cost for those \p N entries — container
+  /// node overhead included — not a fixed per-entry weight, so
+  /// `planMemoryPressure` orders SCCs by what they actually cost.
+  void notePTEntries(int64_t N, int64_t Bytes) {
+    PTEntries.fetch_add(N, std::memory_order_relaxed);
+    noteStructBytes(Bytes);
+  }
+  void noteSEGNodes(int64_t N, int64_t Bytes) {
     SEGNodes.fetch_add(N, std::memory_order_relaxed);
-    noteStructBytes(N * SEGNodeBytes);
+    noteStructBytes(Bytes);
   }
   int64_t ptEntries() const {
     return PTEntries.load(std::memory_order_relaxed);

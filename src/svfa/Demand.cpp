@@ -1,0 +1,75 @@
+//===- svfa/Demand.cpp --------------------------------------------------------===//
+//
+// Part of the Pinpoint reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+
+#include "svfa/Demand.h"
+
+using namespace pinpoint::ir;
+
+namespace pinpoint::svfa {
+
+namespace {
+
+bool hasMallocSite(const Function &F) {
+  for (const BasicBlock *B : F.blocks())
+    for (const Stmt *S : B->stmts())
+      if (const auto *Call = dyn_cast<CallStmt>(S))
+        if (Call->calleeName() == intrinsics::Malloc && Call->receiver())
+          return true;
+  return false;
+}
+
+} // namespace
+
+RelevanceSet computeRelevance(const CallGraph &CG, Module &M,
+                              const DemandSpec &Spec) {
+  RelevanceSet R;
+  R.All = false;
+
+  // Seed: functions with a syntactic source site of any enabled checker.
+  // This is a name-based over-approximation (a source call whose value the
+  // engine later discards still seeds) — extra relevant functions only
+  // cost time, never change results.
+  std::vector<Function *> Work;
+  std::unordered_set<const Function *> HasSrc;
+  for (Function *F : M.functions()) {
+    bool IsSrc = false;
+    for (const checkers::CheckerSpec &CS : Spec.Checkers)
+      IsSrc = IsSrc || CS.hasSourceSite(*F);
+    if (!IsSrc && Spec.LeakSources)
+      IsSrc = hasMallocSite(*F);
+    if (IsSrc && HasSrc.insert(F).second)
+      Work.push_back(F);
+  }
+  R.SourceFns = Work.size();
+
+  // Close under callers: a caller can surface a callee's source events
+  // through VF2/VF3 summaries, so every transitive caller of a
+  // source-bearing function may itself produce events and candidates.
+  while (!Work.empty()) {
+    Function *F = Work.back();
+    Work.pop_back();
+    for (Function *C : CG.callers(F))
+      if (HasSrc.insert(C).second)
+        Work.push_back(C);
+  }
+
+  // Close under callees: analyzed functions must see the exact callee
+  // interfaces (connector rewriting) and VF summaries the exhaustive run
+  // saw, so everything reachable below the event-producing set is kept.
+  R.Fns = HasSrc;
+  for (const Function *F : HasSrc)
+    Work.push_back(const_cast<Function *>(F));
+  while (!Work.empty()) {
+    Function *F = Work.back();
+    Work.pop_back();
+    for (Function *C : CG.callees(F))
+      if (R.Fns.insert(C).second)
+        Work.push_back(C);
+  }
+  return R;
+}
+
+} // namespace pinpoint::svfa

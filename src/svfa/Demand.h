@@ -1,0 +1,69 @@
+//===- svfa/Demand.h - Checker-driven relevance pre-pass ------------------===//
+//
+// Part of the Pinpoint reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The demand-driven relevance pre-pass (`--demand`). Before any summary is
+/// built, the call graph is walked from the enabled checkers' source sites
+/// to mark the set of functions the analysis can possibly need:
+///
+///   R = callees*( callers*( Src ) )
+///
+/// where `Src` is every function containing a syntactic source site. The
+/// caller closure covers every function that can *surface* a source event
+/// (VF2/VF3 summaries propagate events up the call chain); the callee
+/// closure then guarantees that every analyzed function sees exactly the
+/// callee interfaces and summaries the exhaustive analysis saw — which is
+/// what makes reports, stats and degradation logs byte-identical to
+/// `--demand=off`. Functions outside R get no points-to pass, no SEG and no
+/// value-flow summaries, and neither probe nor populate the summary cache.
+///
+/// R is closed under SCC membership by construction (members of one SCC are
+/// mutually reachable through calls), so the per-SCC pipeline schedule
+/// never splits a condensation node.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PINPOINT_SVFA_DEMAND_H
+#define PINPOINT_SVFA_DEMAND_H
+
+#include "checkers/Checker.h"
+#include "ir/CallGraph.h"
+
+#include <unordered_set>
+#include <vector>
+
+namespace pinpoint::svfa {
+
+/// What the relevance pre-pass must consider a source. One spec covers the
+/// union of every checker the run will evaluate: the pipeline analyzes the
+/// union-relevant set once and each engine run consumes the subset its own
+/// checker needs.
+struct DemandSpec {
+  std::vector<checkers::CheckerSpec> Checkers;
+  /// The leak checker has no CheckerSpec: its sources are malloc calls
+  /// with a receiver (see checkers/SpecialCheckers.h).
+  bool LeakSources = false;
+};
+
+/// The computed relevant-function set.
+struct RelevanceSet {
+  /// True = demand off / not computed: everything is relevant.
+  bool All = true;
+  std::unordered_set<const ir::Function *> Fns;
+  /// Functions that directly contain a source site (diagnostics only).
+  size_t SourceFns = 0;
+
+  bool relevant(const ir::Function *F) const { return All || Fns.count(F); }
+};
+
+/// Walks \p CG from the source sites described by \p Spec and returns the
+/// backward/forward-relevant set (All = false).
+RelevanceSet computeRelevance(const ir::CallGraph &CG, ir::Module &M,
+                              const DemandSpec &Spec);
+
+} // namespace pinpoint::svfa
+
+#endif // PINPOINT_SVFA_DEMAND_H

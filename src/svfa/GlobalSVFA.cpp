@@ -6,8 +6,12 @@
 
 #include "svfa/GlobalSVFA.h"
 
+#include "support/Arena.h"
 #include "support/ResourceGovernor.h"
+#include "support/Span.h"
 #include "support/ThreadPool.h"
+#include "svfa/Demand.h"
+#include "svfa/ReachOracle.h"
 
 #include <algorithm>
 #include <map>
@@ -64,8 +68,17 @@ struct VFEntry {
   std::string LocFn; ///< Function containing Loc (for reporting).
 };
 
+/// Mutable summary accumulator, used only while one function is being
+/// analysed; frozen into arena-backed spans afterwards.
 struct FnSummaries {
   std::vector<VFEntry> VF1, VF2, VF3, VF4;
+};
+
+/// A function's finished summaries: immutable spans over entries packed
+/// contiguously in the engine's summary arena. Callers range-for these
+/// exactly as they did the vectors.
+struct FrozenSummaries {
+  Span<VFEntry> VF1, VF2, VF3, VF4;
 };
 
 /// A source event inside the function being analysed.
@@ -75,60 +88,6 @@ struct SourceEvent {
   CondBundle B;
   SourceLoc Loc;
   std::string LocFn;
-};
-
-/// CFG reachability oracle (per function): can control reach T after S?
-/// One bitset row of ceil(B/64) words per block, indexed by the function's
-/// deterministic block order: a query is one word probe instead of a
-/// red-black-tree walk, and the whole table is B*B/8 bytes instead of a
-/// node allocation per reachable pair.
-class ReachOracle {
-public:
-  explicit ReachOracle(const Function &F) : F(F) {
-    const std::vector<BasicBlock *> &Blocks = F.blocks();
-    const size_t NumBlocks = Blocks.size();
-    Words = (NumBlocks + 63) / 64;
-    Index.reserve(NumBlocks);
-    for (size_t I = 0; I < NumBlocks; ++I)
-      Index.emplace(Blocks[I], static_cast<uint32_t>(I));
-    Bits.assign(NumBlocks * Words, 0);
-    // Per-row DFS over block indices; the row itself doubles as the
-    // visited set (loops are fine: a set bit is never pushed again).
-    std::vector<uint32_t> Work;
-    for (size_t Row = 0; Row < NumBlocks; ++Row) {
-      uint64_t *R = &Bits[Row * Words];
-      Work.clear();
-      for (const BasicBlock *Succ : Blocks[Row]->succs())
-        Work.push_back(Index.at(Succ));
-      while (!Work.empty()) {
-        uint32_t Cur = Work.back();
-        Work.pop_back();
-        uint64_t &W = R[Cur >> 6];
-        const uint64_t Bit = uint64_t(1) << (Cur & 63);
-        if (W & Bit)
-          continue;
-        W |= Bit;
-        for (const BasicBlock *Succ : Blocks[Cur]->succs())
-          Work.push_back(Index.at(Succ));
-      }
-    }
-  }
-
-  bool reaches(const Stmt *A, const Stmt *B) const {
-    if (A == B)
-      return false;
-    if (A->parent() == B->parent())
-      return F.stmtOrder(A) < F.stmtOrder(B);
-    const uint32_t From = Index.at(A->parent()), To = Index.at(B->parent());
-    return (Bits[size_t(From) * Words + (To >> 6)] >>
-            (To & 63)) & 1;
-  }
-
-private:
-  const Function &F;
-  std::unordered_map<const BasicBlock *, uint32_t> Index;
-  std::vector<uint64_t> Bits; ///< Row-major reachability matrix.
-  size_t Words = 0;           ///< Words per row.
 };
 
 } // namespace
@@ -235,7 +194,7 @@ private:
     return Ret->values()[BundleIdx];
   }
 
-  const ReachOracle &reach(const Function *F) {
+  ReachOracle &reach(const Function *F) {
     auto It = ReachCache.find(F);
     if (It != ReachCache.end())
       return *It->second;
@@ -350,7 +309,12 @@ private:
       return std::hash<uintptr_t>()(A * 0x9e3779b97f4a7c15ULL ^ B);
     }
   };
-  std::unordered_map<const Function *, FnSummaries> Summaries;
+  /// Finished summaries: spans into SumArena (declared first so the spans
+  /// never dangle). The arena is unreported to the MemStats arena ledger —
+  /// summary memory was never governed before and stays ungoverned, just
+  /// packed contiguously now instead of spread over per-function vectors.
+  Arena SumArena{/*Reported=*/false};
+  std::unordered_map<const Function *, FrozenSummaries> Summaries;
   std::unordered_map<const Function *, std::unique_ptr<ReachOracle>>
       ReachCache;
   std::unordered_map<std::pair<const Function *, const Stmt *>, seg::Closure,
@@ -592,7 +556,7 @@ void GlobalSVFA::Impl::paramSummaries(const Function *F, FnSummaries &Sum) {
         if (!Callee || AM.callGraph().inSameSCC(F, Callee) ||
             !Summaries.count(Callee))
           continue;
-        const FnSummaries &CS = Summaries.at(Callee);
+        const FrozenSummaries &CS = Summaries.at(Callee);
         const Context *CallCtx = CT.push(nullptr, Call);
         for (const VFEntry &E : CS.VF3) {
           if (E.Param->paramIndex() != U.Index ||
@@ -667,7 +631,7 @@ GlobalSVFA::Impl::collectEvents(const Function *F) {
     if (!Callee || AM.callGraph().inSameSCC(F, Callee) ||
         !Summaries.count(Callee))
       continue;
-    const FnSummaries &CS = Summaries.at(Callee);
+    const FrozenSummaries &CS = Summaries.at(Callee);
     const Context *CallCtx = CT.push(nullptr, Call);
     for (const VFEntry &E : CS.VF3) {
       if (E.B.Depth + 1 > Opts.MaxContextDepth)
@@ -726,7 +690,7 @@ void GlobalSVFA::Impl::processEvent(const Function *F, const SourceEvent &Ev,
                                     FnSummaries &Sum) {
   ++S.Events;
   seg::SEG &Seg = segOf(F);
-  const ReachOracle &RO = reach(F);
+  ReachOracle &RO = reach(F);
   auto CL = valueClosure(F, Ev.Val, Ev.B);
 
   for (auto &[V, B] : CL) {
@@ -776,7 +740,11 @@ void GlobalSVFA::Impl::processEvent(const Function *F, const SourceEvent &Ev,
 }
 
 void GlobalSVFA::Impl::analyzeFunction(const Function *F) {
-  FnSummaries &Sum = Summaries[F];
+  // Accumulate into local vectors, freeze into the summary arena at the
+  // end. A throw mid-analysis simply drops the partial accumulator —
+  // Summaries never holds a half-built entry (run()'s erase is then a
+  // no-op), and callers only ever observe frozen, immutable spans.
+  FnSummaries Sum;
   paramSummaries(F, Sum);
   for (const SourceEvent &Ev : collectEvents(F)) {
     if (Gov.functionExpired()) {
@@ -786,6 +754,17 @@ void GlobalSVFA::Impl::analyzeFunction(const Function *F) {
     }
     processEvent(F, Ev, Sum);
   }
+  auto Freeze = [this](std::vector<VFEntry> &&V) -> Span<VFEntry> {
+    const size_t N = V.size();
+    const VFEntry *Base = SumArena.allocMove(std::move(V));
+    return {Base, N};
+  };
+  FrozenSummaries FS;
+  FS.VF1 = Freeze(std::move(Sum.VF1));
+  FS.VF2 = Freeze(std::move(Sum.VF2));
+  FS.VF3 = Freeze(std::move(Sum.VF3));
+  FS.VF4 = Freeze(std::move(Sum.VF4));
+  Summaries.emplace(F, FS);
 }
 
 //===----------------------------------------------------------------------===
@@ -989,9 +968,26 @@ void GlobalSVFA::Impl::dischargePending() {
 }
 
 std::vector<Report> GlobalSVFA::Impl::run() {
+  // Per-checker relevance: a subset of the pipeline's union set (the
+  // pipeline may have analyzed functions only *other* checkers need).
+  // Relevant functions see every callee summary the exhaustive run built —
+  // irrelevant ones can contribute no event, no candidate and no summary
+  // any relevant function consults — so the reports and checker stats are
+  // byte-identical either way.
+  RelevanceSet Rel;
+  if (Opts.Demand) {
+    DemandSpec DS;
+    DS.Checkers.push_back(Spec);
+    Rel = computeRelevance(AM.callGraph(), AM.module(), DS);
+  }
+
   const auto &Order = AM.bottomUpOrder();
   for (size_t I = 0; I < Order.size(); ++I) {
     const Function *F = Order[I];
+    // Demand skip (before the no-SEG degradation note: a skipped function
+    // legitimately has no SEG and is not a degradation).
+    if (!Rel.relevant(F))
+      continue;
     // Task-boundary cancellation poll: drain here so the caller can still
     // flush reports already found and the summaries stay coherent.
     if (Gov.cancelled()) {
@@ -1064,6 +1060,13 @@ std::vector<Report> checkModule(ir::Module &M, smt::ExprContext &Ctx,
   PipelineOptions PO;
   PO.Governor = Opts.Governor;
   PO.Pool = Opts.Pool;
+  // With demand on, the pipeline slices to this one checker's relevance
+  // set too (a single-checker run is its own union).
+  DemandSpec DS;
+  if (Opts.Demand) {
+    DS.Checkers.push_back(Spec);
+    PO.Demand = &DS;
+  }
   AnalyzedModule AM(M, Ctx, PO);
   GlobalSVFA Engine(AM, Spec, Opts);
   return Engine.run();

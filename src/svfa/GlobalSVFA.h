@@ -76,6 +76,13 @@ struct GlobalOptions {
   /// discharged independently (ablation knob; toggled with SolverCache by
   /// the CLI, separable here for the four-way ablation bench).
   bool SolverSlicing = true;
+  /// Demand-driven mode: skip summary construction for functions the
+  /// relevance pre-pass (svfa/Demand.h) proves irrelevant to this
+  /// checker. The engine computes its own per-checker relevance set (a
+  /// subset of the pipeline's union set), so results are byte-identical
+  /// to the exhaustive run either way. Off by default for library users;
+  /// the CLI defaults it on.
+  bool Demand = false;
   /// Budgets, degradation log and fault injection (see
   /// support/ResourceGovernor.h); nullptr = ungoverned.
   ResourceGovernor *Governor = nullptr;

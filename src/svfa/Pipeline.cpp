@@ -39,6 +39,20 @@ void AnalyzedModule::analyzeOne(ir::Function *F, size_t SCCId,
                                 const PipelineOptions &Opts,
                                 transform::InterfaceMap &Interfaces,
                                 RunState &RS) {
+  // Demand skip: the relevance pre-pass proved no enabled checker can need
+  // this function. Nothing runs — no pacing, no budget gates, no cache
+  // probe or store, no degradation note. Its interface slot stays unset,
+  // which is safe because every *analyzed* caller is itself relevant and
+  // relevance is callee-closed: an analyzed function never reads a skipped
+  // callee's interface.
+  if (DemandOn && !Rel.relevant(F)) {
+    AnalyzedFunction Skip;
+    Skip.F = F;
+    Skip.Skipped = true;
+    Fns.at(F) = std::move(Skip);
+    return;
+  }
+
   // Fault-injected pacing: slows every function down so lifecycle tests can
   // interrupt a run mid-flight reproducibly.
   if (uint64_t Pace = Gov.faults().paceFunctionMs())
@@ -230,14 +244,20 @@ void AnalyzedModule::analyzeOne(ir::Function *F, size_t SCCId,
 
 void AnalyzedModule::chargeGoverned(const AnalyzedFunction &Info) {
   MemStats &MS = MemStats::get();
-  if (int64_t PT = static_cast<int64_t>(Info.PTA.numGovernedEntries())) {
-    MS.notePTEntries(PT);
+  int64_t PT = static_cast<int64_t>(Info.PTA.numGovernedEntries());
+  int64_t PTB = static_cast<int64_t>(Info.PTA.memoryBytes());
+  if (PT || PTB) {
+    MS.notePTEntries(PT, PTB);
     PTCharge.fetch_add(PT, std::memory_order_relaxed);
+    PTChargeBytes.fetch_add(PTB, std::memory_order_relaxed);
   }
   if (Info.Seg) {
-    if (int64_t SG = static_cast<int64_t>(Info.Seg->numVertices())) {
-      MS.noteSEGNodes(SG);
+    int64_t SG = static_cast<int64_t>(Info.Seg->numVertices());
+    int64_t SGB = static_cast<int64_t>(Info.Seg->memoryBytes());
+    if (SG || SGB) {
+      MS.noteSEGNodes(SG, SGB);
       SEGCharge.fetch_add(SG, std::memory_order_relaxed);
+      SEGChargeBytes.fetch_add(SGB, std::memory_order_relaxed);
     }
   }
 }
@@ -263,6 +283,12 @@ void AnalyzedModule::planMemoryPressure(
   for (size_t I = 0; I < SCCs.size(); ++I) {
     int64_t Full = 0, Fb = 0;
     for (const ir::Function *F : SCCs[I].Members) {
+      // Demand-skipped functions allocate nothing, so they contribute
+      // nothing to the model (relevance is SCC-uniform: one member
+      // relevant means all are). The plan stays a pure function of
+      // subject, budget and the enabled checker set.
+      if (DemandOn && !Rel.relevant(F))
+        continue;
       int64_t Stmts = static_cast<int64_t>(countStmts(*F));
       Full += FnBaseBytes + Stmts * FullBytesPerStmt;
       Fb += FnBaseBytes / 4 + Stmts * FallbackBytesPerStmt;
@@ -280,8 +306,11 @@ void AnalyzedModule::planMemoryPressure(
   MemPlanDegrade.assign(SCCs.size(), 0);
   while (Total > Soft) {
     size_t Best = SCCs.size();
+    // Est == 0 marks demand-skipped SCCs: degrading one frees nothing, so
+    // they are never selected (and could otherwise spin this loop).
     for (size_t I = 0; I < SCCs.size(); ++I)
-      if (!MemPlanDegrade[I] && (Best == SCCs.size() || Est[I] > Est[Best]))
+      if (!MemPlanDegrade[I] && Est[I] > 0 &&
+          (Best == SCCs.size() || Est[I] > Est[Best]))
         Best = I;
     if (Best == SCCs.size())
       break; // Everything degraded; the plan can do no more.
@@ -317,8 +346,12 @@ void AnalyzedModule::finishLifecycle(
   Records.resize(SCCs.size());
   for (size_t I = 0; I < SCCs.size(); ++I) {
     bool Completed = SCCTaint[I] == 0;
+    // Demand-skipped SCCs are honestly incomplete: they stored no cache
+    // artifacts, so a later exhaustive (or differently-checkered) run must
+    // not count them as resumable.
     for (const ir::Function *F : SCCs[I].Members)
-      Completed = Completed && !Fns.at(F).Degraded;
+      Completed =
+          Completed && !Fns.at(F).Degraded && !Fns.at(F).Skipped;
     Records[I] = {SCCKeys[I], Completed};
   }
 
@@ -339,10 +372,14 @@ AnalyzedModule::~AnalyzedModule() {
   // Balance the governed-memory ledger so sequential AnalyzedModules in one
   // process (tests, benchmarks) do not accumulate phantom bytes.
   MemStats &MS = MemStats::get();
-  if (int64_t PT = PTCharge.load(std::memory_order_relaxed))
-    MS.notePTEntries(-PT);
-  if (int64_t SG = SEGCharge.load(std::memory_order_relaxed))
-    MS.noteSEGNodes(-SG);
+  int64_t PT = PTCharge.load(std::memory_order_relaxed);
+  int64_t PTB = PTChargeBytes.load(std::memory_order_relaxed);
+  if (PT || PTB)
+    MS.notePTEntries(-PT, -PTB);
+  int64_t SG = SEGCharge.load(std::memory_order_relaxed);
+  int64_t SGB = SEGChargeBytes.load(std::memory_order_relaxed);
+  if (SG || SGB)
+    MS.noteSEGNodes(-SG, -SGB);
 }
 
 AnalyzedModule::AnalyzedModule(ir::Module &M, smt::ExprContext &Ctx,
@@ -366,6 +403,17 @@ AnalyzedModule::AnalyzedModule(ir::Module &M, smt::ExprContext &Ctx,
   transform::InterfaceMap Interfaces(M);
   for (ir::Function *F : CG->bottomUpOrder())
     Fns[F];
+
+  // Demand relevance pre-pass: runs on the post-SSA call graph, before any
+  // summary work, so skipped functions pay only their part of the graph
+  // walk. The set is a pure function of the subject and the checker union,
+  // independent of job count and cache state.
+  if (Opts.Demand) {
+    DemandOn = true;
+    Rel = computeRelevance(*CG, M, *Opts.Demand);
+    for (const ir::Function *F : CG->bottomUpOrder())
+      Rel.relevant(F) ? ++RelevantFns : ++SkippedFns;
+  }
 
   SCCOwnTaint.assign(SCCs.size(), 0);
   SCCTaint.assign(SCCs.size(), 0);

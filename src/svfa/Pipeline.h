@@ -33,6 +33,7 @@
 #include "ir/CallGraph.h"
 #include "ir/Conditions.h"
 #include "seg/SEG.h"
+#include "svfa/Demand.h"
 #include "transform/Connectors.h"
 
 #include <atomic>
@@ -60,6 +61,12 @@ struct AnalyzedFunction {
   /// carries only direct def-use flow. Seg is null only if even the
   /// conservative fallback failed; consumers must skip such functions.
   bool Degraded = false;
+  /// The demand pre-pass proved this function irrelevant to every enabled
+  /// checker: nothing ran at all (no points-to, no interface, no SEG) and
+  /// the summary cache was neither probed nor populated. Distinct from
+  /// Degraded — a skipped function is a deliberate, deterministic elision,
+  /// not a failure, and emits no degradation note.
+  bool Skipped = false;
 };
 
 struct PipelineOptions {
@@ -73,6 +80,11 @@ struct PipelineOptions {
   /// Persistent function-summary cache for incremental reanalysis;
   /// nullptr = from-scratch analysis (the historical behaviour).
   SummaryCache *Cache = nullptr;
+  /// Demand-driven slicing: when set, the relevance pre-pass runs over
+  /// this spec (the union of every checker the run will evaluate) and
+  /// irrelevant functions are skipped wholesale. nullptr = exhaustive
+  /// analysis (the historical behaviour and the differential baseline).
+  const DemandSpec *Demand = nullptr;
 };
 
 /// Owns the analysed state of a whole module.
@@ -120,6 +132,16 @@ public:
   size_t resumedSCCs() const { return Resumed; }
   /// SCCs the deterministic memory plan pre-degraded for --mem-budget-mb.
   size_t memPlanDegradedSCCs() const { return MemPlanDegraded; }
+
+  //===--- Demand state (`--demand`, DESIGN.md section 13) ----------------===
+
+  /// True when a demand spec was supplied and the relevance pre-pass ran.
+  bool demandActive() const { return DemandOn; }
+  /// Functions the pre-pass kept / skipped (both 0 when demand is off).
+  size_t relevantFunctions() const { return RelevantFns; }
+  size_t skippedFunctions() const { return SkippedFns; }
+  /// Functions that directly contain a source site (seed count).
+  size_t sourceFunctions() const { return Rel.SourceFns; }
 
 private:
   /// One-shot note guards shared by every analyzeOne call of a run, so
@@ -182,10 +204,20 @@ private:
   std::vector<SCCRecord> Records;
   uint64_t SubjectFP = 0;
   size_t Resumed = 0;
+  /// Demand state: the relevance set and its summary counts (all inert
+  /// when no DemandSpec was supplied).
+  RelevanceSet Rel;
+  bool DemandOn = false;
+  size_t RelevantFns = 0, SkippedFns = 0;
+
   /// Governed-memory charges to discharge at destruction (atomic: charged
-  /// from concurrent SCC tasks).
+  /// from concurrent SCC tasks). Counts and measured bytes are ledgered
+  /// separately: counts feed the accounting-balance assertions, bytes the
+  /// governor.
   std::atomic<int64_t> PTCharge{0};
   std::atomic<int64_t> SEGCharge{0};
+  std::atomic<int64_t> PTChargeBytes{0};
+  std::atomic<int64_t> SEGChargeBytes{0};
 };
 
 } // namespace pinpoint::svfa

@@ -1,0 +1,67 @@
+//===- svfa/ReachOracle.h - CFG reachability with topological pruning -----===//
+//
+// Part of the Pinpoint reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Per-function CFG reachability oracle: can control reach statement B
+/// strictly after statement A? Used by temporal checkers (use-after-free)
+/// to order source events before sink uses.
+///
+/// Two layers, both exact:
+///
+///  1. A condensation interval check answers most queries O(1): block
+///     component ids are Tarjan completion order, so a cross-component
+///     edge always goes to a *smaller* id — `comp(To) > comp(From)` proves
+///     unreachability without touching a bitset, and two distinct blocks
+///     sharing a (necessarily cyclic) component are mutually reachable.
+///     Subject CFGs are acyclic (loops unroll at lowering), making the
+///     no-path fast path the common case.
+///
+///  2. Only ties (`comp(To) < comp(From)`) fall through to the bitset DFS —
+///     and its rows are built lazily, one row per *queried* source block,
+///     so functions whose events never consult the oracle (or consult it
+///     from few blocks) never pay the O(B^2/8) matrix. Row builds count
+///     into the `svfa.lazy-reach-rows` stat.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PINPOINT_SVFA_REACHORACLE_H
+#define PINPOINT_SVFA_REACHORACLE_H
+
+#include "ir/IR.h"
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace pinpoint::svfa {
+
+class ReachOracle {
+public:
+  explicit ReachOracle(const ir::Function &F);
+
+  /// True when control can reach \p B strictly after \p A. Not const: the
+  /// first query from a block materialises that block's row (the engine's
+  /// candidate generation is serial, so no locking is needed).
+  bool reaches(const ir::Stmt *A, const ir::Stmt *B);
+
+private:
+  void buildRow(uint32_t Row);
+
+  const ir::Function &F;
+  std::unordered_map<const ir::BasicBlock *, uint32_t> Index;
+  /// Condensation component of each block, in Tarjan completion order:
+  /// any CFG path from u to a different component lands on a smaller id.
+  std::vector<uint32_t> Comp;
+  /// One bitset row per *queried* source block; unqueried rows stay
+  /// unallocated (a function never consulted costs only the Comp vector).
+  std::vector<std::vector<uint64_t>> Rows;
+  std::vector<uint8_t> RowBuilt; ///< Which rows are materialised.
+  size_t Words = 0;              ///< Words per row.
+};
+
+} // namespace pinpoint::svfa
+
+#endif // PINPOINT_SVFA_REACHORACLE_H

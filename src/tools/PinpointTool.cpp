@@ -19,6 +19,14 @@
 ///                       conjunct slicing (DESIGN.md section 11). Reports
 ///                       are byte-identical across modes; only speed and
 ///                       the acceleration counters change.
+///     --demand=MODE     on | off (default on): demand-driven value-flow
+///                       slicing (DESIGN.md section 13). A relevance
+///                       pre-pass over the call graph skips summary
+///                       construction for functions that can neither reach
+///                       a checker source nor be reached from one. Reports,
+///                       degradation log and per-checker stats are
+///                       byte-identical across modes; only speed, memory
+///                       and the [demand] counters change.
 ///     --dump-ir         print the transformed IR
 ///     --stats           print pipeline and solver statistics
 ///     --jobs=N          worker threads (default 1 = serial; 0 = all
@@ -103,6 +111,7 @@ struct Options {
   bool PathSensitive = true;
   bool LinearFilter = true;
   bool SolverCache = true;
+  bool Demand = true;
   bool DumpIR = false;
   bool Stats = false;
   bool DegradationLog = false;
@@ -130,6 +139,8 @@ void usage() {
       "  --no-linear-filter       disable the linear-time pre-filter\n"
       "  --solver-cache=MODE      on | off (default on): SMT verdict cache "
       "+ conjunct slicing\n"
+      "  --demand=MODE            on | off (default on): demand-driven "
+      "value-flow slicing\n"
       "  --dump-ir                print the transformed IR\n"
       "  --stats                  print statistics\n"
       "  --jobs=N                 worker threads (default 1 = serial, 0 = "
@@ -254,6 +265,16 @@ ParseResult parseArgs(int Argc, char **Argv, Options &O) {
         return ParseResult::Error;
       }
       O.SolverCache = Mode == "on";
+    } else if (A.rfind("--demand=", 0) == 0) {
+      const std::string Mode = A.substr(std::strlen("--demand="));
+      if (Mode != "on" && Mode != "off") {
+        std::fprintf(stderr,
+                     "error: invalid --demand value '%s' (expected on or "
+                     "off)\n",
+                     Mode.c_str());
+        return ParseResult::Error;
+      }
+      O.Demand = Mode == "on";
     } else if (A == "--no-path-sensitivity") {
       O.PathSensitive = false;
     } else if (A == "--no-linear-filter") {
@@ -406,11 +427,30 @@ int pinpointToolMain(int Argc, char **Argv) {
 
     Timer Total;
     smt::ExprContext Ctx;
+
+    // Demand spec: the union of every enabled checker's sources, so the
+    // pipeline keeps exactly the functions at least one checker needs.
+    // The leak checker has no CheckerSpec; its sources are malloc sites,
+    // flagged separately.
+    svfa::DemandSpec DS;
+    if (O.Demand) {
+      for (const std::string &Name : O.Checkers) {
+        if (Name == "leak") {
+          DS.LeakSources = true;
+          continue;
+        }
+        checkers::CheckerSpec Spec;
+        if (specFor(Name, Spec))
+          DS.Checkers.push_back(std::move(Spec));
+      }
+    }
+
     svfa::PipelineOptions PO;
     PO.UseLinearFilter = O.LinearFilter;
     PO.Governor = &Gov;
     PO.Pool = Pool.get();
     PO.Cache = Cache.get();
+    PO.Demand = O.Demand ? &DS : nullptr;
     svfa::AnalyzedModule AM(M, Ctx, PO);
     double PipelineSec = Total.seconds();
 
@@ -423,6 +463,7 @@ int pinpointToolMain(int Argc, char **Argv) {
     GO.UseLinearFilter = O.LinearFilter;
     GO.SolverCache = O.SolverCache;
     GO.SolverSlicing = O.SolverCache;
+    GO.Demand = O.Demand;
     GO.Governor = &Gov;
     GO.Pool = Pool.get();
 
@@ -554,6 +595,19 @@ int pinpointToolMain(int Argc, char **Argv) {
       std::printf("[exprs] nodes=%zu table-slots=%zu max-chain=%zu "
                   "arena-mb=%.1f\n",
                   IS.Nodes, IS.TableSlots, IS.MaxChain, IS.ArenaBytes / 1e6);
+      // Demand-slicing counters. Like [pipeline]/[exprs], this line
+      // reflects the work performed, not the findings, so it is exempt
+      // from the --demand on/off determinism contract (the reports,
+      // degradation log and [checker] lines are not).
+      if (AM.demandActive()) {
+        Counters &C = Counters::get();
+        std::printf("[demand] relevant-fns=%zu skipped-fns=%zu "
+                    "source-fns=%zu lazy-reach-rows=%lld csr-bytes=%lld\n",
+                    AM.relevantFunctions(), AM.skippedFunctions(),
+                    AM.sourceFunctions(),
+                    (long long)C.value("svfa.lazy-reach-rows"),
+                    (long long)C.value("seg.csr-bytes"));
+      }
       if (Cache) {
         Counters &C = Counters::get();
         std::printf("[cache] hits=%lld misses=%lld invalidated=%lld "

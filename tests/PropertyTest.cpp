@@ -331,6 +331,34 @@ TEST_P(PipelineProperty, ReportsAreDeterministic) {
   EXPECT_EQ(runOnce(), runOnce());
 }
 
+TEST_P(PipelineProperty, DemandSlicedReportsMatchExhaustive) {
+  // The --demand determinism contract on random subjects: the sliced
+  // analysis reports exactly what the exhaustive one does, for a temporal
+  // checker and a taint checker.
+  workload::Workload W = makeWorkload();
+  auto runMode = [&](bool Demand, const checkers::CheckerSpec &Spec) {
+    Module M;
+    std::vector<frontend::Diag> Diags;
+    frontend::parseModule(W.Source, M, Diags);
+    smt::ExprContext Ctx;
+    svfa::GlobalOptions GO;
+    GO.Demand = Demand;
+    auto Reports = svfa::checkModule(M, Ctx, Spec, GO);
+    std::vector<std::string> Keys;
+    for (const auto &R : Reports) {
+      std::string K = R.SourceFn + ":" + R.Source.str() + "->" + R.SinkFn +
+                      ":" + R.Sink.str();
+      for (const auto &Step : R.Path)
+        K += "|" + Step;
+      Keys.push_back(K);
+    }
+    return Keys;
+  };
+  for (const auto &Spec : {checkers::useAfterFreeChecker(),
+                           checkers::pathTraversalChecker()})
+    EXPECT_EQ(runMode(true, Spec), runMode(false, Spec)) << Spec.Name;
+}
+
 TEST_P(PipelineProperty, CacheInvalidationTracksDirtySCCs) {
   // Randomised invalidation fuzzing: mutate one seed-picked function body,
   // then check against the call graph that *exactly* the dirty SCC plus
