@@ -75,6 +75,19 @@ struct CheckerSpec {
   /// analysis time, never change results.
   bool hasSourceSite(const ir::Function &F) const;
 
+  /// True when every sink of this checker is a named-function call site.
+  /// Deref sinks (use-after-free, null-deref) are syntactically invisible —
+  /// any load or store can be one — so those checkers cannot be sink-sliced
+  /// and the demand pre-pass falls back to the source-only cone.
+  bool hasSyntacticSinks() const { return !DerefIsSink && !SinkArgFns.empty(); }
+
+  /// True if \p F contains a syntactic sink site of this checker: a call to
+  /// one of SinkArgFns. Only meaningful when `hasSyntacticSinks()`; like
+  /// `hasSourceSite` it over-approximates (any call counts, argument values
+  /// are not inspected) — extra sink seeds only keep functions relevant,
+  /// never change results.
+  bool hasSinkSite(const ir::Function &F) const;
+
   /// True if using \p V at \p U is a sink for this checker.
   bool isSinkUse(const seg::Use &U) const {
     if (DerefIsSink && U.Kind == seg::UseKind::DerefAddr &&

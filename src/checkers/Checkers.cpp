@@ -42,6 +42,17 @@ bool CheckerSpec::hasSourceSite(const ir::Function &F) const {
   return false;
 }
 
+bool CheckerSpec::hasSinkSite(const ir::Function &F) const {
+  if (SinkArgFns.empty())
+    return false;
+  for (const ir::BasicBlock *B : F.blocks())
+    for (const ir::Stmt *S : B->stmts())
+      if (const auto *Call = dyn_cast<ir::CallStmt>(S))
+        if (SinkArgFns.count(Call->calleeName()))
+          return true;
+  return false;
+}
+
 CheckerSpec useAfterFreeChecker() {
   CheckerSpec S;
   S.Name = "use-after-free";

@@ -5,6 +5,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "ir/CallGraph.h"
+#include "support/Statistics.h"
 
 #include <algorithm>
 
@@ -33,27 +34,49 @@ CallGraph::CallGraph(Module &M) {
       tarjan(F);
 
   buildCondensation();
+
+  // Tarjan scratch state is dead once the condensation is frozen.
+  Index.clear();
+  Low.clear();
 }
 
 void CallGraph::buildCondensation() {
-  SCCs.resize(NumSCCs);
+  // Gather in transient per-SCC vectors, then freeze into arena-backed
+  // arrays: the condensation never changes after construction, and packed
+  // rows drop the per-vector header/capacity overhead of node-per-entry
+  // storage for the many singleton SCCs of typical subjects.
+  std::vector<std::vector<Function *>> Members(NumSCCs);
+  std::vector<std::vector<uint32_t>> CalleeIds(NumSCCs);
   // BottomUp lists each SCC's members consecutively in pop order; keep
   // that order so a per-SCC task replays the serial schedule exactly.
   for (Function *F : BottomUp)
-    SCCs[SCCIndex[F]].Members.push_back(F);
+    Members[SCCIndex[F]].push_back(F);
   for (Function *F : BottomUp) {
     size_t Id = SCCIndex[F];
     for (Function *C : Callees[F]) {
       size_t CalleeId = SCCIndex[C];
       if (CalleeId != Id)
-        SCCs[Id].CalleeSCCs.push_back(CalleeId);
+        CalleeIds[Id].push_back(static_cast<uint32_t>(CalleeId));
     }
   }
-  for (SCCNode &N : SCCs) {
-    std::sort(N.CalleeSCCs.begin(), N.CalleeSCCs.end());
-    N.CalleeSCCs.erase(std::unique(N.CalleeSCCs.begin(), N.CalleeSCCs.end()),
-                       N.CalleeSCCs.end());
+
+  SCCs.resize(NumSCCs);
+  for (size_t I = 0; I < NumSCCs; ++I) {
+    std::vector<uint32_t> &CS = CalleeIds[I];
+    std::sort(CS.begin(), CS.end());
+    CS.erase(std::unique(CS.begin(), CS.end()), CS.end());
+
+    Function **MRow = Mem.allocArray<Function *>(Members[I].size());
+    if (MRow)
+      std::copy(Members[I].begin(), Members[I].end(), MRow);
+    SCCs[I].Members = Span<Function *>(MRow, Members[I].size());
+
+    uint32_t *CRow = Mem.allocArray<uint32_t>(CS.size());
+    if (CRow)
+      std::copy(CS.begin(), CS.end(), CRow);
+    SCCs[I].CalleeSCCs = Span<uint32_t>(CRow, CS.size());
   }
+  Counters::get().add("cg.csr-bytes", static_cast<int64_t>(Mem.bytesUsed()));
 }
 
 void CallGraph::tarjan(Function *F) {

@@ -16,7 +16,9 @@
 #define PINPOINT_IR_CALLGRAPH_H
 
 #include "ir/IR.h"
+#include "support/Span.h"
 
+#include <cstdint>
 #include <map>
 #include <set>
 #include <vector>
@@ -51,10 +53,13 @@ public:
   /// scheduler walks). SCC ids are Tarjan completion order, which is
   /// topological: every cross-SCC callee has a smaller id than its caller,
   /// so iterating SCCs by id with `Members` in order replays exactly
-  /// `bottomUpOrder()`.
+  /// `bottomUpOrder()`. The membership and adjacency arrays are frozen
+  /// into the graph's arena at construction (the condensation is immutable
+  /// once built), packed the same way as the SEG's CSR rows; their bytes
+  /// show up in the `cg.csr-bytes` counter.
   struct SCCNode {
-    std::vector<Function *> Members; ///< In bottom-up (stack pop) order.
-    std::vector<size_t> CalleeSCCs;  ///< Distinct cross-SCC callee ids, sorted.
+    Span<Function *> Members;   ///< In bottom-up (stack pop) order.
+    Span<uint32_t> CalleeSCCs;  ///< Distinct cross-SCC callee ids, sorted.
   };
 
   /// The condensation, indexed by SCC id.
@@ -72,6 +77,10 @@ private:
   std::map<Function *, size_t> SCCIndex;
   std::vector<SCCNode> SCCs;
   size_t NumSCCs = 0;
+  /// Backs the frozen SCCNode arrays. Not reported to the MemStats arena
+  /// ledger: condensation bytes are tracked via the cg.csr-bytes counter,
+  /// like the SEG's CSR arena.
+  Arena Mem{/*Reported=*/false};
 
   // Tarjan state.
   std::map<Function *, int> Index, Low;

@@ -79,10 +79,40 @@ void packCSR(Arena &Mem,
 }
 } // namespace
 
+const SEG::LocalDef *SEG::freezeDef(LocalDefInfo &&Info) {
+  const Variable **Deps = Mem.allocArray<const Variable *>(Info.Deps.size());
+  if (Deps)
+    std::copy(Info.Deps.begin(), Info.Deps.end(), Deps);
+  LocalDef *D = Mem.allocArray<LocalDef>(1);
+  D->Constraint = Info.Constraint;
+  D->Deps = Span<const Variable *>(Deps, Info.Deps.size());
+  D->OpensParam = Info.OpensParam;
+  D->OpenCall = Info.OpenCall;
+  D->OpenRecvIndex = Info.OpenRecvIndex;
+  return D;
+}
+
 void SEG::freeze() {
   packCSR(Mem, B->FlowOut, VertexOrder, FlowOutOff, FlowOutE);
   packCSR(Mem, B->FlowIn, VertexOrder, FlowInOff, FlowInE);
   packCSR(Mem, B->Uses, VertexOrder, UsesOff, UsesE);
+
+  // Freeze the precomputed load definitions into the same arena, indexed
+  // by vertex id (BuildDefs is in statement order, so the packed layout is
+  // deterministic). Definitions queried later materialise lazily into the
+  // same storage under QueryMu.
+  DefByVertex = Mem.allocArray<const LocalDef *>(VertexOrder.size());
+  for (size_t I = 0; I < VertexOrder.size(); ++I)
+    DefByVertex[I] = nullptr;
+  for (auto &[V, Info] : B->BuildDefs) {
+    const LocalDef *D = freezeDef(std::move(Info));
+    auto It = VertexId.find(V);
+    if (It != VertexId.end())
+      DefByVertex[It->second] = D;
+    else
+      DefOverflow.emplace(V, D);
+  }
+
   B.reset();
   Counters::get().add("seg.csr-bytes",
                       static_cast<int64_t>(Mem.bytesUsed()));
@@ -138,7 +168,7 @@ void SEG::build(const pta::PointsToResult &PTA) {
         // The load's symbolic definition comes from the points-to results:
         // ∧_j (cond_j ⇒ dst = val_j); initial (opaque) contents leave the
         // destination unconstrained under their condition.
-        LocalDef D;
+        LocalDefInfo D;
         D.Constraint = Ctx.getTrue();
         for (auto &[CV, C] : PTA.loadDeps(L)) {
           if (CV.isInitial())
@@ -151,7 +181,8 @@ void SEG::build(const pta::PointsToResult &PTA) {
           for (const Variable *GV : gateIRVars(C))
             D.Deps.push_back(GV);
         }
-        LocalDefs.emplace(L->dst(), std::move(D));
+        // `B` is the block loop variable here; `this->B` is the builder.
+        this->B->BuildDefs.emplace_back(L->dst(), std::move(D));
         break;
       }
       case Stmt::SK_Store: {
@@ -207,8 +238,8 @@ const smt::Expr *SEG::valueEq(const Value *A, const Value *B) {
   return Ctx.mkEq(EA, EB);
 }
 
-SEG::LocalDef SEG::makeLocalDef(const Variable *V) {
-  LocalDef D;
+SEG::LocalDefInfo SEG::makeLocalDef(const Variable *V) {
+  LocalDefInfo D;
   D.Constraint = Ctx.getTrue();
 
   auto dep = [&](const Value *Val) {
@@ -359,10 +390,17 @@ std::vector<const Variable *> SEG::gateIRVars(const smt::Expr *E) const {
 }
 
 const SEG::LocalDef &SEG::localDef(const Variable *V) {
-  auto It = LocalDefs.find(V);
-  if (It != LocalDefs.end())
-    return It->second;
-  return LocalDefs.emplace(V, makeLocalDef(V)).first->second;
+  auto It = VertexId.find(V);
+  if (It != VertexId.end()) {
+    const LocalDef *&Slot = DefByVertex[It->second];
+    if (!Slot)
+      Slot = freezeDef(makeLocalDef(V));
+    return *Slot;
+  }
+  auto [OIt, Inserted] = DefOverflow.emplace(V, nullptr);
+  if (Inserted)
+    OIt->second = freezeDef(makeLocalDef(V));
+  return *OIt->second;
 }
 
 const Closure &SEG::dd(const Variable *V) {

@@ -143,8 +143,21 @@ public:
   size_t memoryBytes() const;
 
 private:
+  /// A symbolic definition in its frozen form: the dependence list is an
+  /// arena-backed span, the record itself trivially destructible and
+  /// arena-allocated (stable address — dd() walks these while holding
+  /// QueryMu, and the arena never moves an allocation).
   struct LocalDef {
     const smt::Expr *Constraint; ///< This definition's own equation.
+    Span<const ir::Variable *> Deps;
+    bool OpensParam = false;
+    const ir::CallStmt *OpenCall = nullptr;
+    int OpenRecvIndex = 0;
+  };
+  /// Construction form of a LocalDef, used while build() precomputes load
+  /// definitions and by makeLocalDef; freezeDef packs it into the arena.
+  struct LocalDefInfo {
+    const smt::Expr *Constraint = nullptr;
     std::vector<const ir::Variable *> Deps;
     bool OpensParam = false;
     const ir::CallStmt *OpenCall = nullptr;
@@ -159,7 +172,9 @@ private:
                const smt::Expr *Cond, bool Direct, const ir::Stmt *Via);
   void addUse(const ir::Value *V, const ir::Stmt *S, UseKind K, int Index);
   const smt::Expr *boolExprOf(const ir::Value *V);
-  LocalDef makeLocalDef(const ir::Variable *V);
+  LocalDefInfo makeLocalDef(const ir::Variable *V);
+  /// Packs \p Info into the arena and returns the frozen record.
+  const LocalDef *freezeDef(LocalDefInfo &&Info);
   const LocalDef &localDef(const ir::Variable *V);
   /// IR variables whose symbols occur in \p E (gate support variables).
   std::vector<const ir::Variable *> gateIRVars(const smt::Expr *E) const;
@@ -176,6 +191,9 @@ private:
     std::unordered_map<const ir::Variable *, std::vector<FlowEdge>> FlowOut;
     std::unordered_map<const ir::Variable *, std::vector<FlowEdge>> FlowIn;
     std::unordered_map<const ir::Variable *, std::vector<Use>> Uses;
+    /// Load definitions precomputed during build(), in statement order (a
+    /// vector, not a map, so the frozen arena layout is deterministic).
+    std::vector<std::pair<const ir::Variable *, LocalDefInfo>> BuildDefs;
   };
 
   uint32_t vertexId(const ir::Variable *V);
@@ -205,9 +223,16 @@ private:
   const FlowEdge *FlowOutE = nullptr, *FlowInE = nullptr;
   const Use *UsesE = nullptr;
   Arena Mem{/*Reported=*/false};
-  /// Lazy memo tables for the constraint queries (still node-based maps:
-  /// dd() hands out stable references into LocalDefs/DDCache).
-  std::unordered_map<const ir::Variable *, LocalDef> LocalDefs;
+  /// Frozen symbolic definitions, indexed by vertex id (nullptr = not yet
+  /// materialised; slots fill lazily under QueryMu). Variables that never
+  /// became vertices (e.g. a load destination with no incoming flow) land
+  /// in the small overflow map instead. The records and their dependence
+  /// arrays live in `Mem`, so a fully-queried SEG keeps no per-definition
+  /// map nodes.
+  const LocalDef **DefByVertex = nullptr;
+  std::unordered_map<const ir::Variable *, const LocalDef *> DefOverflow;
+  /// Lazy memo table for the dd() closures (still a node-based map: dd()
+  /// hands out stable references into DDCache).
   std::unordered_map<const ir::Variable *, Closure> DDCache;
   mutable std::mutex QueryMu; ///< Guards the lazy query caches above.
   size_t EdgeCount = 0;

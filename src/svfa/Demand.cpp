@@ -5,6 +5,14 @@
 //===----------------------------------------------------------------------===//
 
 #include "svfa/Demand.h"
+#include "support/Hasher.h"
+#include "support/Serializer.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
 
 using namespace pinpoint::ir;
 
@@ -21,55 +29,296 @@ bool hasMallocSite(const Function &F) {
   return false;
 }
 
-} // namespace
+using FnSet = std::unordered_set<const Function *>;
 
-RelevanceSet computeRelevance(const CallGraph &CG, Module &M,
-                              const DemandSpec &Spec) {
+/// Closes \p Seeds under CG.callers (in place).
+void closeUnderCallers(const CallGraph &CG, FnSet &Set) {
+  std::vector<const Function *> Work(Set.begin(), Set.end());
+  while (!Work.empty()) {
+    const Function *F = Work.back();
+    Work.pop_back();
+    for (Function *C : CG.callers(const_cast<Function *>(F)))
+      if (Set.insert(C).second)
+        Work.push_back(C);
+  }
+}
+
+/// Closes \p Set under CG.callees (in place).
+void closeUnderCallees(const CallGraph &CG, FnSet &Set) {
+  std::vector<const Function *> Work(Set.begin(), Set.end());
+  while (!Work.empty()) {
+    const Function *F = Work.back();
+    Work.pop_back();
+    for (Function *C : CG.callees(const_cast<Function *>(F)))
+      if (Set.insert(C).second)
+        Work.push_back(C);
+  }
+}
+
+/// The per-checker slice. Seeds from \p IsSrc; when \p IsSnk is non-null the
+/// source cone is intersected with the sink cone *before* the callee closure
+/// — candidates only materialise where both a source event and a sink use
+/// can surface (caller closures), and closing the intersected core under
+/// callees keeps every analyzed function's callee interfaces identical to
+/// the exhaustive run's.
+template <typename SrcPred, typename SnkPred>
+RelevanceSet sliceOne(const CallGraph &CG, Module &M, SrcPred IsSrc,
+                      const SnkPred *IsSnk) {
   RelevanceSet R;
   R.All = false;
 
-  // Seed: functions with a syntactic source site of any enabled checker.
-  // This is a name-based over-approximation (a source call whose value the
-  // engine later discards still seeds) — extra relevant functions only
-  // cost time, never change results.
-  std::vector<Function *> Work;
-  std::unordered_set<const Function *> HasSrc;
-  for (Function *F : M.functions()) {
-    bool IsSrc = false;
-    for (const checkers::CheckerSpec &CS : Spec.Checkers)
-      IsSrc = IsSrc || CS.hasSourceSite(*F);
-    if (!IsSrc && Spec.LeakSources)
-      IsSrc = hasMallocSite(*F);
-    if (IsSrc && HasSrc.insert(F).second)
-      Work.push_back(F);
-  }
-  R.SourceFns = Work.size();
+  FnSet SrcCone;
+  for (Function *F : M.functions())
+    if (IsSrc(*F))
+      SrcCone.insert(F);
+  R.SourceFns = SrcCone.size();
+  closeUnderCallers(CG, SrcCone);
 
-  // Close under callers: a caller can surface a callee's source events
-  // through VF2/VF3 summaries, so every transitive caller of a
-  // source-bearing function may itself produce events and candidates.
-  while (!Work.empty()) {
-    Function *F = Work.back();
-    Work.pop_back();
-    for (Function *C : CG.callers(F))
-      if (HasSrc.insert(C).second)
-        Work.push_back(C);
+  FnSet Core;
+  if (IsSnk) {
+    FnSet SnkCone;
+    for (Function *F : M.functions())
+      if ((*IsSnk)(*F))
+        SnkCone.insert(F);
+    R.SinkFns = SnkCone.size();
+    closeUnderCallers(CG, SnkCone);
+    for (const Function *F : SrcCone)
+      if (SnkCone.count(F))
+        Core.insert(F);
+  } else {
+    Core = std::move(SrcCone);
   }
 
-  // Close under callees: analyzed functions must see the exact callee
-  // interfaces (connector rewriting) and VF summaries the exhaustive run
-  // saw, so everything reachable below the event-producing set is kept.
-  R.Fns = HasSrc;
-  for (const Function *F : HasSrc)
-    Work.push_back(const_cast<Function *>(F));
-  while (!Work.empty()) {
-    Function *F = Work.back();
-    Work.pop_back();
-    for (Function *C : CG.callees(F))
-      if (R.Fns.insert(C).second)
-        Work.push_back(C);
-  }
+  closeUnderCallees(CG, Core);
+  R.Fns = std::move(Core);
   return R;
+}
+
+} // namespace
+
+RelevanceArtifact computeRelevanceArtifact(const CallGraph &CG, Module &M,
+                                           const DemandSpec &Spec) {
+  RelevanceArtifact A;
+  A.Union.All = false;
+
+  // Union diagnostics count *functions* that seed any checker, matching the
+  // pre-sink-slicing semantics of [demand] source-fns.
+  FnSet UnionSrc, UnionSnk;
+
+  for (const checkers::CheckerSpec &CS : Spec.Checkers) {
+    auto IsSrc = [&CS](const Function &F) { return CS.hasSourceSite(F); };
+    RelevanceSet RC;
+    if (Spec.UseSinkCones && CS.hasSyntacticSinks()) {
+      auto IsSnk = [&CS](const Function &F) { return CS.hasSinkSite(F); };
+      RC = sliceOne(CG, M, IsSrc, &IsSnk);
+      for (Function *F : M.functions())
+        if (CS.hasSinkSite(*F))
+          UnionSnk.insert(F);
+    } else {
+      RC = sliceOne<decltype(IsSrc), decltype(IsSrc)>(CG, M, IsSrc, nullptr);
+    }
+    for (Function *F : M.functions())
+      if (CS.hasSourceSite(*F))
+        UnionSrc.insert(F);
+    A.Union.Fns.insert(RC.Fns.begin(), RC.Fns.end());
+    A.PerChecker.emplace(CS.Name, std::move(RC));
+  }
+
+  if (Spec.LeakSources) {
+    // The leak checker's sink (exhaustion) is non-syntactic: source-only.
+    auto IsSrc = [](const Function &F) { return hasMallocSite(F); };
+    RelevanceSet RC =
+        sliceOne<decltype(IsSrc), decltype(IsSrc)>(CG, M, IsSrc, nullptr);
+    for (Function *F : M.functions())
+      if (hasMallocSite(*F))
+        UnionSrc.insert(F);
+    A.Union.Fns.insert(RC.Fns.begin(), RC.Fns.end());
+    A.PerChecker.emplace("leak", std::move(RC));
+  }
+
+  A.Union.SourceFns = UnionSrc.size();
+  A.Union.SinkFns = UnionSnk.size();
+  return A;
+}
+
+RelevanceSet computeRelevance(const CallGraph &CG, Module &M,
+                              const DemandSpec &Spec) {
+  return computeRelevanceArtifact(CG, M, Spec).Union;
+}
+
+//===----------------------------------------------------------------------===
+// Persistence
+//===----------------------------------------------------------------------===
+
+namespace {
+
+constexpr char RelMagic[4] = {'P', 'P', 'R', 'L'};
+constexpr uint32_t RelFormatVersion = 1;
+
+std::string relevancePath(const std::string &Dir) { return Dir + "/relevance"; }
+
+void writeSet(ByteWriter &W, const RelevanceSet &S) {
+  W.u64(S.SourceFns);
+  W.u64(S.SinkFns);
+  std::vector<std::string> Names;
+  Names.reserve(S.Fns.size());
+  for (const Function *F : S.Fns)
+    Names.push_back(F->name());
+  std::sort(Names.begin(), Names.end());
+  W.u32(static_cast<uint32_t>(Names.size()));
+  for (const std::string &N : Names)
+    W.str(N);
+}
+
+/// Returns false when a stored function name no longer resolves in \p M —
+/// the entry cannot describe this module and is treated as corrupt.
+bool readSet(ByteReader &R, const Module &M, RelevanceSet &S) {
+  S.All = false;
+  S.SourceFns = R.u64();
+  S.SinkFns = R.u64();
+  uint32_t N = R.u32();
+  S.Fns.clear();
+  S.Fns.reserve(N);
+  for (uint32_t I = 0; I < N; ++I) {
+    const Function *F = M.function(R.str());
+    if (!F)
+      return false;
+    S.Fns.insert(F);
+  }
+  return true;
+}
+
+void hashStringSet(Hasher &H, const std::set<std::string> &S) {
+  H.u32(static_cast<uint32_t>(S.size()));
+  for (const std::string &E : S)
+    H.str(E);
+}
+
+} // namespace
+
+uint64_t relevanceSpecKey(const DemandSpec &Spec) {
+  // Sort checkers by name so CLI flag order does not shake the key.
+  std::vector<const checkers::CheckerSpec *> Sorted;
+  for (const checkers::CheckerSpec &CS : Spec.Checkers)
+    Sorted.push_back(&CS);
+  std::sort(Sorted.begin(), Sorted.end(),
+            [](const checkers::CheckerSpec *A, const checkers::CheckerSpec *B) {
+              return A->Name < B->Name;
+            });
+
+  Hasher H;
+  H.str("pinpoint-relevance-spec");
+  H.u32(RelFormatVersion);
+  H.u8(Spec.LeakSources ? 1 : 0);
+  H.u8(Spec.UseSinkCones ? 1 : 0);
+  H.u32(static_cast<uint32_t>(Sorted.size()));
+  for (const checkers::CheckerSpec *CS : Sorted) {
+    H.str(CS->Name);
+    hashStringSet(H, CS->SourceArgFns);
+    hashStringSet(H, CS->SourceRetFns);
+    H.u8(CS->NullConstIsSource ? 1 : 0);
+    H.u8(CS->DerefIsSink ? 1 : 0);
+    hashStringSet(H, CS->SinkArgFns);
+    H.u8(CS->TemporalOrder ? 1 : 0);
+    H.u8(CS->FlowThroughOperators ? 1 : 0);
+  }
+  return H.digest();
+}
+
+RelevanceLoadStatus loadRelevance(const std::string &Dir, uint64_t SubjectFP,
+                                  uint64_t SpecKey, const Module &M,
+                                  RelevanceArtifact &Out) {
+  std::ifstream In(relevancePath(Dir), std::ios::binary);
+  if (!In)
+    return RelevanceLoadStatus::Missing;
+  std::vector<uint8_t> Raw((std::istreambuf_iterator<char>(In)),
+                           std::istreambuf_iterator<char>());
+
+  try {
+    ByteReader R(Raw);
+    char Mg[4];
+    for (char &C : Mg)
+      C = static_cast<char>(R.u8());
+    if (std::memcmp(Mg, RelMagic, sizeof(RelMagic)) != 0)
+      return RelevanceLoadStatus::Corrupt;
+    if (R.u32() != RelFormatVersion)
+      return RelevanceLoadStatus::Corrupt;
+    uint64_t FP = R.u64();
+    uint64_t Key = R.u64();
+    uint64_t Checksum = R.u64();
+    uint32_t Size = R.u32();
+    if (Size != R.remaining())
+      return RelevanceLoadStatus::Corrupt;
+    std::vector<uint8_t> Payload(Size);
+    for (uint32_t I = 0; I < Size; ++I)
+      Payload[I] = R.u8();
+    if (Hasher().bytes(Payload.data(), Payload.size()).digest() != Checksum)
+      return RelevanceLoadStatus::Corrupt;
+    if (FP != SubjectFP || Key != SpecKey)
+      return RelevanceLoadStatus::Stale;
+
+    ByteReader PR(Payload);
+    RelevanceArtifact A;
+    if (!readSet(PR, M, A.Union))
+      return RelevanceLoadStatus::Corrupt;
+    uint32_t NumCheckers = PR.u32();
+    for (uint32_t I = 0; I < NumCheckers; ++I) {
+      std::string Name = PR.str();
+      RelevanceSet S;
+      if (!readSet(PR, M, S))
+        return RelevanceLoadStatus::Corrupt;
+      A.PerChecker.emplace(std::move(Name), std::move(S));
+    }
+    if (!PR.atEnd())
+      return RelevanceLoadStatus::Corrupt;
+    Out = std::move(A);
+    return RelevanceLoadStatus::Ok;
+  } catch (const SerializationError &) {
+    return RelevanceLoadStatus::Corrupt;
+  }
+}
+
+bool storeRelevance(const std::string &Dir, uint64_t SubjectFP,
+                    uint64_t SpecKey, const RelevanceArtifact &A) {
+  ByteWriter PW;
+  writeSet(PW, A.Union);
+  PW.u32(static_cast<uint32_t>(A.PerChecker.size()));
+  for (const auto &[Name, S] : A.PerChecker) {
+    PW.str(Name);
+    writeSet(PW, S);
+  }
+  std::vector<uint8_t> Payload = PW.take();
+
+  ByteWriter W;
+  for (char C : RelMagic)
+    W.u8(static_cast<uint8_t>(C));
+  W.u32(RelFormatVersion);
+  W.u64(SubjectFP);
+  W.u64(SpecKey);
+  W.u64(Hasher().bytes(Payload.data(), Payload.size()).digest());
+  W.u32(static_cast<uint32_t>(Payload.size()));
+  std::vector<uint8_t> Bytes = W.take();
+  Bytes.insert(Bytes.end(), Payload.begin(), Payload.end());
+
+  static std::atomic<uint64_t> TmpCounter{0};
+  std::string Final = relevancePath(Dir);
+  std::string Tmp = Final + ".tmp" + std::to_string(TmpCounter.fetch_add(1));
+  {
+    std::ofstream OutF(Tmp, std::ios::binary | std::ios::trunc);
+    if (!OutF)
+      return false;
+    OutF.write(reinterpret_cast<const char *>(Bytes.data()),
+               static_cast<std::streamsize>(Bytes.size()));
+    if (!OutF)
+      return false;
+  }
+  std::error_code EC;
+  std::filesystem::rename(Tmp, Final, EC);
+  if (EC) {
+    std::filesystem::remove(Tmp, EC);
+    return false;
+  }
+  return true;
 }
 
 } // namespace pinpoint::svfa

@@ -6,23 +6,40 @@
 ///
 /// \file
 /// The demand-driven relevance pre-pass (`--demand`). Before any summary is
-/// built, the call graph is walked from the enabled checkers' source sites
-/// to mark the set of functions the analysis can possibly need:
+/// built, the call graph is walked from the enabled checkers' source *and*
+/// sink sites to mark the set of functions the analysis can possibly need.
+/// Per checker c:
 ///
-///   R = callees*( callers*( Src ) )
+///   Core_c = callers*( Src_c ) ∩ callers*( Snk_c )
+///   R_c    = callees*( Core_c )
 ///
-/// where `Src` is every function containing a syntactic source site. The
-/// caller closure covers every function that can *surface* a source event
-/// (VF2/VF3 summaries propagate events up the call chain); the callee
-/// closure then guarantees that every analyzed function sees exactly the
-/// callee interfaces and summaries the exhaustive analysis saw — which is
-/// what makes reports, stats and degradation logs byte-identical to
-/// `--demand=off`. Functions outside R get no points-to pass, no SEG and no
-/// value-flow summaries, and neither probe nor populate the summary cache.
+/// where `Src_c` is every function containing a syntactic source site and
+/// `Snk_c` every function containing a syntactic sink site. The caller
+/// closures cover every function that can *surface* a source event or sink
+/// use (VF2/VF3 summaries propagate events up the call chain, VF4 surfaces
+/// sink uses): a candidate can only materialise in a function that lies in
+/// both caller cones, so their intersection bounds where reports form. The
+/// callee closure is applied *after* intersecting — this is a deliberate
+/// strengthening of the naive `callees*(callers*(Src)) ∩
+/// callers*(callees*(Snk))` formula, which is not callee-closed and would
+/// let an analyzed function miss callee interfaces the exhaustive run saw.
+/// Closing the intersected core under callees guarantees byte-identical
+/// reports and degradation logs vs `--demand=off`.
+///
+/// Checkers without syntactic sinks (deref sinks: use-after-free,
+/// null-deref; the leak checker's implicit exhaustion sink) conservatively
+/// fall back to the source-only cone `R_c = callees*(callers*(Src_c))`.
+/// The pre-pass result is the union `R = ∪_c R_c` — the pipeline analyzes
+/// the union once and each engine run consumes its own checker's slice.
 ///
 /// R is closed under SCC membership by construction (members of one SCC are
 /// mutually reachable through calls), so the per-SCC pipeline schedule
 /// never splits a condensation node.
+///
+/// With `--cache-dir`, the computed artifact is persisted into a versioned,
+/// checksummed `relevance` entry keyed on the subject fingerprint and a
+/// spec key, so warm runs replay the sets without re-walking the module
+/// (`demand.relevance-{stored,replayed,stale}` counters).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -32,6 +49,8 @@
 #include "checkers/Checker.h"
 #include "ir/CallGraph.h"
 
+#include <map>
+#include <string>
 #include <unordered_set>
 #include <vector>
 
@@ -44,8 +63,12 @@ namespace pinpoint::svfa {
 struct DemandSpec {
   std::vector<checkers::CheckerSpec> Checkers;
   /// The leak checker has no CheckerSpec: its sources are malloc calls
-  /// with a receiver (see checkers/SpecialCheckers.h).
+  /// with a receiver (see checkers/SpecialCheckers.h). Its sink (heap
+  /// exhaustion) is non-syntactic, so it always uses the source-only cone.
   bool LeakSources = false;
+  /// Ablation knob: when false, sink sites are ignored and every checker
+  /// gets the source-only cone (the pre-PR-8 behavior).
+  bool UseSinkCones = true;
 };
 
 /// The computed relevant-function set.
@@ -55,14 +78,61 @@ struct RelevanceSet {
   std::unordered_set<const ir::Function *> Fns;
   /// Functions that directly contain a source site (diagnostics only).
   size_t SourceFns = 0;
+  /// Functions that directly contain a syntactic sink site of a
+  /// sink-sliced checker (diagnostics only; 0 when every checker fell
+  /// back to the source-only cone).
+  size_t SinkFns = 0;
 
   bool relevant(const ir::Function *F) const { return All || Fns.count(F); }
 };
 
-/// Walks \p CG from the source sites described by \p Spec and returns the
-/// backward/forward-relevant set (All = false).
+/// The full pre-pass result: the union set the pipeline analyzes plus the
+/// per-checker slices the engines consume. This is what the `relevance`
+/// cache entry round-trips.
+struct RelevanceArtifact {
+  RelevanceSet Union;
+  /// Keyed by CheckerSpec::Name. Each entry is All=false.
+  std::map<std::string, RelevanceSet> PerChecker;
+};
+
+/// Walks \p CG from the source/sink sites described by \p Spec and returns
+/// the bidirectional relevant set (All = false).
 RelevanceSet computeRelevance(const ir::CallGraph &CG, ir::Module &M,
                               const DemandSpec &Spec);
+
+/// As computeRelevance, but also returns the per-checker slices.
+RelevanceArtifact computeRelevanceArtifact(const ir::CallGraph &CG,
+                                           ir::Module &M,
+                                           const DemandSpec &Spec);
+
+//===----------------------------------------------------------------------===
+// Persistence (the `relevance` cache entry)
+//===----------------------------------------------------------------------===
+
+enum class RelevanceLoadStatus {
+  Missing, ///< No entry on disk.
+  Corrupt, ///< Unreadable: bad magic/version/checksum/payload.
+  Stale,   ///< Well-formed, but for a different subject or demand spec.
+  Ok,      ///< Replayed.
+};
+
+/// Deterministic key over everything that shapes the pre-pass result apart
+/// from the subject itself: every checker spec field plus the leak and
+/// sink-cone knobs. A persisted artifact is only replayed when both the
+/// subject fingerprint and this key match.
+uint64_t relevanceSpecKey(const DemandSpec &Spec);
+
+/// Loads the `relevance` entry from cache directory \p Dir. On Ok, \p Out
+/// holds the replayed artifact with function pointers resolved against
+/// \p M; any name that no longer resolves makes the entry Corrupt.
+RelevanceLoadStatus loadRelevance(const std::string &Dir, uint64_t SubjectFP,
+                                  uint64_t SpecKey, const ir::Module &M,
+                                  RelevanceArtifact &Out);
+
+/// Atomically (tmp + rename) stores \p A as the `relevance` entry in \p Dir.
+/// Returns false on I/O failure.
+bool storeRelevance(const std::string &Dir, uint64_t SubjectFP,
+                    uint64_t SpecKey, const RelevanceArtifact &A);
 
 } // namespace pinpoint::svfa
 

@@ -283,11 +283,13 @@ void AnalyzedModule::planMemoryPressure(
   for (size_t I = 0; I < SCCs.size(); ++I) {
     int64_t Full = 0, Fb = 0;
     for (const ir::Function *F : SCCs[I].Members) {
-      // Demand-skipped functions allocate nothing, so they contribute
-      // nothing to the model (relevance is SCC-uniform: one member
-      // relevant means all are). The plan stays a pure function of
-      // subject, budget and the enabled checker set.
-      if (DemandOn && !Rel.relevant(F))
+      // The plan is keyed on PlanRel, not on this run's analysis slice:
+      // functions outside the planning set contribute nothing (relevance
+      // is SCC-uniform: one member relevant means all are). With the CLI's
+      // mode-independent planning spec, PlanRel is the same union-relevant
+      // set under --demand=on and off, so the plan — and the pre-degraded
+      // SCC set — is identical across modes, runs and job counts.
+      if (!PlanRel.relevant(F))
         continue;
       int64_t Stmts = static_cast<int64_t>(countStmts(*F));
       Full += FnBaseBytes + Stmts * FullBytesPerStmt;
@@ -306,7 +308,7 @@ void AnalyzedModule::planMemoryPressure(
   MemPlanDegrade.assign(SCCs.size(), 0);
   while (Total > Soft) {
     size_t Best = SCCs.size();
-    // Est == 0 marks demand-skipped SCCs: degrading one frees nothing, so
+    // Est == 0 marks plan-irrelevant SCCs: degrading one frees nothing, so
     // they are never selected (and could otherwise spin this loop).
     for (size_t I = 0; I < SCCs.size(); ++I)
       if (!MemPlanDegrade[I] && Est[I] > 0 &&
@@ -404,17 +406,6 @@ AnalyzedModule::AnalyzedModule(ir::Module &M, smt::ExprContext &Ctx,
   for (ir::Function *F : CG->bottomUpOrder())
     Fns[F];
 
-  // Demand relevance pre-pass: runs on the post-SSA call graph, before any
-  // summary work, so skipped functions pay only their part of the graph
-  // walk. The set is a pure function of the subject and the checker union,
-  // independent of job count and cache state.
-  if (Opts.Demand) {
-    DemandOn = true;
-    Rel = computeRelevance(*CG, M, *Opts.Demand);
-    for (const ir::Function *F : CG->bottomUpOrder())
-      Rel.relevant(F) ? ++RelevantFns : ++SkippedFns;
-  }
-
   SCCOwnTaint.assign(SCCs.size(), 0);
   SCCTaint.assign(SCCs.size(), 0);
   Cache = Opts.Cache;
@@ -442,13 +433,78 @@ AnalyzedModule::AnalyzedModule(ir::Module &M, smt::ExprContext &Ctx,
       SCCKeys[I] = H.digest();
     }
 
-    // Whole-subject fingerprint for the run journal: a journal from a
-    // different subject must never feed the resume accounting even when
+    // Whole-subject fingerprint for the run journal and the persisted
+    // relevance entry: an artifact from a different subject must never
+    // feed the resume accounting or the pre-pass replay, even when
     // individual SCC keys happen to collide across subjects.
     Hasher SubjectH;
     for (const ir::Function *F : M.functions())
       SubjectH.u64(ir::fingerprintFunction(*F));
     SubjectFP = SubjectH.digest();
+  }
+
+  // Demand relevance pre-pass: runs on the post-SSA call graph, before any
+  // summary work, so skipped functions pay only their part of the graph
+  // walk. The set is a pure function of the subject and the checker union,
+  // independent of job count and cache state. With a cache directory, the
+  // artifact is persisted keyed on (subject fingerprint, spec key): warm
+  // runs replay it and skip the pre-pass entirely.
+  if (Opts.Demand) {
+    DemandOn = true;
+    uint64_t SpecKey = 0;
+    bool Replayed = false;
+    if (Cache) {
+      SpecKey = relevanceSpecKey(*Opts.Demand);
+      RelevanceArtifact A;
+      switch (loadRelevance(Cache->directory(), SubjectFP, SpecKey, M, A)) {
+      case RelevanceLoadStatus::Ok:
+        Rel = std::move(A.Union);
+        PerChecker = std::move(A.PerChecker);
+        Replayed = true;
+        Counters::get().add("demand.relevance-replayed", 1);
+        break;
+      case RelevanceLoadStatus::Stale:
+        // Different subject or checker set: recompute and overwrite.
+        Counters::get().add("demand.relevance-stale", 1);
+        break;
+      case RelevanceLoadStatus::Corrupt:
+        Gov.note(DegradationKind::CacheCorrupt, "demand", "",
+                 "relevance entry unreadable; recomputing pre-pass");
+        Counters::get().add("cache.corrupt", 1);
+        break;
+      case RelevanceLoadStatus::Missing:
+        break;
+      }
+    }
+    if (!Replayed) {
+      RelevanceArtifact A = computeRelevanceArtifact(*CG, M, *Opts.Demand);
+      // Pre-pass cost proxy: functions walked computing the sets. Zero on
+      // a warm replay — the CI smoke greps exactly that.
+      Counters::get().add("demand.prepass-fns",
+                          static_cast<int64_t>(M.functions().size()));
+      if (Cache && Cache->writable() &&
+          storeRelevance(Cache->directory(), SubjectFP, SpecKey, A))
+        Counters::get().add("demand.relevance-stored", 1);
+      Rel = std::move(A.Union);
+      PerChecker = std::move(A.PerChecker);
+    }
+    for (const ir::Function *F : CG->bottomUpOrder())
+      Rel.relevant(F) ? ++RelevantFns : ++SkippedFns;
+  }
+
+  // Resolve the set the memory plan is keyed on (only consulted when a
+  // budget is set). An explicit PlanDemand decouples the plan from the
+  // analysis mode; without one the plan follows the analysis slice, which
+  // is the historical library behaviour.
+  if (Gov.budget().MemBudgetMB > 0) {
+    if (Opts.PlanDemand) {
+      if (DemandOn && Opts.PlanDemand == Opts.Demand)
+        PlanRel = Rel;
+      else
+        PlanRel = computeRelevance(*CG, M, *Opts.PlanDemand);
+    } else if (DemandOn) {
+      PlanRel = Rel;
+    }
   }
 
   planMemoryPressure(SCCs, Gov);

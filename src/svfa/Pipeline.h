@@ -85,6 +85,13 @@ struct PipelineOptions {
   /// irrelevant functions are skipped wholesale. nullptr = exhaustive
   /// analysis (the historical behaviour and the differential baseline).
   const DemandSpec *Demand = nullptr;
+  /// Spec the memory plan is keyed on, independent of `Demand`: with a
+  /// --mem-budget-mb set, planMemoryPressure models exactly the functions
+  /// this spec's union-relevant set keeps, whether or not the run itself
+  /// slices. The CLI passes the same spec here for --demand=on and off, so
+  /// the plan (and the pre-degraded SCC set) is identical across modes.
+  /// nullptr = plan on the analysis slice (Demand if set, else everything).
+  const DemandSpec *PlanDemand = nullptr;
 };
 
 /// Owns the analysed state of a whole module.
@@ -142,6 +149,17 @@ public:
   size_t skippedFunctions() const { return SkippedFns; }
   /// Functions that directly contain a source site (seed count).
   size_t sourceFunctions() const { return Rel.SourceFns; }
+  /// Functions that directly contain a syntactic sink site of a
+  /// sink-sliced checker (0 when every checker fell back to source-only).
+  size_t sinkFunctions() const { return Rel.SinkFns; }
+  /// The per-checker relevance slice the pre-pass computed (or replayed
+  /// from the cache) alongside the union, keyed by CheckerSpec::Name;
+  /// nullptr when demand is off or the checker was not in the spec. Engine
+  /// runs consume this instead of re-walking the call graph.
+  const RelevanceSet *checkerRelevance(const std::string &Name) const {
+    auto It = PerChecker.find(Name);
+    return It == PerChecker.end() ? nullptr : &It->second;
+  }
 
 private:
   /// One-shot note guards shared by every analyzeOne call of a run, so
@@ -207,8 +225,12 @@ private:
   /// Demand state: the relevance set and its summary counts (all inert
   /// when no DemandSpec was supplied).
   RelevanceSet Rel;
+  std::map<std::string, RelevanceSet> PerChecker;
   bool DemandOn = false;
   size_t RelevantFns = 0, SkippedFns = 0;
+  /// The set the memory plan is keyed on (All = true models everything;
+  /// see PipelineOptions::PlanDemand).
+  RelevanceSet PlanRel;
 
   /// Governed-memory charges to discharge at destruction (atomic: charged
   /// from concurrent SCC tasks). Counts and measured bytes are ledgered

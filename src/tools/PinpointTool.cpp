@@ -22,11 +22,15 @@
 ///     --demand=MODE     on | off (default on): demand-driven value-flow
 ///                       slicing (DESIGN.md section 13). A relevance
 ///                       pre-pass over the call graph skips summary
-///                       construction for functions that can neither reach
-///                       a checker source nor be reached from one. Reports,
-///                       degradation log and per-checker stats are
-///                       byte-identical across modes; only speed, memory
-///                       and the [demand] counters change.
+///                       construction for functions outside the
+///                       bidirectional source/sink cones of every enabled
+///                       checker (checkers without syntactic sinks fall
+///                       back to the source-only cone). With --cache-dir,
+///                       the computed relevance is persisted and warm runs
+///                       replay it instead of re-walking the graph.
+///                       Reports and the degradation log are byte-identical
+///                       across modes; only speed, memory and the [demand]
+///                       counters change.
 ///     --dump-ir         print the transformed IR
 ///     --stats           print pipeline and solver statistics
 ///     --jobs=N          worker threads (default 1 = serial; 0 = all
@@ -428,21 +432,22 @@ int pinpointToolMain(int Argc, char **Argv) {
     Timer Total;
     smt::ExprContext Ctx;
 
-    // Demand spec: the union of every enabled checker's sources, so the
-    // pipeline keeps exactly the functions at least one checker needs.
-    // The leak checker has no CheckerSpec; its sources are malloc sites,
-    // flagged separately.
+    // Demand spec: the union of every enabled checker's sources and sinks,
+    // so the pipeline keeps exactly the functions at least one checker
+    // needs. The leak checker has no CheckerSpec; its sources are malloc
+    // sites, flagged separately. Built unconditionally: even with
+    // --demand=off it keys the memory plan (PlanDemand below), which is
+    // what makes the --mem-budget-mb degraded-SCC set identical across
+    // demand modes.
     svfa::DemandSpec DS;
-    if (O.Demand) {
-      for (const std::string &Name : O.Checkers) {
-        if (Name == "leak") {
-          DS.LeakSources = true;
-          continue;
-        }
-        checkers::CheckerSpec Spec;
-        if (specFor(Name, Spec))
-          DS.Checkers.push_back(std::move(Spec));
+    for (const std::string &Name : O.Checkers) {
+      if (Name == "leak") {
+        DS.LeakSources = true;
+        continue;
       }
+      checkers::CheckerSpec Spec;
+      if (specFor(Name, Spec))
+        DS.Checkers.push_back(std::move(Spec));
     }
 
     svfa::PipelineOptions PO;
@@ -451,6 +456,7 @@ int pinpointToolMain(int Argc, char **Argv) {
     PO.Pool = Pool.get();
     PO.Cache = Cache.get();
     PO.Demand = O.Demand ? &DS : nullptr;
+    PO.PlanDemand = &DS;
     svfa::AnalyzedModule AM(M, Ctx, PO);
     double PipelineSec = Total.seconds();
 
@@ -595,19 +601,6 @@ int pinpointToolMain(int Argc, char **Argv) {
       std::printf("[exprs] nodes=%zu table-slots=%zu max-chain=%zu "
                   "arena-mb=%.1f\n",
                   IS.Nodes, IS.TableSlots, IS.MaxChain, IS.ArenaBytes / 1e6);
-      // Demand-slicing counters. Like [pipeline]/[exprs], this line
-      // reflects the work performed, not the findings, so it is exempt
-      // from the --demand on/off determinism contract (the reports,
-      // degradation log and [checker] lines are not).
-      if (AM.demandActive()) {
-        Counters &C = Counters::get();
-        std::printf("[demand] relevant-fns=%zu skipped-fns=%zu "
-                    "source-fns=%zu lazy-reach-rows=%lld csr-bytes=%lld\n",
-                    AM.relevantFunctions(), AM.skippedFunctions(),
-                    AM.sourceFunctions(),
-                    (long long)C.value("svfa.lazy-reach-rows"),
-                    (long long)C.value("seg.csr-bytes"));
-      }
       if (Cache) {
         Counters &C = Counters::get();
         std::printf("[cache] hits=%lld misses=%lld invalidated=%lld "
@@ -617,6 +610,29 @@ int pinpointToolMain(int Argc, char **Argv) {
                     (long long)C.value("cache.invalidated"),
                     (long long)C.value("cache.corrupt"),
                     (long long)C.value("cache.stored"));
+      }
+      // Demand-slicing counters. Like [pipeline]/[exprs], this line
+      // reflects the work performed, not the findings, so it is exempt
+      // from the --demand on/off determinism contract (the reports,
+      // degradation log and the deterministic [checker] fields are not).
+      // Printed after [cache]: "relevance-stored=" must not shadow a
+      // substring probe for the cache line's "stored=".
+      if (AM.demandActive()) {
+        Counters &C = Counters::get();
+        std::printf("[demand] relevant-fns=%zu skipped-fns=%zu "
+                    "source-fns=%zu sink-fns=%zu lazy-reach-rows=%lld "
+                    "csr-bytes=%lld cg-csr-bytes=%lld relevance-stored=%lld "
+                    "relevance-replayed=%lld relevance-stale=%lld "
+                    "prepass-fns=%lld\n",
+                    AM.relevantFunctions(), AM.skippedFunctions(),
+                    AM.sourceFunctions(), AM.sinkFunctions(),
+                    (long long)C.value("svfa.lazy-reach-rows"),
+                    (long long)C.value("seg.csr-bytes"),
+                    (long long)C.value("cg.csr-bytes"),
+                    (long long)C.value("demand.relevance-stored"),
+                    (long long)C.value("demand.relevance-replayed"),
+                    (long long)C.value("demand.relevance-stale"),
+                    (long long)C.value("demand.prepass-fns"));
       }
       // Run-lifecycle counters, gated on something in the layer being
       // active so no-budget/no-signal/no-fault runs keep byte-identical

@@ -1,0 +1,821 @@
+//===- tests/DemandSinkTest.cpp - Sink-driven bidirectional slicing tests --===//
+//
+// Part of the Pinpoint reproduction project, under the MIT License.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The sink-intersected half of the demand contract (DESIGN.md section 13):
+///
+///  * the bidirectional relevance computation itself — per checker,
+///    `callees*( callers*(Src) ∩ callers*(Snk) )` — on subjects where the
+///    sink cone prunes regions the source-only cone keeps, with exact
+///    relevant/skipped membership;
+///  * the syntactic-sink predicate and the conservative fallback for deref-
+///    sink checkers (use-after-free, null-deref) and the leak checker;
+///  * the persisted `relevance` cache entry: round-trip, staleness on
+///    subject or spec change, corruption detection, and the warm-run replay
+///    that skips the pre-pass entirely;
+///  * CLI differentials proving sink-intersected runs emit byte-identical
+///    reports and degradation logs to `--demand=off` at --jobs 1 and 4
+///    (per checker and for the union run);
+///  * the mode-independent memory plan: one --mem-budget-mb pre-degrades
+///    the same SCC set under --demand=on and off;
+///  * the frozen condensation layout (CallGraph SCC member/callee spans).
+///
+/// The CLI tests fork a child that calls `pinpointToolMain` directly (the
+/// LifecycleTest harness) and are skipped under TSan.
+///
+//===----------------------------------------------------------------------===//
+
+#include "checkers/Checker.h"
+#include "checkers/SpecialCheckers.h"
+#include "frontend/Parser.h"
+#include "ir/CallGraph.h"
+#include "support/Statistics.h"
+#include "svfa/Demand.h"
+#include "svfa/GlobalSVFA.h"
+#include "tools/PinpointTool.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#if !defined(_WIN32)
+#include <sys/wait.h>
+#include <unistd.h>
+#endif
+
+#if defined(__SANITIZE_THREAD__)
+#define PINPOINT_TSAN 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define PINPOINT_TSAN 1
+#endif
+#endif
+
+using namespace pinpoint;
+
+namespace {
+
+//===----------------------------------------------------------------------===
+// Harness
+//===----------------------------------------------------------------------===
+
+class TempDir {
+public:
+  explicit TempDir(const std::string &Tag) {
+    Path = "demandsink_" + Tag + "_" +
+           std::to_string(Counter.fetch_add(1, std::memory_order_relaxed));
+    std::filesystem::remove_all(Path);
+    std::filesystem::create_directories(Path);
+  }
+  ~TempDir() {
+    std::error_code EC;
+    std::filesystem::remove_all(Path, EC);
+  }
+  std::string file(const std::string &Name) const {
+    return (std::filesystem::path(Path) / Name).string();
+  }
+
+private:
+  static inline std::atomic<uint64_t> Counter{0};
+  std::string Path;
+};
+
+std::string readFile(const std::string &Path) {
+  std::ifstream In(Path);
+  std::stringstream SS;
+  SS << In.rdbuf();
+  return SS.str();
+}
+
+/// The canonical sink-pruning subject for the taint-path checker. Three
+/// regions plus a disconnected filler:
+///
+///  * srcOnly/srcCaller: a source (read_input) whose caller cone never
+///    meets a sink — the source-only cone keeps both, the sink
+///    intersection prunes both;
+///  * bothSrc/bothSnk/bothCaller: a source and a sink joined by a shared
+///    caller — the only region where a report can form, kept by both
+///    cones;
+///  * snkOnly/snkCaller: a sink (remove) no source can reach — pruned by
+///    both cones (the source cone never saw it);
+///  * filler: disconnected pointer code, pruned by both.
+///
+/// taint-path sources here: read_input (x2). Sinks: open, remove.
+std::string sinkSubject() {
+  return "int srcOnly(int c) { int v = read_input(); return v; }\n"
+         "int srcCaller(int c) { int r = srcOnly(c); return r; }\n"
+         "int bothSrc(int c) { int v = read_input(); return v; }\n"
+         "int bothSnk(int v) { open(v); return 0; }\n"
+         "int bothCaller(int c) { int v = bothSrc(c); int r = bothSnk(v); "
+         "return r + v; }\n"
+         "int snkOnly(int v) { remove(v); return 0; }\n"
+         "int snkCaller(int v) { int r = snkOnly(v); return r; }\n"
+         "int filler(int *p) { int *q = p; return *q; }\n";
+}
+
+/// sinkSubject plus a taint-data region (read_secret -> send, with an
+/// orphan load_key source) and a double-free region, so every sink-sliced
+/// checker has real work and real reports on one subject.
+std::string mixedSubject() {
+  return sinkSubject() +
+         "int tdSrc(int c) { int k = read_secret(); return k; }\n"
+         "int tdSnk(int k) { send(k); return 0; }\n"
+         "int tdCaller(int c) { int k = tdSrc(c); int r = tdSnk(k); "
+         "return r + k; }\n"
+         "int tdOrphan(int c) { int k = load_key(); return k; }\n"
+         "int dfBoth(int *p, int c) { if (c > 0) { free(p); } "
+         "if (c > 1) { free(p); } return c; }\n";
+}
+
+//===----------------------------------------------------------------------===
+// Bidirectional relevance computation
+//===----------------------------------------------------------------------===
+
+class SinkRelevanceTest : public ::testing::Test {
+protected:
+  void parse(const std::string &Source) {
+    std::vector<frontend::Diag> Diags;
+    ASSERT_TRUE(frontend::parseModule(Source, M, Diags))
+        << (Diags.empty() ? "" : Diags[0].str());
+    CG = std::make_unique<ir::CallGraph>(M);
+  }
+  const ir::Function *fn(const std::string &Name) {
+    for (ir::Function *F : M.functions())
+      if (F->name() == Name)
+        return F;
+    return nullptr;
+  }
+  svfa::RelevanceSet relevanceFor(const checkers::CheckerSpec &Spec,
+                                  bool UseSinkCones) {
+    svfa::DemandSpec DS;
+    DS.Checkers.push_back(Spec);
+    DS.UseSinkCones = UseSinkCones;
+    return svfa::computeRelevance(*CG, M, DS);
+  }
+  /// The names kept by \p R, sorted.
+  std::vector<std::string> names(const svfa::RelevanceSet &R) {
+    std::vector<std::string> Out;
+    for (ir::Function *F : M.functions())
+      if (R.relevant(F))
+        Out.push_back(F->name());
+    std::sort(Out.begin(), Out.end());
+    return Out;
+  }
+
+  ir::Module M;
+  std::unique_ptr<ir::CallGraph> CG;
+};
+
+TEST_F(SinkRelevanceTest, BidirectionalPrunesWhatSourceOnlyKeeps) {
+  parse(sinkSubject());
+  svfa::RelevanceSet R =
+      relevanceFor(checkers::pathTraversalChecker(), /*UseSinkCones=*/true);
+  EXPECT_FALSE(R.All);
+  // Only the region where a source cone meets a sink cone survives; the
+  // callee closure of the intersected core pulls the source and sink
+  // leaves back in.
+  EXPECT_EQ(names(R), (std::vector<std::string>{"bothCaller", "bothSnk",
+                                                "bothSrc"}));
+  EXPECT_EQ(R.SourceFns, 2u); // srcOnly + bothSrc contain read_input.
+  EXPECT_EQ(R.SinkFns, 2u);   // bothSnk (open) + snkOnly (remove).
+}
+
+TEST_F(SinkRelevanceTest, SourceOnlyConeKeepsSinklessRegions) {
+  parse(sinkSubject());
+  svfa::RelevanceSet R =
+      relevanceFor(checkers::pathTraversalChecker(), /*UseSinkCones=*/false);
+  // The ablation keeps the whole source caller cone (and its callees),
+  // including the region that can never reach a sink.
+  EXPECT_EQ(names(R), (std::vector<std::string>{"bothCaller", "bothSnk",
+                                                "bothSrc", "srcCaller",
+                                                "srcOnly"}));
+  EXPECT_EQ(R.SourceFns, 2u);
+  EXPECT_EQ(R.SinkFns, 0u); // No sink seeds in source-only mode.
+}
+
+TEST_F(SinkRelevanceTest, DerefSinkCheckerFallsBackToSourceCone) {
+  parse(mixedSubject());
+  // use-after-free sinks are loads/stores — syntactically invisible — so
+  // the sink knob must change nothing for it.
+  ASSERT_FALSE(checkers::useAfterFreeChecker().hasSyntacticSinks());
+  svfa::RelevanceSet Bi =
+      relevanceFor(checkers::useAfterFreeChecker(), /*UseSinkCones=*/true);
+  svfa::RelevanceSet SrcOnly =
+      relevanceFor(checkers::useAfterFreeChecker(), /*UseSinkCones=*/false);
+  EXPECT_EQ(names(Bi), names(SrcOnly));
+  EXPECT_EQ(names(Bi), (std::vector<std::string>{"dfBoth"}));
+  EXPECT_EQ(Bi.SinkFns, 0u); // Fallback seeds no sinks.
+}
+
+TEST_F(SinkRelevanceTest, DoubleFreeConesCoincide) {
+  parse(mixedSubject());
+  // df's source and sink are the same site (free), so the sink
+  // intersection is a no-op by construction — a useful degenerate case.
+  ASSERT_TRUE(checkers::doubleFreeChecker().hasSyntacticSinks());
+  svfa::RelevanceSet Bi =
+      relevanceFor(checkers::doubleFreeChecker(), /*UseSinkCones=*/true);
+  svfa::RelevanceSet SrcOnly =
+      relevanceFor(checkers::doubleFreeChecker(), /*UseSinkCones=*/false);
+  EXPECT_EQ(names(Bi), names(SrcOnly));
+  EXPECT_EQ(names(Bi), (std::vector<std::string>{"dfBoth"}));
+  EXPECT_EQ(Bi.SinkFns, 1u);
+}
+
+TEST_F(SinkRelevanceTest, UnionIsPerCheckerIntersectThenUnion) {
+  parse(mixedSubject());
+  svfa::DemandSpec DS;
+  DS.Checkers.push_back(checkers::pathTraversalChecker());
+  DS.Checkers.push_back(checkers::dataTransmissionChecker());
+  svfa::RelevanceArtifact A = svfa::computeRelevanceArtifact(*CG, M, DS);
+
+  // Each checker intersects its own cones before the union: srcOnly is in
+  // taint-path's source cone and tdSnk is in taint-data's sink cone, but
+  // neither pair meets, so neither survives into the union.
+  EXPECT_EQ(names(A.Union),
+            (std::vector<std::string>{"bothCaller", "bothSnk", "bothSrc",
+                                      "tdCaller", "tdSnk", "tdSrc"}));
+  // Union seed counts: read_input x2, read_secret, load_key sources;
+  // open, remove, send sinks.
+  EXPECT_EQ(A.Union.SourceFns, 4u);
+  EXPECT_EQ(A.Union.SinkFns, 3u);
+
+  // The per-checker slices the engines consume are the individual cones,
+  // keyed by CheckerSpec::Name.
+  ASSERT_EQ(A.PerChecker.count("path-traversal"), 1u);
+  ASSERT_EQ(A.PerChecker.count("data-transmission"), 1u);
+  EXPECT_EQ(names(A.PerChecker.at("path-traversal")),
+            (std::vector<std::string>{"bothCaller", "bothSnk", "bothSrc"}));
+  EXPECT_EQ(names(A.PerChecker.at("data-transmission")),
+            (std::vector<std::string>{"tdCaller", "tdSnk", "tdSrc"}));
+}
+
+TEST_F(SinkRelevanceTest, SyntacticSinkPredicates) {
+  parse(mixedSubject());
+  // Which checkers can be sink-sliced at all.
+  EXPECT_FALSE(checkers::useAfterFreeChecker().hasSyntacticSinks());
+  EXPECT_FALSE(checkers::nullDerefChecker().hasSyntacticSinks());
+  EXPECT_TRUE(checkers::doubleFreeChecker().hasSyntacticSinks());
+  EXPECT_TRUE(checkers::pathTraversalChecker().hasSyntacticSinks());
+  EXPECT_TRUE(checkers::dataTransmissionChecker().hasSyntacticSinks());
+
+  // Site membership for the taint checkers.
+  const checkers::CheckerSpec TP = checkers::pathTraversalChecker();
+  EXPECT_TRUE(TP.hasSinkSite(*fn("bothSnk")));  // open
+  EXPECT_TRUE(TP.hasSinkSite(*fn("snkOnly")));  // remove
+  EXPECT_FALSE(TP.hasSinkSite(*fn("bothSrc"))); // source, not sink
+  EXPECT_FALSE(TP.hasSinkSite(*fn("tdSnk")));   // other checker's sink
+  const checkers::CheckerSpec TD = checkers::dataTransmissionChecker();
+  EXPECT_TRUE(TD.hasSinkSite(*fn("tdSnk"))); // send
+  EXPECT_FALSE(TD.hasSinkSite(*fn("bothSnk")));
+  // A deref-sink checker reports no syntactic sink sites anywhere.
+  for (ir::Function *F : M.functions())
+    EXPECT_FALSE(checkers::useAfterFreeChecker().hasSinkSite(*F))
+        << F->name();
+}
+
+TEST_F(SinkRelevanceTest, SlicedReportsMatchExhaustiveOnTheSinkSubject) {
+  // Library-level non-vacuity + equivalence: the subject really produces
+  // taint-path findings, and the bidirectional slice reports exactly them.
+  auto runMode = [](bool Demand) {
+    ir::Module M2;
+    std::vector<frontend::Diag> Diags;
+    EXPECT_TRUE(frontend::parseModule(sinkSubject(), M2, Diags));
+    smt::ExprContext Ctx;
+    svfa::GlobalOptions GO;
+    GO.Demand = Demand;
+    auto Reports =
+        svfa::checkModule(M2, Ctx, checkers::pathTraversalChecker(), GO);
+    std::vector<std::string> Keys;
+    for (const auto &R : Reports)
+      Keys.push_back(R.SourceFn + ":" + R.Source.str() + "->" + R.SinkFn +
+                     ":" + R.Sink.str());
+    std::sort(Keys.begin(), Keys.end());
+    return Keys;
+  };
+  auto On = runMode(true), Off = runMode(false);
+  EXPECT_EQ(On, Off);
+  EXPECT_FALSE(Off.empty()) << "sink subject produced no taint findings";
+}
+
+//===----------------------------------------------------------------------===
+// Persisted relevance (the `relevance` cache entry)
+//===----------------------------------------------------------------------===
+
+class RelevancePersistTest : public SinkRelevanceTest {
+protected:
+  svfa::DemandSpec taintSpec() {
+    svfa::DemandSpec DS;
+    DS.Checkers.push_back(checkers::pathTraversalChecker());
+    return DS;
+  }
+  /// Name-set view of an artifact (union + per-checker), for equality.
+  std::vector<std::vector<std::string>> view(svfa::RelevanceArtifact &A) {
+    std::vector<std::vector<std::string>> Out;
+    Out.push_back(names(A.Union));
+    for (auto &[Name, Set] : A.PerChecker) {
+      Out.push_back({Name});
+      Out.push_back(names(Set));
+    }
+    return Out;
+  }
+};
+
+TEST_F(RelevancePersistTest, RoundTrip) {
+  parse(sinkSubject());
+  TempDir T("roundtrip");
+  svfa::DemandSpec DS = taintSpec();
+  const uint64_t Key = svfa::relevanceSpecKey(DS);
+  svfa::RelevanceArtifact A = svfa::computeRelevanceArtifact(*CG, M, DS);
+  ASSERT_TRUE(svfa::storeRelevance(T.file(""), 0x5EED, Key, A));
+
+  svfa::RelevanceArtifact B;
+  ASSERT_EQ(svfa::loadRelevance(T.file(""), 0x5EED, Key, M, B),
+            svfa::RelevanceLoadStatus::Ok);
+  EXPECT_EQ(view(A), view(B));
+  EXPECT_FALSE(B.Union.All);
+  EXPECT_EQ(B.Union.SourceFns, A.Union.SourceFns);
+  EXPECT_EQ(B.Union.SinkFns, A.Union.SinkFns);
+}
+
+TEST_F(RelevancePersistTest, SubjectOrSpecMismatchIsStale) {
+  parse(sinkSubject());
+  TempDir T("stale");
+  svfa::DemandSpec DS = taintSpec();
+  const uint64_t Key = svfa::relevanceSpecKey(DS);
+  svfa::RelevanceArtifact A = svfa::computeRelevanceArtifact(*CG, M, DS);
+  ASSERT_TRUE(svfa::storeRelevance(T.file(""), 0x5EED, Key, A));
+
+  svfa::RelevanceArtifact B;
+  // Same spec, different subject fingerprint.
+  EXPECT_EQ(svfa::loadRelevance(T.file(""), 0xBAD, Key, M, B),
+            svfa::RelevanceLoadStatus::Stale);
+  // Same subject, different demand spec.
+  EXPECT_EQ(svfa::loadRelevance(T.file(""), 0x5EED, Key ^ 1, M, B),
+            svfa::RelevanceLoadStatus::Stale);
+}
+
+TEST_F(RelevancePersistTest, MissingEntry) {
+  parse(sinkSubject());
+  TempDir T("missing");
+  svfa::RelevanceArtifact B;
+  EXPECT_EQ(svfa::loadRelevance(T.file(""), 1, 2, M, B),
+            svfa::RelevanceLoadStatus::Missing);
+}
+
+TEST_F(RelevancePersistTest, CorruptBytesAreDetected) {
+  parse(sinkSubject());
+  TempDir T("corrupt");
+  svfa::DemandSpec DS = taintSpec();
+  const uint64_t Key = svfa::relevanceSpecKey(DS);
+  svfa::RelevanceArtifact A = svfa::computeRelevanceArtifact(*CG, M, DS);
+  ASSERT_TRUE(svfa::storeRelevance(T.file(""), 7, Key, A));
+  const std::string Entry = T.file("relevance");
+  const std::string Orig = readFile(Entry);
+  ASSERT_GT(Orig.size(), 8u);
+
+  // Every single-byte flip anywhere in the file must be caught — header,
+  // key fields and payload are all under the checksum (a flip in the
+  // stored fingerprint must read as corruption, not staleness).
+  for (size_t Pos : {size_t(0), Orig.size() / 2, Orig.size() - 1}) {
+    std::string Bad = Orig;
+    Bad[Pos] = static_cast<char>(Bad[Pos] ^ 0x40);
+    std::ofstream(Entry, std::ios::binary | std::ios::trunc) << Bad;
+    svfa::RelevanceArtifact B;
+    EXPECT_EQ(svfa::loadRelevance(T.file(""), 7, Key, M, B),
+              svfa::RelevanceLoadStatus::Corrupt)
+        << "flip at " << Pos;
+  }
+  // Truncation too.
+  std::ofstream(Entry, std::ios::binary | std::ios::trunc)
+      << Orig.substr(0, Orig.size() / 2);
+  svfa::RelevanceArtifact B;
+  EXPECT_EQ(svfa::loadRelevance(T.file(""), 7, Key, M, B),
+            svfa::RelevanceLoadStatus::Corrupt);
+}
+
+TEST_F(RelevancePersistTest, UnknownFunctionNameIsCorrupt) {
+  parse(sinkSubject());
+  TempDir T("unknown");
+  svfa::DemandSpec DS = taintSpec();
+  const uint64_t Key = svfa::relevanceSpecKey(DS);
+  svfa::RelevanceArtifact A = svfa::computeRelevanceArtifact(*CG, M, DS);
+  ASSERT_TRUE(svfa::storeRelevance(T.file(""), 9, Key, A));
+
+  // A module that lacks the stored functions cannot resolve the entry:
+  // name resolution failure is corruption, never a silent partial replay.
+  ir::Module Other;
+  std::vector<frontend::Diag> Diags;
+  ASSERT_TRUE(frontend::parseModule("int unrelated(int *p) { return *p; }\n",
+                                    Other, Diags));
+  svfa::RelevanceArtifact B;
+  EXPECT_EQ(svfa::loadRelevance(T.file(""), 9, Key, Other, B),
+            svfa::RelevanceLoadStatus::Corrupt);
+}
+
+TEST(RelevanceSpecKeyTest, OrderInvariantAndKnobSensitive) {
+  svfa::DemandSpec AB, BA;
+  AB.Checkers = {checkers::pathTraversalChecker(),
+                 checkers::dataTransmissionChecker()};
+  BA.Checkers = {checkers::dataTransmissionChecker(),
+                 checkers::pathTraversalChecker()};
+  // The key is canonical over checker order (the CLI assembles the spec in
+  // flag order) ...
+  EXPECT_EQ(svfa::relevanceSpecKey(AB), svfa::relevanceSpecKey(BA));
+
+  // ... but sensitive to every knob that shapes the result.
+  svfa::DemandSpec NoSink = AB;
+  NoSink.UseSinkCones = false;
+  EXPECT_NE(svfa::relevanceSpecKey(AB), svfa::relevanceSpecKey(NoSink));
+  svfa::DemandSpec Leak = AB;
+  Leak.LeakSources = true;
+  EXPECT_NE(svfa::relevanceSpecKey(AB), svfa::relevanceSpecKey(Leak));
+  svfa::DemandSpec One;
+  One.Checkers = {checkers::pathTraversalChecker()};
+  EXPECT_NE(svfa::relevanceSpecKey(AB), svfa::relevanceSpecKey(One));
+}
+
+//===----------------------------------------------------------------------===
+// Frozen condensation layout
+//===----------------------------------------------------------------------===
+
+TEST(CondensationLayoutTest, FrozenSpansReplayBottomUpOrder) {
+  ir::Module M;
+  std::vector<frontend::Diag> Diags;
+  // A recursion pair, a chain through it, and an isolated function: three
+  // SCC shapes (multi-member, chained singletons, isolated singleton).
+  ASSERT_TRUE(frontend::parseModule(
+      "int ping(int *p, int c) { if (c > 0) { int r = pong(p, c); "
+      "return r; } return 0; }\n"
+      "int pong(int *p, int c) { int r = ping(p, c); return r; }\n"
+      "int top(int *p, int c) { int r = ping(p, c); return r; }\n"
+      "int lonely(int *p) { return *p; }\n",
+      M, Diags));
+  Counters &C = Counters::get();
+  const int64_t Before = C.value("cg.csr-bytes");
+  ir::CallGraph CG(M);
+  // The frozen member/adjacency rows live in a measured arena.
+  EXPECT_GT(C.value("cg.csr-bytes"), Before);
+
+  // Concatenating Members over ascending SCC id replays bottomUpOrder
+  // exactly (ids are Tarjan completion order, which is topological).
+  std::vector<ir::Function *> Concat;
+  for (const auto &N : CG.sccs())
+    for (ir::Function *F : N.Members)
+      Concat.push_back(F);
+  EXPECT_EQ(Concat, CG.bottomUpOrder());
+
+  // Callee rows are sorted, deduplicated and strictly below the owner id.
+  for (size_t I = 0; I < CG.sccs().size(); ++I) {
+    const auto &Row = CG.sccs()[I].CalleeSCCs;
+    for (size_t K = 0; K < Row.size(); ++K) {
+      EXPECT_LT(Row[K], I);
+      if (K) {
+        EXPECT_LT(Row[K - 1], Row[K]);
+      }
+    }
+  }
+  // The recursion pair is one SCC with both members.
+  bool SawPair = false;
+  for (const auto &N : CG.sccs())
+    if (N.Members.size() == 2)
+      SawPair = true;
+  EXPECT_TRUE(SawPair);
+}
+
+#if !defined(_WIN32) && !defined(PINPOINT_TSAN)
+
+//===----------------------------------------------------------------------===
+// CLI harness (forked pinpointToolMain, as in LifecycleTest/DemandTest)
+//===----------------------------------------------------------------------===
+
+int runTool(const std::vector<std::string> &Args, const std::string &OutFile) {
+  pid_t Pid = fork();
+  if (Pid == 0) {
+    if (!std::freopen(OutFile.c_str(), "w", stdout))
+      std::exit(90);
+    if (!std::freopen("/dev/null", "w", stderr))
+      std::exit(91);
+    std::vector<std::string> Store = Args;
+    std::vector<char *> Argv;
+    static char Name[] = "pinpoint";
+    Argv.push_back(Name);
+    for (std::string &A : Store)
+      Argv.push_back(A.data());
+    std::exit(
+        tools::pinpointToolMain(static_cast<int>(Argv.size()), Argv.data()));
+  }
+  int Status = 0;
+  if (waitpid(Pid, &Status, 0) != Pid)
+    return -1000;
+  return WIFEXITED(Status) ? WEXITSTATUS(Status) : -1001;
+}
+
+/// Extracts `Key=<number>` from \p Out (first occurrence); -1 if absent.
+long long statValue(const std::string &Out, const std::string &Key) {
+  size_t Pos = Out.find(Key + "=");
+  if (Pos == std::string::npos)
+    return -1;
+  return std::atoll(Out.c_str() + Pos + Key.size() + 1);
+}
+
+//===----------------------------------------------------------------------===
+// CLI differentials: sink-intersected runs vs --demand=off
+//===----------------------------------------------------------------------===
+//
+// Unlike DemandTest's source-only-era differentials these run *without*
+// --stats: sink cones legitimately shrink the work-reflecting [checker]
+// fields (events, linear-pruned) on subjects with sink-less source
+// regions, while reports and the degradation log stay byte-identical —
+// which is exactly what raw output comparison pins down.
+
+TEST(DemandSinkCLI, PerCheckerDifferentialAcrossJobs) {
+  TempDir T("diff");
+  const std::string Subject = T.file("subject.mc");
+  std::ofstream(Subject) << mixedSubject();
+
+  for (const char *Checker : {"df", "taint-path", "taint-data"}) {
+    for (const char *Jobs : {"--jobs=1", "--jobs=4"}) {
+      const std::string On = T.file("on.out"), Off = T.file("off.out");
+      ASSERT_EQ(runTool({std::string("--checker=") + Checker, Jobs,
+                         "--degradation-log", "--demand=on", Subject},
+                        On),
+                0)
+          << Checker;
+      ASSERT_EQ(runTool({std::string("--checker=") + Checker, Jobs,
+                         "--degradation-log", "--demand=off", Subject},
+                        Off),
+                0)
+          << Checker;
+      EXPECT_EQ(readFile(On), readFile(Off))
+          << "checker=" << Checker << " " << Jobs;
+    }
+  }
+}
+
+TEST(DemandSinkCLI, UnionDifferentialAcrossJobs) {
+  TempDir T("union");
+  const std::string Subject = T.file("subject.mc");
+  std::ofstream(Subject) << mixedSubject();
+
+  const std::string All = "--checker=uaf,df,taint-path,taint-data,"
+                          "null-deref,leak";
+  for (const char *Jobs : {"--jobs=1", "--jobs=4"}) {
+    const std::string On = T.file("on.out"), Off = T.file("off.out");
+    ASSERT_EQ(runTool({All, Jobs, "--degradation-log", "--demand=on",
+                       Subject},
+                      On),
+              0);
+    ASSERT_EQ(runTool({All, Jobs, "--degradation-log", "--demand=off",
+                       Subject},
+                      Off),
+              0);
+    EXPECT_EQ(readFile(On), readFile(Off)) << Jobs;
+  }
+}
+
+TEST(DemandSinkCLI, SinkConesPruneExactCounts) {
+  TempDir T("counts");
+  const std::string Subject = T.file("subject.mc");
+  std::ofstream(Subject) << sinkSubject();
+
+  const std::string Out = T.file("run.out");
+  ASSERT_EQ(runTool({"--checker=taint-path", "--stats", Subject}, Out), 0);
+  const std::string Text = readFile(Out);
+  // The sink intersection keeps exactly the meeting region (bothSrc,
+  // bothSnk, bothCaller) out of eight functions; the source-only cone
+  // would have kept five (srcOnly and srcCaller too).
+  EXPECT_EQ(statValue(Text, "relevant-fns"), 3) << Text;
+  EXPECT_EQ(statValue(Text, "skipped-fns"), 5) << Text;
+  EXPECT_EQ(statValue(Text, "source-fns"), 2) << Text;
+  EXPECT_EQ(statValue(Text, "sink-fns"), 2) << Text;
+  // The frozen condensation reports its arena footprint, and the pre-pass
+  // really walked the module. (Counter fields are inherited from the test
+  // process across fork(), so only >0 and cross-run deltas are asserted in
+  // the CLI tests — never absolute counter values.)
+  EXPECT_GT(statValue(Text, "cg-csr-bytes"), 0) << Text;
+  EXPECT_GT(statValue(Text, "prepass-fns"), 0) << Text;
+}
+
+//===----------------------------------------------------------------------===
+// Persisted relevance through the CLI (--cache-dir warm replay)
+//===----------------------------------------------------------------------===
+
+TEST(DemandSinkCLI, WarmRunReplaysPersistedRelevance) {
+  TempDir T("warm");
+  const std::string Subject = T.file("subject.mc");
+  std::ofstream(Subject) << sinkSubject();
+  const std::string Dir = T.file("cache");
+
+  // Cold: the pre-pass runs over the whole module and persists its result.
+  const std::string Cold = T.file("cold.out"), Warm = T.file("warm.out");
+  ASSERT_EQ(runTool({"--checker=taint-path", "--stats", "--degradation-log",
+                     "--cache-dir=" + Dir, Subject},
+                    Cold),
+            0);
+  const std::string ColdText = readFile(Cold);
+
+  // Warm: the persisted entry replays — zero pre-pass work, same slice.
+  // Both children fork from the same test-process counter state, so the
+  // cross-run deltas isolate exactly what each run did: the cold run
+  // stored one entry and walked all 8 functions, the warm run replayed
+  // one entry and walked none.
+  ASSERT_EQ(runTool({"--checker=taint-path", "--stats", "--degradation-log",
+                     "--cache-dir=" + Dir, Subject},
+                    Warm),
+            0);
+  const std::string WarmText = readFile(Warm);
+  EXPECT_EQ(statValue(ColdText, "relevance-stored"),
+            statValue(WarmText, "relevance-stored") + 1)
+      << ColdText << WarmText;
+  EXPECT_EQ(statValue(WarmText, "relevance-replayed"),
+            statValue(ColdText, "relevance-replayed") + 1)
+      << ColdText << WarmText;
+  EXPECT_EQ(statValue(WarmText, "relevance-stale"),
+            statValue(ColdText, "relevance-stale"))
+      << ColdText << WarmText;
+  EXPECT_EQ(statValue(ColdText, "prepass-fns"),
+            statValue(WarmText, "prepass-fns") + 8)
+      << ColdText << WarmText;
+  EXPECT_EQ(statValue(WarmText, "relevant-fns"), 3) << WarmText;
+  EXPECT_EQ(statValue(WarmText, "skipped-fns"), 5) << WarmText;
+  EXPECT_EQ(statValue(WarmText, "sink-fns"), 2) << WarmText;
+}
+
+TEST(DemandSinkCLI, CorruptRelevanceEntryRecomputes) {
+  TempDir T("corruptcli");
+  const std::string Subject = T.file("subject.mc");
+  std::ofstream(Subject) << sinkSubject();
+  const std::string Dir = T.file("cache");
+
+  ASSERT_EQ(runTool({"--checker=taint-path", "--stats",
+                     "--cache-dir=" + Dir, Subject},
+                    T.file("cold.out")),
+            0);
+  const std::string ColdText = readFile(T.file("cold.out"));
+  // Reference output for the differential below (no cache, demand off).
+  ASSERT_EQ(runTool({"--checker=taint-path", "--demand=off", Subject},
+                    T.file("ref.out")),
+            0);
+
+  // Flip one payload byte of the persisted entry.
+  const std::string Entry =
+      (std::filesystem::path(Dir) / "relevance").string();
+  std::string Bytes = readFile(Entry);
+  ASSERT_GT(Bytes.size(), 4u);
+  Bytes[Bytes.size() - 2] = static_cast<char>(Bytes[Bytes.size() - 2] ^ 0x7f);
+  std::ofstream(Entry, std::ios::binary | std::ios::trunc) << Bytes;
+
+  // The corrupt entry is detected, logged, and the pre-pass recomputes —
+  // reports are unaffected and a fresh entry is stored.
+  const std::string Out = T.file("recompute.out");
+  ASSERT_EQ(runTool({"--checker=taint-path", "--stats", "--degradation-log",
+                     "--cache-dir=" + Dir, Subject},
+                    Out),
+            0);
+  const std::string Text = readFile(Out);
+  EXPECT_NE(Text.find("cache-corrupt demand"), std::string::npos) << Text;
+  // Deltas vs the cold run (identical inherited counter state): neither
+  // run replayed, both ran the full pre-pass and stored an entry.
+  EXPECT_EQ(statValue(Text, "relevance-replayed"),
+            statValue(ColdText, "relevance-replayed"))
+      << Text;
+  EXPECT_EQ(statValue(Text, "relevance-stored"),
+            statValue(ColdText, "relevance-stored"))
+      << Text;
+  EXPECT_EQ(statValue(Text, "prepass-fns"), statValue(ColdText, "prepass-fns"))
+      << Text;
+  EXPECT_EQ(statValue(Text, "relevant-fns"), 3) << Text;
+
+  // Report lines match the uncached exhaustive run.
+  const std::string Ref = readFile(T.file("ref.out"));
+  EXPECT_NE(Text.find(Ref.substr(0, Ref.find('\n'))), std::string::npos);
+
+  // And the freshly stored entry replays on the next run.
+  ASSERT_EQ(runTool({"--checker=taint-path", "--stats",
+                     "--cache-dir=" + Dir, Subject},
+                    T.file("rewarm.out")),
+            0);
+  EXPECT_EQ(statValue(readFile(T.file("rewarm.out")), "relevance-replayed"),
+            statValue(ColdText, "relevance-replayed") + 1);
+}
+
+TEST(DemandSinkCLI, SpecChangeStoresFreshRelevance) {
+  TempDir T("spec");
+  const std::string Subject = T.file("subject.mc");
+  std::ofstream(Subject) << mixedSubject();
+  const std::string Dir = T.file("cache");
+
+  ASSERT_EQ(runTool({"--checker=taint-path", "--stats",
+                     "--cache-dir=" + Dir, Subject},
+                    T.file("a.out")),
+            0);
+  const std::string A = readFile(T.file("a.out"));
+  // A different checker set is a different spec key: the entry is
+  // well-formed but stale, and the run recomputes and overwrites it.
+  // (All deltas are against run A — same inherited counter state.)
+  const std::string Out = T.file("b.out");
+  ASSERT_EQ(runTool({"--checker=taint-data", "--stats",
+                     "--cache-dir=" + Dir, Subject},
+                    Out),
+            0);
+  const std::string Text = readFile(Out);
+  EXPECT_EQ(statValue(Text, "relevance-stale"),
+            statValue(A, "relevance-stale") + 1)
+      << Text;
+  EXPECT_EQ(statValue(Text, "relevance-replayed"),
+            statValue(A, "relevance-replayed"))
+      << Text;
+  EXPECT_EQ(statValue(Text, "relevance-stored"),
+            statValue(A, "relevance-stored"))
+      << Text;
+  // The overwritten entry now serves the new spec.
+  ASSERT_EQ(runTool({"--checker=taint-data", "--stats",
+                     "--cache-dir=" + Dir, Subject},
+                    T.file("c.out")),
+            0);
+  const std::string Again = readFile(T.file("c.out"));
+  EXPECT_EQ(statValue(Again, "relevance-replayed"),
+            statValue(A, "relevance-replayed") + 1)
+      << Again;
+  EXPECT_EQ(statValue(Again, "relevance-stale"),
+            statValue(A, "relevance-stale"))
+      << Again;
+}
+
+//===----------------------------------------------------------------------===
+// Mode-independent memory plan
+//===----------------------------------------------------------------------===
+
+/// pairSubject from LifecycleTest (a feasible use-after-free per pair) plus
+/// disconnected source-less fillers the uaf pre-pass skips — the functions
+/// whose existence must NOT perturb the memory plan across demand modes.
+std::string memPlanSubject(int Pairs, int Fillers) {
+  std::string S;
+  for (int I = 0; I < Pairs; ++I) {
+    std::string N = std::to_string(I);
+    S += "void use" + N + "(int *p, int c) { if (c > " + N +
+         ") { free(p); } if (c > " + std::to_string(I + 1) +
+         ") { int x = *p; } }\n";
+    S += "int caller" + N + "(int c) { int *p = malloc(4); use" + N +
+         "(p, c); return 0; }\n";
+  }
+  for (int I = 0; I < Fillers; ++I) {
+    std::string N = std::to_string(I);
+    S += "int pad" + N + "(int *p) { int *q = p; return *q; }\n";
+  }
+  return S;
+}
+
+TEST(DemandSinkCLI, MemPlanIsIdenticalAcrossDemandModes) {
+  TempDir T("memplan");
+  const std::string Subject = T.file("subject.mc");
+  std::ofstream(Subject) << memPlanSubject(60, 12);
+
+  // Same budget, both demand modes, both job counts: the deterministic
+  // memory plan keys on the union-relevant set in *every* mode (the CLI
+  // passes the same planning spec for on and off), so the pre-degraded
+  // SCC set — and with it the whole output — is byte-identical.
+  std::vector<std::string> Outs;
+  for (const char *Mode : {"--demand=on", "--demand=off"}) {
+    for (const char *Jobs : {"--jobs=1", "--jobs=4"}) {
+      const std::string Out =
+          T.file(std::string(Mode + 9) + Jobs[7] + ".out");
+      ASSERT_EQ(runTool({"--checker=uaf", Jobs, Mode, "--mem-budget-mb=2",
+                         "--degradation-log", Subject},
+                        Out),
+                0)
+          << Mode << " " << Jobs;
+      Outs.push_back(readFile(Out));
+    }
+  }
+  EXPECT_NE(Outs[0].find("memory-pressure"), std::string::npos) << Outs[0];
+  EXPECT_EQ(Outs[0], Outs[1]);
+  EXPECT_EQ(Outs[0], Outs[2]);
+  EXPECT_EQ(Outs[0], Outs[3]);
+
+  // Non-vacuity: demand=on really skipped the fillers while producing the
+  // very same plan.
+  const std::string StatsOut = T.file("stats.out");
+  ASSERT_EQ(runTool({"--checker=uaf", "--demand=on", "--mem-budget-mb=2",
+                     "--stats", Subject},
+                    StatsOut),
+            0);
+  const std::string Text = readFile(StatsOut);
+  EXPECT_EQ(statValue(Text, "skipped-fns"), 12) << Text;
+  EXPECT_GT(statValue(Text, "mem-plan-degraded"), 0) << Text;
+}
+
+#endif // !_WIN32 && !PINPOINT_TSAN
+
+} // namespace

@@ -28,6 +28,7 @@
 
 #include <array>
 #include <filesystem>
+#include <fstream>
 
 using namespace pinpoint::ir;
 
@@ -468,6 +469,157 @@ TEST_P(PipelineProperty, CacheInvalidationTracksDirtySCCs) {
   auto [RefKeys, NumFns3] = runWith(Edited, nullptr);
   EXPECT_EQ(WarmKeys, RefKeys) << "fn " << EditedFn;
   (void)NumFns3;
+
+  std::filesystem::remove_all(Dir);
+}
+
+TEST_P(PipelineProperty, SinkSlicedAndReplayedReportsMatchExhaustive) {
+  // Every slicing mode reports exactly what the exhaustive run does on a
+  // random subject with planted source/sink pairs: the source-only cone
+  // (sink knob off), the bidirectional cone, and a warm run that replays
+  // the persisted relevance entry instead of re-running the pre-pass.
+  workload::Workload W = makeWorkload();
+  auto runCfg = [&](const svfa::DemandSpec *DS, SummaryCache *Cache,
+                    const checkers::CheckerSpec &Spec) {
+    Module M;
+    std::vector<frontend::Diag> Diags;
+    EXPECT_TRUE(frontend::parseModule(W.Source, M, Diags));
+    smt::ExprContext Ctx;
+    svfa::PipelineOptions PO;
+    PO.Demand = DS;
+    PO.Cache = Cache;
+    svfa::AnalyzedModule AM(M, Ctx, PO);
+    svfa::GlobalOptions GO;
+    GO.Demand = DS != nullptr;
+    svfa::GlobalSVFA Engine(AM, Spec, GO);
+    std::vector<std::string> Keys;
+    for (const auto &R : Engine.run()) {
+      std::string K = R.SourceFn + ":" + R.Source.str() + "->" + R.SinkFn +
+                      ":" + R.Sink.str();
+      for (const auto &Step : R.Path)
+        K += "|" + Step;
+      Keys.push_back(K);
+    }
+    std::sort(Keys.begin(), Keys.end());
+    return Keys;
+  };
+
+  for (const auto &Spec : {checkers::useAfterFreeChecker(),
+                           checkers::pathTraversalChecker()}) {
+    svfa::DemandSpec Bi, SrcOnly;
+    Bi.Checkers.push_back(Spec);
+    SrcOnly.Checkers.push_back(Spec);
+    SrcOnly.UseSinkCones = false;
+    auto Exhaustive = runCfg(nullptr, nullptr, Spec);
+    EXPECT_EQ(runCfg(&SrcOnly, nullptr, Spec), Exhaustive) << Spec.Name;
+    EXPECT_EQ(runCfg(&Bi, nullptr, Spec), Exhaustive) << Spec.Name;
+
+    // Warm replay through a summary cache: the cold run persists the
+    // relevance entry, the warm run consumes it without pre-pass work.
+    const std::string Dir =
+        "prop_rel_" + Spec.Name + "_" + std::to_string(GetParam());
+    std::filesystem::remove_all(Dir);
+    Counters &C = Counters::get();
+    std::string Err;
+    {
+      SummaryCache Cold(Dir, SummaryCache::Mode::ReadWrite);
+      ASSERT_TRUE(Cold.prepare(Err)) << Err;
+      const int64_t Stored = C.value("demand.relevance-stored");
+      EXPECT_EQ(runCfg(&Bi, &Cold, Spec), Exhaustive) << Spec.Name;
+      EXPECT_EQ(C.value("demand.relevance-stored"), Stored + 1);
+    }
+    {
+      SummaryCache Warm(Dir, SummaryCache::Mode::ReadWrite);
+      ASSERT_TRUE(Warm.prepare(Err)) << Err;
+      const int64_t Replayed = C.value("demand.relevance-replayed");
+      const int64_t Prepass = C.value("demand.prepass-fns");
+      EXPECT_EQ(runCfg(&Bi, &Warm, Spec), Exhaustive) << Spec.Name;
+      EXPECT_EQ(C.value("demand.relevance-replayed"), Replayed + 1);
+      EXPECT_EQ(C.value("demand.prepass-fns"), Prepass)
+          << "warm replay must skip the pre-pass";
+    }
+    std::filesystem::remove_all(Dir);
+  }
+}
+
+TEST_P(PipelineProperty, CorruptRelevanceEntryFallsBackToFreshPrePass) {
+  // Flipping one byte of the persisted relevance entry must be detected
+  // (cache-corrupt degradation + counter), fall back to a fresh pre-pass,
+  // re-store a healthy entry, and leave the reports untouched.
+  workload::Workload W = makeWorkload();
+  svfa::DemandSpec DS;
+  DS.Checkers.push_back(checkers::useAfterFreeChecker());
+  auto runCfg = [&](const svfa::DemandSpec *D, SummaryCache *Cache,
+                    ResourceGovernor *Gov) {
+    Module M;
+    std::vector<frontend::Diag> Diags;
+    EXPECT_TRUE(frontend::parseModule(W.Source, M, Diags));
+    smt::ExprContext Ctx;
+    svfa::PipelineOptions PO;
+    PO.Demand = D;
+    PO.Cache = Cache;
+    PO.Governor = Gov;
+    svfa::AnalyzedModule AM(M, Ctx, PO);
+    svfa::GlobalOptions GO;
+    GO.Demand = D != nullptr;
+    svfa::GlobalSVFA Engine(AM, checkers::useAfterFreeChecker(), GO);
+    std::vector<std::pair<uint32_t, uint32_t>> Keys;
+    for (const auto &R : Engine.run())
+      Keys.push_back({R.Source.Line, R.Sink.Line});
+    std::sort(Keys.begin(), Keys.end());
+    return Keys;
+  };
+  auto Exhaustive = runCfg(nullptr, nullptr, nullptr);
+
+  const std::string Dir = "prop_relcorrupt_" + std::to_string(GetParam());
+  std::filesystem::remove_all(Dir);
+  std::string Err;
+  {
+    SummaryCache Cold(Dir, SummaryCache::Mode::ReadWrite);
+    ASSERT_TRUE(Cold.prepare(Err)) << Err;
+    EXPECT_EQ(runCfg(&DS, &Cold, nullptr), Exhaustive);
+  }
+
+  // One byte flip in the middle of the entry.
+  const std::string Entry =
+      (std::filesystem::path(Dir) / "relevance").string();
+  ASSERT_TRUE(std::filesystem::exists(Entry));
+  {
+    std::fstream F(Entry, std::ios::in | std::ios::out | std::ios::binary);
+    F.seekg(0, std::ios::end);
+    auto Size = static_cast<long>(F.tellg());
+    ASSERT_GT(Size, 8);
+    char B = 0;
+    F.seekg(Size / 2);
+    F.read(&B, 1);
+    B ^= 0x40;
+    F.seekp(Size / 2);
+    F.write(&B, 1);
+  }
+
+  Counters &C = Counters::get();
+  const int64_t Corrupt = C.value("cache.corrupt");
+  const int64_t Replayed = C.value("demand.relevance-replayed");
+  const int64_t Stored = C.value("demand.relevance-stored");
+  ResourceGovernor Gov({}, FaultInjector());
+  {
+    SummaryCache Warm(Dir, SummaryCache::Mode::ReadWrite);
+    ASSERT_TRUE(Warm.prepare(Err)) << Err;
+    EXPECT_EQ(runCfg(&DS, &Warm, &Gov), Exhaustive);
+  }
+  EXPECT_EQ(C.value("cache.corrupt"), Corrupt + 1);
+  EXPECT_EQ(Gov.log().count(DegradationKind::CacheCorrupt), 1u);
+  EXPECT_EQ(C.value("demand.relevance-replayed"), Replayed);
+  EXPECT_EQ(C.value("demand.relevance-stored"), Stored + 1)
+      << "fallback must re-store a healthy entry";
+
+  // The re-stored entry replays cleanly.
+  {
+    SummaryCache Again(Dir, SummaryCache::Mode::ReadWrite);
+    ASSERT_TRUE(Again.prepare(Err)) << Err;
+    EXPECT_EQ(runCfg(&DS, &Again, nullptr), Exhaustive);
+  }
+  EXPECT_EQ(C.value("demand.relevance-replayed"), Replayed + 1);
 
   std::filesystem::remove_all(Dir);
 }
