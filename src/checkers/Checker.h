@@ -76,9 +76,10 @@ struct CheckerSpec {
   bool hasSourceSite(const ir::Function &F) const;
 
   /// True when every sink of this checker is a named-function call site.
-  /// Deref sinks (use-after-free, null-deref) are syntactically invisible —
-  /// any load or store can be one — so those checkers cannot be sink-sliced
-  /// and the demand pre-pass falls back to the source-only cone.
+  /// Deref sinks (use-after-free, null-deref) have no such call — any load
+  /// or store can be one — so their sink cones seed from `hasDerefSite`
+  /// hosts instead (svfa/Demand). This predicate picks which seed scan
+  /// applies, not whether sink slicing happens at all.
   bool hasSyntacticSinks() const { return !DerefIsSink && !SinkArgFns.empty(); }
 
   /// True if \p F contains a syntactic sink site of this checker: a call to
@@ -87,6 +88,15 @@ struct CheckerSpec {
   /// are not inspected) — extra sink seeds only keep functions relevant,
   /// never change results.
   bool hasSinkSite(const ir::Function &F) const;
+
+  /// True if \p F contains a statement a deref-sink checker could sink at:
+  /// a non-synthetic load or store — the only statements that produce
+  /// DerefAddr uses, and `isSinkUse` ignores synthetic ones. This is the
+  /// sink-seed predicate of the demand pre-pass for DerefIsSink checkers:
+  /// a source region whose caller cone never meets a dereference can never
+  /// surface their sinks. Over-approximates `isSinkUse` (the dereferenced
+  /// value is not inspected), so extra seeds only keep functions relevant.
+  bool hasDerefSite(const ir::Function &F) const;
 
   /// True if using \p V at \p U is a sink for this checker.
   bool isSinkUse(const seg::Use &U) const {

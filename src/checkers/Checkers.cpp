@@ -53,6 +53,14 @@ bool CheckerSpec::hasSinkSite(const ir::Function &F) const {
   return false;
 }
 
+bool CheckerSpec::hasDerefSite(const ir::Function &F) const {
+  for (const ir::BasicBlock *B : F.blocks())
+    for (const ir::Stmt *S : B->stmts())
+      if ((isa<ir::LoadStmt>(S) || isa<ir::StoreStmt>(S)) && !S->isSynthetic())
+        return true;
+  return false;
+}
+
 CheckerSpec useAfterFreeChecker() {
   CheckerSpec S;
   S.Name = "use-after-free";

@@ -114,6 +114,16 @@ RelevanceArtifact computeRelevanceArtifact(const CallGraph &CG, Module &M,
       for (Function *F : M.functions())
         if (CS.hasSinkSite(*F))
           UnionSnk.insert(F);
+    } else if (Spec.UseSinkCones && CS.DerefIsSink) {
+      // Semantic sink narrowing: a deref-sink checker names no sink
+      // function, but its sinks can only surface where something is
+      // actually dereferenced — seed the sink cone at deref hosts so
+      // deref-free source regions prune exactly like syntactic ones.
+      auto IsSnk = [&CS](const Function &F) { return CS.hasDerefSite(F); };
+      RC = sliceOne(CG, M, IsSrc, &IsSnk);
+      for (Function *F : M.functions())
+        if (CS.hasDerefSite(*F))
+          UnionSnk.insert(F);
     } else {
       RC = sliceOne<decltype(IsSrc), decltype(IsSrc)>(CG, M, IsSrc, nullptr);
     }
@@ -153,7 +163,10 @@ RelevanceSet computeRelevance(const CallGraph &CG, Module &M,
 namespace {
 
 constexpr char RelMagic[4] = {'P', 'P', 'R', 'L'};
-constexpr uint32_t RelFormatVersion = 1;
+/// v2: deref-sink checkers gained semantic sink narrowing — a v1 entry for
+/// the same spec would replay the wider source-only slice, so old versions
+/// must recompute (the version also feeds relevanceSpecKey).
+constexpr uint32_t RelFormatVersion = 2;
 
 std::string relevancePath(const std::string &Dir) { return Dir + "/relevance"; }
 
@@ -241,8 +254,10 @@ RelevanceLoadStatus loadRelevance(const std::string &Dir, uint64_t SubjectFP,
       C = static_cast<char>(R.u8());
     if (std::memcmp(Mg, RelMagic, sizeof(RelMagic)) != 0)
       return RelevanceLoadStatus::Corrupt;
+    // A well-formed entry from another format version is an honest
+    // leftover of an older/newer build, not damage: recompute silently.
     if (R.u32() != RelFormatVersion)
-      return RelevanceLoadStatus::Corrupt;
+      return RelevanceLoadStatus::Stale;
     uint64_t FP = R.u64();
     uint64_t Key = R.u64();
     uint64_t Checksum = R.u64();

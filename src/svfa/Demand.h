@@ -67,7 +67,9 @@ struct DemandSpec {
   /// exhaustion) is non-syntactic, so it always uses the source-only cone.
   bool LeakSources = false;
   /// Ablation knob: when false, sink sites are ignored and every checker
-  /// gets the source-only cone (the pre-PR-8 behavior).
+  /// gets the source-only cone (the pre-PR-8 behavior). When true,
+  /// syntactic-sink checkers seed their sink cones at SinkArgFns call
+  /// sites and deref-sink checkers at deref hosts (hasDerefSite).
   bool UseSinkCones = true;
 };
 
@@ -78,9 +80,10 @@ struct RelevanceSet {
   std::unordered_set<const ir::Function *> Fns;
   /// Functions that directly contain a source site (diagnostics only).
   size_t SourceFns = 0;
-  /// Functions that directly contain a syntactic sink site of a
-  /// sink-sliced checker (diagnostics only; 0 when every checker fell
-  /// back to the source-only cone).
+  /// Functions that directly contain a sink seed of a sink-sliced checker
+  /// — a syntactic sink call site, or a deref host for DerefIsSink
+  /// checkers (diagnostics only; 0 when every checker used the
+  /// source-only cone).
   size_t SinkFns = 0;
 
   bool relevant(const ir::Function *F) const { return All || Fns.count(F); }

@@ -898,12 +898,47 @@ void GlobalSVFA::Impl::dischargePending() {
   const size_t NumChunks = std::min<size_t>(N, size_t(Pool.workers()) * 4);
   std::mutex StatsMu;
 
+  // Cross-function batching (DESIGN.md section 14). Contiguous chunking
+  // follows generation order, which clusters one source function's
+  // candidates into one chunk — a function with the expensive queries
+  // serializes the discharge on one worker. Instead, probe the run-wide
+  // verdict cache once per candidate (a pure lookup, no solver counters)
+  // and deal the *misses* — the candidates that will actually pay a solve —
+  // round-robin across chunks regardless of originating function.
+  // Duplicate miss formulas (interned, so pointer-comparable) go to the
+  // same chunk: its sequential solve warms the shared cache for the
+  // duplicates instead of two chunks racing the backend on one query.
+  // Cache-known candidates are dealt round-robin too; they cost one cache
+  // hit wherever they land. Every candidate still flows through a chunk
+  // solver's checkSat, so the deterministic stats fields count exactly as
+  // before — only the chunk assignment changed, and verdicts are still
+  // committed in generation order below.
+  std::vector<std::vector<size_t>> Chunks(NumChunks);
+  {
+    std::unordered_map<const smt::Expr *, size_t> MissChunk;
+    size_t NextMiss = 0, NextHit = 0;
+    for (size_t I = 0; I < N; ++I) {
+      const smt::Expr *E = Pending[I].Full;
+      if (Opts.SolverCache && QCache.lookup(E)) {
+        Chunks[NextHit++ % NumChunks].push_back(I);
+        continue;
+      }
+      auto [It, Fresh] = MissChunk.try_emplace(E, NextMiss % NumChunks);
+      if (Fresh)
+        ++NextMiss;
+      Chunks[It->second].push_back(I);
+    }
+    // Per-chunk generation order (entries were appended ascending, so this
+    // holds already; assert-in-spirit, kept explicit for clarity).
+    for (std::vector<size_t> &C : Chunks)
+      std::sort(C.begin(), C.end());
+  }
+
   ThreadPool::TaskGroup G(Pool);
   for (size_t C = 0; C < NumChunks; ++C) {
-    const size_t Begin = N * C / NumChunks, End = N * (C + 1) / NumChunks;
-    if (Begin == End)
+    if (Chunks[C].empty())
       continue;
-    G.spawn([this, Begin, End, &Verdicts, &StatsMu] {
+    G.spawn([this, Chunk = std::move(Chunks[C]), &Verdicts, &StatsMu] {
       // Each chunk owns its StagedSolver (and thereby its Z3 context /
       // MiniSolver state), so chunks never share backend state — only the
       // run-wide QueryCache, which is sharded and thread-safe, so a
@@ -916,15 +951,16 @@ void GlobalSVFA::Impl::dischargePending() {
       if (Opts.SolverCache)
         ChunkSolver.setQueryCache(&QCache);
       ChunkSolver.setSlicing(Opts.SolverSlicing);
-      for (size_t I = Begin; I < End; ++I) {
+      for (size_t K = 0; K < Chunk.size(); ++K) {
         // Per-query cancellation poll: the chunk drains by downgrading its
         // remaining candidates to Unknown (kept soundily, tagged in the
         // report) instead of abandoning slots at their Sat default.
         if (Gov.cancelled()) {
-          for (size_t J = I; J < End; ++J)
-            Verdicts[J] = smt::SatResult::Unknown;
+          for (size_t J = K; J < Chunk.size(); ++J)
+            Verdicts[Chunk[J]] = smt::SatResult::Unknown;
           break;
         }
+        const size_t I = Chunk[K];
         ChunkSolver.setQueryOrigin(Pending[I].R.SourceFn);
         Verdicts[I] = ChunkSolver.checkSat(Pending[I].Full);
       }

@@ -25,6 +25,17 @@
 /// semantics; without a pool (or with one worker) the schedule degenerates
 /// to exactly the historical bottom-up loop.
 ///
+/// Under the stealing discipline the schedule is critical-path aware
+/// (DESIGN.md section 14): a reverse topological sweep computes each SCC's
+/// upward rank `rank(scc) = cost(scc) + max(rank(dependents))` — costs are
+/// measured microseconds replayed from `<cache-dir>/sched-profile` when
+/// available, a statement-count heuristic otherwise — and ready SCCs are
+/// dispatched highest-rank first. With a summary cache, entry reads become
+/// prefetch tasks and entry writes flush tasks, both overlapped with
+/// neighbouring SCC analysis in the same task group. All of it is pure
+/// scheduling: reports, deterministic counters and degradation logs are
+/// byte-identical across schedules, job counts and cache temperature.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef PINPOINT_SVFA_PIPELINE_H
@@ -33,6 +44,7 @@
 #include "ir/CallGraph.h"
 #include "ir/Conditions.h"
 #include "seg/SEG.h"
+#include "support/ThreadPool.h"
 #include "svfa/Demand.h"
 #include "transform/Connectors.h"
 
@@ -43,7 +55,6 @@
 namespace pinpoint {
 class ResourceGovernor;
 class SummaryCache;
-class ThreadPool;
 }
 
 namespace pinpoint::svfa {
@@ -139,6 +150,14 @@ public:
   size_t resumedSCCs() const { return Resumed; }
   /// SCCs the deterministic memory plan pre-degraded for --mem-budget-mb.
   size_t memPlanDegradedSCCs() const { return MemPlanDegraded; }
+  /// Measured per-SCC analysis cost in microseconds, indexed by SCC id
+  /// (parallel to `callGraph().sccs()`; >= 1 for every analysed SCC).
+  /// These are the same measurements the `sched-profile` cache entry
+  /// persists for the next run's upward ranks; together with the
+  /// condensation's callee edges they let the scheduling bench replay a
+  /// dispatch order's makespan deterministically, which wall clock cannot
+  /// do when the host has fewer cores than workers.
+  const std::vector<uint64_t> &sccCostsUs() const { return SCCCostUs; }
 
   //===--- Demand state (`--demand`, DESIGN.md section 13) ----------------===
 
@@ -177,9 +196,14 @@ private:
   /// \p CalleeTainted is true when any transitive callee SCC degraded
   /// nondeterministically this run, which disables both cache probe and
   /// store for F (its cached artifacts assume healthy callee interfaces).
+  /// \p FlushG, when non-null, receives the summary-cache store as a flush
+  /// task (overlapping neighbouring SCC analysis) instead of writing
+  /// synchronously; it must be the group the run waits on, so the write
+  /// completes before the run does.
   void analyzeOne(ir::Function *F, size_t SCCId, bool CalleeTainted,
                   ResourceGovernor &Gov, const PipelineOptions &Opts,
-                  transform::InterfaceMap &Interfaces, RunState &RS);
+                  transform::InterfaceMap &Interfaces, RunState &RS,
+                  ThreadPool::TaskGroup *FlushG);
 
   /// Charges \p Info's points-to entries and SEG vertices to the governed-
   /// memory accounting (discharged again by the destructor).
@@ -215,6 +239,11 @@ private:
   std::vector<uint64_t> SCCKeys;
   std::vector<uint8_t> SCCOwnTaint; ///< This SCC degraded nondeterministically.
   std::vector<uint8_t> SCCTaint;    ///< Own taint OR any callee-SCC taint.
+  /// Measured wall microseconds per SCC task (≥1 once it ran). Each slot is
+  /// written by exactly the task that analysed the SCC and read only after
+  /// the group wait; completed SCCs' costs feed the persisted scheduling
+  /// profile (see finishLifecycle).
+  std::vector<uint64_t> SCCCostUs;
 
   /// Run-lifecycle state (DESIGN.md section 12).
   std::vector<uint8_t> MemPlanDegrade; ///< Plan-degraded SCCs (empty = none).

@@ -11,7 +11,13 @@ using namespace pinpoint::ir;
 
 namespace pinpoint::svfa {
 
-ReachOracle::ReachOracle(const Function &F) : F(F) {
+ReachOracle::ReachOracle(const Function &F) : F(F) {}
+
+void ReachOracle::ensureBuilt() {
+  if (Built)
+    return;
+  Built = true;
+  Counters::get().add("svfa.reach-oracles-built", 1);
   const std::vector<BasicBlock *> &Blocks = F.blocks();
   const size_t NumBlocks = Blocks.size();
   Words = (NumBlocks + 63) / 64;
@@ -112,6 +118,7 @@ bool ReachOracle::reaches(const Stmt *A, const Stmt *B) {
     return false;
   if (A->parent() == B->parent())
     return F.stmtOrder(A) < F.stmtOrder(B);
+  ensureBuilt();
   const uint32_t From = Index.at(A->parent()), To = Index.at(B->parent());
   // Completion-order ids: a path to a different component only ever
   // reaches smaller ids, so a larger target id is unreachable O(1); a

@@ -25,6 +25,12 @@
 ///     from few blocks) never pay the O(B^2/8) matrix. Row builds count
 ///     into the `svfa.lazy-reach-rows` stat.
 ///
+/// Construction itself is lazy too: the per-function Tarjan pass runs at
+/// the first cross-block `reaches()` query, not when the oracle object is
+/// made — a non-temporal checker (or a function whose events all share a
+/// block, answered by statement order alone) never pays it. Builds count
+/// into `svfa.reach-oracles-built`.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef PINPOINT_SVFA_REACHORACLE_H
@@ -48,8 +54,12 @@ public:
   bool reaches(const ir::Stmt *A, const ir::Stmt *B);
 
 private:
+  /// Runs the deferred block indexing + Tarjan condensation on the first
+  /// cross-block query (same-block queries need only statement order).
+  void ensureBuilt();
   void buildRow(uint32_t Row);
 
+  bool Built = false;
   const ir::Function &F;
   std::unordered_map<const ir::BasicBlock *, uint32_t> Index;
   /// Condensation component of each block, in Tarjan completion order:

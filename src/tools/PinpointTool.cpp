@@ -128,6 +128,7 @@ struct Options {
   long long MemBudgetMB = 0;
   long long RetryTransient = 2;
   long long Jobs = 1;
+  std::string Schedule = "steal"; ///< "steal" or "fifo".
   std::string FaultSpec;
   std::string CacheDir;
   std::string CacheMode; ///< "", "off", "read" or "readwrite".
@@ -149,6 +150,8 @@ void usage() {
       "  --stats                  print statistics\n"
       "  --jobs=N                 worker threads (default 1 = serial, 0 = "
       "all hardware threads)\n"
+      "  --schedule=MODE          steal | fifo (default steal): work-stealing "
+      "rank-priority scheduler or the legacy FIFO queue\n"
       "  --cache-dir=PATH         persistent function-summary cache for "
       "incremental reanalysis\n"
       "  --cache=MODE             off | read | readwrite (default readwrite "
@@ -257,6 +260,15 @@ ParseResult parseArgs(int Argc, char **Argv, Options &O) {
                      "error: invalid --cache value '%s' (expected off, "
                      "read or readwrite)\n",
                      O.CacheMode.c_str());
+        return ParseResult::Error;
+      }
+    } else if (A.rfind("--schedule=", 0) == 0) {
+      O.Schedule = A.substr(std::strlen("--schedule="));
+      if (O.Schedule != "steal" && O.Schedule != "fifo") {
+        std::fprintf(stderr,
+                     "error: invalid --schedule value '%s' (expected steal "
+                     "or fifo)\n",
+                     O.Schedule.c_str());
         return ParseResult::Error;
       }
     } else if (A.rfind("--solver-cache=", 0) == 0) {
@@ -415,7 +427,10 @@ int pinpointToolMain(int Argc, char **Argv) {
                                       : static_cast<unsigned>(O.Jobs);
     std::unique_ptr<ThreadPool> Pool;
     if (Jobs > 1)
-      Pool = std::make_unique<ThreadPool>(Jobs);
+      Pool = std::make_unique<ThreadPool>(Jobs,
+                                          O.Schedule == "fifo"
+                                              ? ThreadPool::Schedule::Fifo
+                                              : ThreadPool::Schedule::Steal);
 
     std::unique_ptr<SummaryCache> Cache;
     if (!O.CacheDir.empty() && O.CacheMode != "off") {
@@ -646,6 +661,26 @@ int pinpointToolMain(int Argc, char **Argv) {
                     AM.memPlanDegradedSCCs(), AM.resumedSCCs(),
                     (unsigned long long)TotalRetries,
                     (unsigned long long)TotalTransientFailures);
+      }
+      // Scheduler observability (parallel runs only). Like [exprs], every
+      // field reflects work and interleaving, not findings: pop/steal
+      // counts and prefetch/flush tallies vary across runs, schedules and
+      // job counts, so the line is exempt from the cross-run determinism
+      // contract (test harnesses filter it alongside [pipeline]/[cache]).
+      if (Pool) {
+        const ThreadPool::SchedStats SS = Pool->schedStats();
+        Counters &C = Counters::get();
+        std::printf("[sched] schedule=%s workers=%u local-pops=%llu "
+                    "inbox-pops=%llu steals=%llu ranked-sccs=%lld "
+                    "profiled-sccs=%lld prefetched=%lld flushed=%lld\n",
+                    O.Schedule.c_str(), Pool->workers(),
+                    (unsigned long long)SS.LocalPops,
+                    (unsigned long long)SS.InboxPops,
+                    (unsigned long long)SS.Steals,
+                    (long long)C.value("sched.ranked-sccs"),
+                    (long long)C.value("sched.profiled-sccs"),
+                    (long long)C.value("sched.prefetched"),
+                    (long long)C.value("sched.flushed"));
       }
       std::printf("[governor] %s\n", Gov.log().summary().c_str());
     }

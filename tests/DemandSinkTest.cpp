@@ -11,8 +11,9 @@
 ///    `callees*( callers*(Src) ∩ callers*(Snk) )` — on subjects where the
 ///    sink cone prunes regions the source-only cone keeps, with exact
 ///    relevant/skipped membership;
-///  * the syntactic-sink predicate and the conservative fallback for deref-
-///    sink checkers (use-after-free, null-deref) and the leak checker;
+///  * the syntactic-sink predicate, the deref-host sink seeding for deref-
+///    sink checkers (use-after-free, null-deref), and the source-only leak
+///    cone;
 ///  * the persisted `relevance` cache entry: round-trip, staleness on
 ///    subject or spec change, corruption detection, and the warm-run replay
 ///    that skips the pre-pass entirely;
@@ -138,6 +139,23 @@ std::string mixedSubject() {
          "if (c > 1) { free(p); } return c; }\n";
 }
 
+/// The use-after-free narrowing subject: a feasible report in the freeUse
+/// region, a free-only region (freeNoUse/freeNoUseCaller) whose caller cone
+/// never meets a dereference — only the deref-host sink seeding can prune
+/// it, the source-only cone keeps it — and a disconnected deref-only pad
+/// both cones prune.
+std::string derefNarrowSubject() {
+  return "void freeUse(int *p, int c) { if (c > 0) { free(p); } "
+         "if (c > 1) { int x = *p; } }\n"
+         "int freeUseCaller(int c) { int *p = malloc(4); "
+         "freeUse(p, c); return 0; }\n"
+         "int freeNoUse(int *p, int c) { if (c > 0) { free(p); } "
+         "return c; }\n"
+         "int freeNoUseCaller(int c) { int *p = malloc(4); "
+         "int r = freeNoUse(p, c); return r; }\n"
+         "int pad(int *p) { int *q = p; return *q; }\n";
+}
+
 //===----------------------------------------------------------------------===
 // Bidirectional relevance computation
 //===----------------------------------------------------------------------===
@@ -204,18 +222,64 @@ TEST_F(SinkRelevanceTest, SourceOnlyConeKeepsSinklessRegions) {
   EXPECT_EQ(R.SinkFns, 0u); // No sink seeds in source-only mode.
 }
 
-TEST_F(SinkRelevanceTest, DerefSinkCheckerFallsBackToSourceCone) {
+TEST_F(SinkRelevanceTest, DerefSinkCheckerIntersectsDerefHostCone) {
   parse(mixedSubject());
-  // use-after-free sinks are loads/stores — syntactically invisible — so
-  // the sink knob must change nothing for it.
+  // use-after-free sinks are loads/stores, not named calls, so its sink
+  // cone seeds at deref hosts. The only deref host here (filler) is
+  // disconnected from the only free host (dfBoth): the intersection is
+  // empty — no freed value can ever reach a dereference on this subject.
   ASSERT_FALSE(checkers::useAfterFreeChecker().hasSyntacticSinks());
   svfa::RelevanceSet Bi =
       relevanceFor(checkers::useAfterFreeChecker(), /*UseSinkCones=*/true);
   svfa::RelevanceSet SrcOnly =
       relevanceFor(checkers::useAfterFreeChecker(), /*UseSinkCones=*/false);
-  EXPECT_EQ(names(Bi), names(SrcOnly));
-  EXPECT_EQ(names(Bi), (std::vector<std::string>{"dfBoth"}));
-  EXPECT_EQ(Bi.SinkFns, 0u); // Fallback seeds no sinks.
+  EXPECT_EQ(names(Bi), std::vector<std::string>{});
+  EXPECT_EQ(Bi.SinkFns, 1u); // filler is the only deref host.
+  // The ablation keeps the free host the narrowing proved sink-less.
+  EXPECT_EQ(names(SrcOnly), (std::vector<std::string>{"dfBoth"}));
+  EXPECT_EQ(SrcOnly.SinkFns, 0u);
+}
+
+TEST_F(SinkRelevanceTest, DerefNarrowingSkipsStrictlyMore) {
+  parse(derefNarrowSubject());
+  svfa::RelevanceSet Bi =
+      relevanceFor(checkers::useAfterFreeChecker(), /*UseSinkCones=*/true);
+  svfa::RelevanceSet SrcOnly =
+      relevanceFor(checkers::useAfterFreeChecker(), /*UseSinkCones=*/false);
+  // The free-only region survives the source-only cone but not the deref
+  // intersection; the reporting region survives both.
+  EXPECT_EQ(names(Bi),
+            (std::vector<std::string>{"freeUse", "freeUseCaller"}));
+  EXPECT_EQ(names(SrcOnly),
+            (std::vector<std::string>{"freeNoUse", "freeNoUseCaller",
+                                      "freeUse", "freeUseCaller"}));
+  EXPECT_EQ(Bi.SourceFns, 2u); // freeUse + freeNoUse call free.
+  EXPECT_EQ(Bi.SinkFns, 2u);   // freeUse + pad dereference.
+}
+
+TEST_F(SinkRelevanceTest, DerefNarrowedReportsMatchExhaustive) {
+  // Library-level non-vacuity + equivalence for the deref narrowing: the
+  // subject really produces a use-after-free finding, and the narrowed
+  // demand run reports exactly what the exhaustive run does.
+  auto runMode = [](bool Demand) {
+    ir::Module M2;
+    std::vector<frontend::Diag> Diags;
+    EXPECT_TRUE(frontend::parseModule(derefNarrowSubject(), M2, Diags));
+    smt::ExprContext Ctx;
+    svfa::GlobalOptions GO;
+    GO.Demand = Demand;
+    auto Reports =
+        svfa::checkModule(M2, Ctx, checkers::useAfterFreeChecker(), GO);
+    std::vector<std::string> Keys;
+    for (const auto &R : Reports)
+      Keys.push_back(R.SourceFn + ":" + R.Source.str() + "->" + R.SinkFn +
+                     ":" + R.Sink.str());
+    std::sort(Keys.begin(), Keys.end());
+    return Keys;
+  };
+  auto On = runMode(true), Off = runMode(false);
+  EXPECT_EQ(On, Off);
+  EXPECT_FALSE(Off.empty()) << "narrowing subject produced no uaf findings";
 }
 
 TEST_F(SinkRelevanceTest, DoubleFreeConesCoincide) {
@@ -282,6 +346,12 @@ TEST_F(SinkRelevanceTest, SyntacticSinkPredicates) {
   for (ir::Function *F : M.functions())
     EXPECT_FALSE(checkers::useAfterFreeChecker().hasSinkSite(*F))
         << F->name();
+
+  // Deref-host membership, the sink-seed scan for deref-sink checkers.
+  const checkers::CheckerSpec UAF = checkers::useAfterFreeChecker();
+  EXPECT_TRUE(UAF.hasDerefSite(*fn("filler")));  // loads *q
+  EXPECT_FALSE(UAF.hasDerefSite(*fn("dfBoth"))); // frees, never derefs
+  EXPECT_FALSE(UAF.hasDerefSite(*fn("bothSnk"))); // calls only
 }
 
 TEST_F(SinkRelevanceTest, SlicedReportsMatchExhaustiveOnTheSinkSubject) {
@@ -561,6 +631,43 @@ TEST(DemandSinkCLI, PerCheckerDifferentialAcrossJobs) {
           << "checker=" << Checker << " " << Jobs;
     }
   }
+}
+
+TEST(DemandSinkCLI, DerefNarrowingDifferentialAcrossJobs) {
+  TempDir T("deref");
+  const std::string Subject = T.file("subject.mc");
+  std::ofstream(Subject) << derefNarrowSubject();
+
+  // The deref-sink checkers across both job counts: narrowed demand runs
+  // emit byte-identical reports and degradation logs to the exhaustive
+  // runs, on a subject where the narrowing really skips a free region.
+  for (const char *Checker : {"uaf", "null-deref"}) {
+    for (const char *Jobs : {"--jobs=1", "--jobs=4"}) {
+      const std::string On = T.file("on.out"), Off = T.file("off.out");
+      ASSERT_EQ(runTool({std::string("--checker=") + Checker, Jobs,
+                         "--degradation-log", "--demand=on", Subject},
+                        On),
+                0)
+          << Checker;
+      ASSERT_EQ(runTool({std::string("--checker=") + Checker, Jobs,
+                         "--degradation-log", "--demand=off", Subject},
+                        Off),
+                0)
+          << Checker;
+      EXPECT_EQ(readFile(On), readFile(Off))
+          << "checker=" << Checker << " " << Jobs;
+    }
+  }
+
+  // Exact narrowed counts: the source-only cone would keep four functions
+  // (both free regions); the deref intersection keeps two and skips three.
+  const std::string Out = T.file("stats.out");
+  ASSERT_EQ(runTool({"--checker=uaf", "--stats", Subject}, Out), 0);
+  const std::string Text = readFile(Out);
+  EXPECT_EQ(statValue(Text, "relevant-fns"), 2) << Text;
+  EXPECT_EQ(statValue(Text, "skipped-fns"), 3) << Text;
+  EXPECT_EQ(statValue(Text, "source-fns"), 2) << Text;
+  EXPECT_EQ(statValue(Text, "sink-fns"), 2) << Text;
 }
 
 TEST(DemandSinkCLI, UnionDifferentialAcrossJobs) {

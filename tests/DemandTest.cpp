@@ -188,8 +188,8 @@ int runTool(const std::vector<std::string> &Args, const std::string &OutFile) {
 /// when functions are skipped), mirroring the --jobs contract's exemption
 /// of the interleaving-dependent acceleration counters.
 std::string filterVolatile(const std::string &Out) {
-  static const char *const Volatile[] = {"[pipeline]", "[exprs]", "[cache]",
-                                         "[lifecycle]", "[demand]"};
+  static const char *const Volatile[] = {"[pipeline]", "[exprs]",  "[cache]",
+                                         "[lifecycle]", "[demand]", "[sched]"};
   std::string Keep;
   std::stringstream SS(Out);
   std::string Line;
@@ -418,10 +418,12 @@ TEST_F(RelevanceTest, CalleeClosureReachesSiblingsOfTheSource) {
 }
 
 TEST_F(RelevanceTest, RelevanceIsSCCUniform) {
-  // Mutually recursive functions: one member with a source marks both.
+  // Mutually recursive functions: the source sits in one member, the deref
+  // (the uaf sink seed) in the other — each cone marks the whole SCC.
   parse("int ping(int *p, int c) { if (c > 0) { int r = pong(p, c); "
         "return r; } free(p); return 0; }\n"
-        "int pong(int *p, int c) { int r = ping(p, c); return r; }\n"
+        "int pong(int *p, int c) { int v = *p; int r = ping(p, c); "
+        "return r + v; }\n"
         "int lonely(int *p) { return *p; }\n");
   svfa::RelevanceSet R = uafRelevance();
   EXPECT_TRUE(R.relevant(fn("ping")));
@@ -592,6 +594,37 @@ TEST(ReachOracleTest, RowsMaterialiseLazily) {
   EXPECT_EQ(C.value("svfa.lazy-reach-rows"), Before + 1);
   RO.reaches(Entry->stmts().front(), Last->stmts().front());
   EXPECT_EQ(C.value("svfa.lazy-reach-rows"), Before + 1);
+}
+
+TEST(ReachOracleTest, OrderingFreeSubjectBuildsNoOracles) {
+  // Construction is lazy: the Tarjan pass is deferred to the first
+  // cross-block reaches() query, so a checker that never consults temporal
+  // order (TemporalOrder = false short-circuits the query) builds zero
+  // oracles no matter how many events it processes.
+  Counters &C = Counters::get();
+  const std::string Source = demandSubject();
+
+  auto runSpec = [&](const checkers::CheckerSpec &Spec) {
+    ir::Module M;
+    std::vector<frontend::Diag> Diags;
+    if (!frontend::parseModule(Source, M, Diags))
+      ADD_FAILURE() << "parse failed";
+    smt::ExprContext Ctx;
+    return svfa::checkModule(M, Ctx, Spec, svfa::GlobalOptions());
+  };
+
+  const int64_t Before = C.value("svfa.reach-oracles-built");
+  auto Taint = runSpec(checkers::pathTraversalChecker());
+  EXPECT_FALSE(Taint.empty()) << "ordering-free subject has no findings";
+  EXPECT_EQ(C.value("svfa.reach-oracles-built"), Before)
+      << "ordering-free checker paid for a reach oracle";
+
+  // The same subject under a temporal checker whose source and sink sit in
+  // different blocks does build one — the counter moves exactly when
+  // ordering is consulted across blocks.
+  auto Uaf = runSpec(checkers::useAfterFreeChecker());
+  EXPECT_FALSE(Uaf.empty());
+  EXPECT_GT(C.value("svfa.reach-oracles-built"), Before);
 }
 
 } // namespace

@@ -45,12 +45,14 @@
 
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <memory>
+#include <mutex>
 #include <set>
 #include <sstream>
 #include <string>
@@ -435,6 +437,51 @@ TEST(LifecycleCancel, CancelledEventIsLoggedOnce) {
   for (const DegradationEvent &E : Gov.log().events())
     CancelEvents += E.Kind == DegradationKind::Cancelled;
   EXPECT_EQ(CancelEvents, size_t(1)); // One-shot, not once per function.
+}
+
+TEST(LifecycleCancel, PendingShutdownNarrowsHelpingWaitToOwnGroup) {
+  // The SIGINT drain-latency contract: once a stop is pending, a helping
+  // wait() runs only its *own* group's stragglers — it must never burn the
+  // drain on another group's backlog. Deterministic by construction: the
+  // single worker is parked (or already exited at the stop boundary), so
+  // every queued task can only run inline through the restricted helper,
+  // and the assertion counts exactly which ones did.
+  ThreadPool Pool(1);
+  std::mutex LatchMu;
+  std::condition_variable LatchCv;
+  bool Release = false;
+
+  // Parks the single worker; spawned first, so the FIFO inbox hands it to
+  // the worker before any backlog task.
+  ThreadPool::TaskGroup Hold(Pool);
+  Hold.spawn([&] {
+    std::unique_lock<std::mutex> L(LatchMu);
+    LatchCv.wait(L, [&] { return Release; });
+  });
+
+  std::atomic<int> ARan{0}, BRan{0};
+  ThreadPool::TaskGroup A(Pool), B(Pool);
+  for (int I = 0; I < 8; ++I)
+    A.spawn([&] { ARan.fetch_add(1); });
+  B.spawn([&] { BRan.fetch_add(1); });
+
+  Pool.requestStop();
+  // The restricted helper drains B's single task and steps over all eight
+  // queued A tasks, however the queues interleave them.
+  B.wait();
+  EXPECT_EQ(BRan.load(), 1);
+  EXPECT_EQ(ARan.load(), 0) << "helping wait ran another group's backlog "
+                               "during a pending shutdown";
+
+  // Unpark and drain the rest: group waits still complete after the stop.
+  {
+    std::lock_guard<std::mutex> L(LatchMu);
+    Release = true;
+  }
+  LatchCv.notify_all();
+  Hold.wait();
+  A.wait();
+  EXPECT_EQ(ARan.load(), 8);
 }
 
 //===----------------------------------------------------------------------===

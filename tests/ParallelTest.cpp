@@ -261,6 +261,82 @@ TEST(ParallelDeterminismTest, WideSubjectPipelineMatchesSerialExactly) {
 }
 
 //===----------------------------------------------------------------------===
+// Schedule-mode determinism: fifo and steal agree at every width
+//===----------------------------------------------------------------------===
+
+/// A \p Layers x \p Width diamond lattice of singleton SCCs: every
+/// function in layer L calls two adjacent functions of layer L+1 (the
+/// cones re-join, so mid-lattice SCCs become ready in bursts and the
+/// scheduler's dispatch order really matters). Each bottom leaf plants a
+/// feasible use-after-free; the layer above allocates, so value flow stays
+/// one call deep — threading one pointer through the whole lattice would
+/// double the path conditions per layer and swamp the scheduling question
+/// this subject exists to ask.
+std::string diamondLatticeSubject(unsigned Layers, unsigned Width) {
+  std::string S;
+  // Bottom-up so every callee is defined before its caller.
+  for (unsigned L = Layers; L-- > 0;) {
+    for (unsigned J = 0; J < Width; ++J) {
+      std::string Name = "d" + std::to_string(L) + "_" + std::to_string(J);
+      std::string A = "d" + std::to_string(L + 1) + "_" + std::to_string(J);
+      std::string B = "d" + std::to_string(L + 1) + "_" +
+                      std::to_string((J + 1) % Width);
+      if (L + 1 == Layers) {
+        S += "int " + Name + "(int *p, int c) { if (c > 0) { free(p); } "
+             "if (c > 1) { int x = *p; } return c; }\n";
+      } else if (L + 2 == Layers) {
+        S += "int " + Name + "(int c) { int *p = malloc(4); int a = " + A +
+             "(p, c); int b = " + B + "(p, c); return a + b; }\n";
+      } else {
+        S += "int " + Name + "(int c) { int a = " + A + "(c); int b = " + B +
+             "(c); return a + b; }\n";
+      }
+    }
+  }
+  return S;
+}
+
+/// runRendered with an explicit schedule mode; always pools (jobs=1 runs
+/// the parallel path on a single worker, not the serial loop).
+std::vector<std::string> runLattice(const std::string &Src, unsigned Jobs,
+                                    ThreadPool::Schedule Mode) {
+  ir::Module M;
+  std::vector<frontend::Diag> Diags;
+  EXPECT_TRUE(frontend::parseModule(Src, M, Diags));
+  smt::ExprContext Ctx;
+  ThreadPool Pool(Jobs, Mode);
+  PipelineOptions PO;
+  PO.Pool = &Pool;
+  AnalyzedModule AM(M, Ctx, PO);
+  GlobalOptions GO;
+  GO.Pool = &Pool;
+  GlobalSVFA Engine(AM, checkers::useAfterFreeChecker(), GO);
+  std::vector<std::string> Out;
+  for (const Report &R : Engine.run())
+    Out.push_back(render(R));
+  return Out;
+}
+
+TEST(ParallelDeterminismTest, DiamondLatticeMatchesAcrossSchedules) {
+  // 10 x 5 = 50 SCCs. The serial loop is the reference; both disciplines
+  // at one, two and eight workers must reproduce its reports exactly —
+  // rank-priority dispatch and randomized stealing are scheduling detail,
+  // never output.
+  const std::string Src = diamondLatticeSubject(10, 5);
+  const std::vector<std::string> Serial =
+      runRendered(Src, checkers::useAfterFreeChecker(), 1);
+  EXPECT_FALSE(Serial.empty()) << "lattice planted no findings";
+  for (ThreadPool::Schedule Mode :
+       {ThreadPool::Schedule::Fifo, ThreadPool::Schedule::Steal}) {
+    for (unsigned Jobs : {1u, 2u, 8u}) {
+      EXPECT_EQ(runLattice(Src, Jobs, Mode), Serial)
+          << (Mode == ThreadPool::Schedule::Fifo ? "fifo" : "steal")
+          << " jobs=" << Jobs;
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===
 // Fault isolation under parallelism
 //===----------------------------------------------------------------------===
 
