@@ -23,13 +23,26 @@
 #define PINPOINT_IR_FINGERPRINT_H
 
 #include <cstdint>
+#include <unordered_map>
 
 namespace pinpoint::ir {
 
 class Function;
+class Module;
 
 /// The structural, location-independent content hash of \p F.
 uint64_t fingerprintFunction(const Function &F);
+
+/// Every function's fingerprint plus the whole-subject digest composed from
+/// them in module order. One sweep feeds every consumer — SCC content keys,
+/// the run journal's subject fingerprint, and the per-function relevance
+/// records — so a module is never hashed twice per run.
+struct ModuleFingerprints {
+  uint64_t Subject = 0;
+  std::unordered_map<const Function *, uint64_t> PerFn;
+};
+
+ModuleFingerprints fingerprintModule(const Module &M);
 
 } // namespace pinpoint::ir
 

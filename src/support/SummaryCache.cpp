@@ -7,6 +7,7 @@
 #include "support/SummaryCache.h"
 #include "support/Hasher.h"
 #include "support/Serializer.h"
+#include "support/Statistics.h"
 
 #include <atomic>
 #include <cstdio>
@@ -57,6 +58,28 @@ bool SummaryCache::prepare(std::string &Err) const {
     Err = "cannot create cache directory " + Dir + ": " + EC.message();
     return false;
   }
+  // Sweep temp files orphaned by a crash between write and rename (every
+  // store in this directory — entries, relevance, journal, profiles — goes
+  // through a `<final>.tmp<counter>` rename). Startup is the one moment no
+  // store of ours is in flight; a concurrent process losing an in-flight
+  // tmp just sees its rename fail and reports an unstored entry, which is
+  // the same contract as any other I/O failure.
+  int64_t Swept = 0;
+  std::error_code IterEC;
+  for (std::filesystem::directory_iterator
+           It(Dir, IterEC),
+       End;
+       !IterEC && It != End; It.increment(IterEC)) {
+    if (!It->is_regular_file(EC))
+      continue;
+    if (It->path().filename().string().find(".tmp") == std::string::npos)
+      continue;
+    std::error_code RmEC;
+    if (std::filesystem::remove(It->path(), RmEC) && !RmEC)
+      ++Swept;
+  }
+  if (Swept)
+    Counters::get().add("cache.gc-tmp", Swept);
   return true;
 }
 

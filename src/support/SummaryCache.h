@@ -69,8 +69,10 @@ public:
   const std::string &directory() const { return Dir; }
   bool writable() const { return M == Mode::ReadWrite; }
 
-  /// Creates the directory when writable. Returns false (with \p Err set)
-  /// only if it cannot be created; a missing directory in read mode is not
+  /// Creates the directory when writable and sweeps `*.tmp*` files that a
+  /// crashed run's atomic write-then-rename left orphaned (counted in the
+  /// `cache.gc-tmp` stat). Returns false (with \p Err set) only if the
+  /// directory cannot be created; a missing directory in read mode is not
   /// an error — every probe simply misses.
   bool prepare(std::string &Err) const;
 

@@ -41,6 +41,14 @@
 /// spec key, so warm runs replay the sets without re-walking the module
 /// (`demand.relevance-{stored,replayed,stale}` counters).
 ///
+/// Since v3 the entry also carries a per-function record section: each
+/// function's seed membership (source/sink/deref/leak bits per checker) and
+/// its outgoing call-edge list, keyed on that function's post-SSA
+/// fingerprint. An edit no longer throws the whole pre-pass away — a warm
+/// run diffs fingerprints, re-scans only the dirty functions, reuses every
+/// clean function's seeds and edges, and recomputes the cones from the
+/// merged seed table (`refreshRelevanceArtifact`, DESIGN.md section 15).
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef PINPOINT_SVFA_DEMAND_H
@@ -49,8 +57,10 @@
 #include "checkers/Checker.h"
 #include "ir/CallGraph.h"
 
+#include <cstdint>
 #include <map>
 #include <string>
+#include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
@@ -89,6 +99,34 @@ struct RelevanceSet {
   bool relevant(const ir::Function *F) const { return All || Fns.count(F); }
 };
 
+/// One function's persisted pre-pass facts, keyed on its post-SSA
+/// fingerprint. A warm run reuses the seed bits and call edges verbatim
+/// while the fingerprint still matches, so only edited functions pay a
+/// statement scan.
+struct FunctionRecord {
+  uint64_t FP = 0;
+  /// Bit 0: leak source (malloc with receiver). Bit 1: deref host (seed of
+  /// every DerefIsSink checker's sink cone). Scanned only when the spec
+  /// needs them; the spec key guards reuse, so the convention is stable.
+  uint8_t Flags = 0;
+  /// Parallel to RelevanceRecords::Checkers. Bit 0: contains a source site
+  /// of that checker. Bit 1: contains a syntactic sink site.
+  std::vector<uint8_t> SeedBits;
+  /// Sorted names of resolved callees (the live call-graph edge list).
+  std::vector<std::string> Callees;
+
+  static constexpr uint8_t LeakSrcFlag = 1;
+  static constexpr uint8_t DerefHostFlag = 2;
+};
+
+/// The per-function record table the v3 `relevance` entry persists beside
+/// the union sets. `Checkers` is the sorted CheckerSpec name list the seed
+/// bits index into (the leak pseudo-checker lives in FunctionRecord::Flags).
+struct RelevanceRecords {
+  std::vector<std::string> Checkers;
+  std::map<std::string, FunctionRecord> Fns;
+};
+
 /// The full pre-pass result: the union set the pipeline analyzes plus the
 /// per-checker slices the engines consume. This is what the `relevance`
 /// cache entry round-trips.
@@ -96,6 +134,8 @@ struct RelevanceArtifact {
   RelevanceSet Union;
   /// Keyed by CheckerSpec::Name. Each entry is All=false.
   std::map<std::string, RelevanceSet> PerChecker;
+  /// The per-function seed/edge table backing warm-run refresh.
+  RelevanceRecords Records;
 };
 
 /// Walks \p CG from the source/sink sites described by \p Spec and returns
@@ -103,10 +143,71 @@ struct RelevanceArtifact {
 RelevanceSet computeRelevance(const ir::CallGraph &CG, ir::Module &M,
                               const DemandSpec &Spec);
 
-/// As computeRelevance, but also returns the per-checker slices.
-RelevanceArtifact computeRelevanceArtifact(const ir::CallGraph &CG,
-                                           ir::Module &M,
-                                           const DemandSpec &Spec);
+/// As computeRelevance, but also returns the per-checker slices and the
+/// per-function records. \p FnFP, when non-null, supplies precomputed
+/// post-SSA fingerprints (the pipeline computes them once for SCC keys);
+/// otherwise fingerprints are taken here.
+RelevanceArtifact computeRelevanceArtifact(
+    const ir::CallGraph &CG, ir::Module &M, const DemandSpec &Spec,
+    const std::unordered_map<const ir::Function *, uint64_t> *FnFP = nullptr);
+
+//===----------------------------------------------------------------------===
+// Edit-localised refresh (DESIGN.md section 15)
+//===----------------------------------------------------------------------===
+
+/// How a warm run reacts to a stale-subject relevance entry whose spec key
+/// still matches (--relevance-refresh). Purely a performance policy: every
+/// mode yields a byte-identical artifact.
+enum class RelevanceRefreshMode {
+  Auto,  ///< Local while the dirty fraction stays under the threshold.
+  Full,  ///< Always rerun the full pre-pass (the pre-v3 behaviour).
+  Local, ///< Always take the dirty-cone path, whatever the dirty fraction.
+};
+
+/// What a refresh did, for the [demand] stats line and the scheduling hint.
+struct RelevanceRefreshStats {
+  /// Functions whose fingerprint changed or that are new in this module.
+  std::unordered_set<const ir::Function *> Dirty;
+  size_t DirtyFns = 0;
+  /// Functions whose statements were actually re-scanned for seeds — the
+  /// dirty set on the local path, the whole module on the full fallback.
+  size_t ScannedFns = 0;
+  /// Call edges carried over from clean functions' records.
+  size_t EdgesReused = 0;
+  /// True when the dirty-cone path ran (false = full fallback).
+  bool Local = false;
+  /// True when the diff proved the seed table and edge list unchanged and
+  /// the previous closure results were adopted without recomputation.
+  bool ClosureReused = false;
+};
+
+/// A persisted entry parsed but not resolved against any module: the record
+/// table plus the stored result sets as sorted name lists. This is what a
+/// stale-subject load surfaces for refresh — stored names may no longer
+/// resolve in the edited module, so resolution is deferred.
+struct StoredRelevance {
+  struct NamedSet {
+    uint64_t SourceFns = 0, SinkFns = 0;
+    std::vector<std::string> Names;
+  };
+  NamedSet Union;
+  std::vector<std::pair<std::string, NamedSet>> PerChecker;
+  RelevanceRecords Records;
+};
+
+/// Rebuilds the artifact for the *current* module from a previous run's
+/// persisted entry: functions whose fingerprint still matches reuse their
+/// persisted seed bits and call edges, dirty functions are re-scanned, and
+/// the callers*/callees* cones are recomputed over the live call graph from
+/// the merged seed table — or adopted wholesale from the stored sets when
+/// the diff shows no seed or edge delta at all. Falls back to the full
+/// pre-pass when \p Mode says so or (Auto) the dirty fraction exceeds the
+/// threshold.
+RelevanceArtifact refreshRelevanceArtifact(
+    const ir::CallGraph &CG, ir::Module &M, const DemandSpec &Spec,
+    const StoredRelevance &Prev,
+    const std::unordered_map<const ir::Function *, uint64_t> &FnFP,
+    RelevanceRefreshMode Mode, RelevanceRefreshStats &Stats);
 
 //===----------------------------------------------------------------------===
 // Persistence (the `relevance` cache entry)
@@ -131,6 +232,23 @@ uint64_t relevanceSpecKey(const DemandSpec &Spec);
 RelevanceLoadStatus loadRelevance(const std::string &Dir, uint64_t SubjectFP,
                                   uint64_t SpecKey, const ir::Module &M,
                                   RelevanceArtifact &Out);
+
+/// Extended load for the warm-refresh path.
+struct RelevanceLoadResult {
+  RelevanceLoadStatus Status = RelevanceLoadStatus::Missing;
+  /// Resolved artifact; filled only when Status == Ok.
+  RelevanceArtifact Artifact;
+  /// The unresolved entry; filled when StoredUsable.
+  StoredRelevance Stored;
+  /// True for a Stale entry whose spec key matches and whose payload parsed
+  /// (subject fingerprint differs): `Stored` can seed a localized refresh.
+  /// Version- or spec-mismatched entries are never usable — their seed-bit
+  /// layout belongs to another format or checker set.
+  bool StoredUsable = false;
+};
+
+RelevanceLoadResult loadRelevanceEx(const std::string &Dir, uint64_t SubjectFP,
+                                    uint64_t SpecKey, const ir::Module &M);
 
 /// Atomically (tmp + rename) stores \p A as the `relevance` entry in \p Dir.
 /// Returns false on I/O failure.

@@ -430,10 +430,14 @@ AnalyzedModule::AnalyzedModule(ir::Module &M, smt::ExprContext &Ctx,
 
   // SSA first for every function — the call graph and rewriting do not
   // change CFG shape, and rewriting emits SSA-compatible fresh variables.
+  auto SSAStart = std::chrono::steady_clock::now();
   for (ir::Function *F : M.functions()) {
     F->recomputeCFGEdges();
     ir::constructSSA(*F);
   }
+  Phases.SSA = std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                             SSAStart)
+                   .count();
 
   CG = std::make_unique<ir::CallGraph>(M);
   const std::vector<ir::CallGraph::SCCNode> &SCCs = CG->sccs();
@@ -447,6 +451,7 @@ AnalyzedModule::AnalyzedModule(ir::Module &M, smt::ExprContext &Ctx,
   SCCOwnTaint.assign(SCCs.size(), 0);
   SCCTaint.assign(SCCs.size(), 0);
   Cache = Opts.Cache;
+  ir::ModuleFingerprints FnFP;
   if (Cache) {
     // Transitive content keys over the condensation. SCC ids are
     // topological (callee < caller), so one ascending pass sees every
@@ -460,25 +465,24 @@ AnalyzedModule::AnalyzedModule(ir::Module &M, smt::ExprContext &Ctx,
     ConfigH.u64(static_cast<uint64_t>(Gov.budget().MaxFunctionStmts));
     uint64_t ConfigKey = ConfigH.digest();
 
+    // One fingerprint sweep feeds the SCC keys, the whole-subject
+    // fingerprint (run journal + relevance entry: an artifact from a
+    // different subject must never feed the resume accounting or the
+    // pre-pass replay, even when individual SCC keys happen to collide
+    // across subjects), and the per-function relevance records' dirty diff.
+    FnFP = ir::fingerprintModule(M);
+    SubjectFP = FnFP.Subject;
+
     SCCKeys.resize(SCCs.size());
     for (size_t I = 0; I < SCCs.size(); ++I) {
       Hasher H;
       H.u64(ConfigKey);
       for (const ir::Function *F : SCCs[I].Members)
-        H.u64(ir::fingerprintFunction(*F));
+        H.u64(FnFP.PerFn.at(F));
       for (size_t Callee : SCCs[I].CalleeSCCs)
         H.u64(SCCKeys[Callee]);
       SCCKeys[I] = H.digest();
     }
-
-    // Whole-subject fingerprint for the run journal and the persisted
-    // relevance entry: an artifact from a different subject must never
-    // feed the resume accounting or the pre-pass replay, even when
-    // individual SCC keys happen to collide across subjects.
-    Hasher SubjectH;
-    for (const ir::Function *F : M.functions())
-      SubjectH.u64(ir::fingerprintFunction(*F));
-    SubjectFP = SubjectH.digest();
   }
 
   // Demand relevance pre-pass: runs on the post-SSA call graph, before any
@@ -489,33 +493,70 @@ AnalyzedModule::AnalyzedModule(ir::Module &M, smt::ExprContext &Ctx,
   // runs replay it and skip the pre-pass entirely.
   if (Opts.Demand) {
     DemandOn = true;
+    auto PrepassStart = std::chrono::steady_clock::now();
     uint64_t SpecKey = 0;
-    bool Replayed = false;
+    bool Done = false;
+    RefreshMode = "cold";
+    std::unordered_set<const ir::Function *> DirtySet;
     if (Cache) {
       SpecKey = relevanceSpecKey(*Opts.Demand);
-      RelevanceArtifact A;
-      switch (loadRelevance(Cache->directory(), SubjectFP, SpecKey, M, A)) {
+      RelevanceLoadResult LR =
+          loadRelevanceEx(Cache->directory(), SubjectFP, SpecKey, M);
+      switch (LR.Status) {
       case RelevanceLoadStatus::Ok:
-        Rel = std::move(A.Union);
-        PerChecker = std::move(A.PerChecker);
-        Replayed = true;
+        Rel = std::move(LR.Artifact.Union);
+        PerChecker = std::move(LR.Artifact.PerChecker);
+        Done = true;
+        RefreshMode = "replay";
         Counters::get().add("demand.relevance-replayed", 1);
         break;
-      case RelevanceLoadStatus::Stale:
-        // Different subject or checker set: recompute and overwrite.
+      case RelevanceLoadStatus::Stale: {
+        // Different subject or checker set: the entry cannot replay.
         Counters::get().add("demand.relevance-stale", 1);
+        RefreshMode = "full";
+        if (LR.StoredUsable &&
+            Opts.RelevanceRefresh != RelevanceRefreshMode::Full) {
+          // Same spec, edited subject: diff per-function fingerprints and
+          // rebuild from the dirty frontier instead of re-walking the
+          // whole module (DESIGN.md section 15).
+          RelevanceRefreshStats RS;
+          RelevanceArtifact A =
+              refreshRelevanceArtifact(*CG, M, *Opts.Demand, LR.Stored,
+                                       FnFP.PerFn, Opts.RelevanceRefresh, RS);
+          Counters::get().add("demand.prepass-fns",
+                              static_cast<int64_t>(RS.ScannedFns));
+          Counters::get().add("demand.dirty-fns",
+                              static_cast<int64_t>(RS.DirtyFns));
+          Counters::get().add("demand.edges-reused",
+                              static_cast<int64_t>(RS.EdgesReused));
+          DirtyFns = RS.DirtyFns;
+          ReusedEdges = RS.EdgesReused;
+          if (RS.Local) {
+            RefreshMode = "local";
+            DirtySet = std::move(RS.Dirty);
+          }
+          if (Cache->writable() &&
+              storeRelevance(Cache->directory(), SubjectFP, SpecKey, A))
+            Counters::get().add("demand.relevance-stored", 1);
+          Rel = std::move(A.Union);
+          PerChecker = std::move(A.PerChecker);
+          Done = true;
+        }
         break;
+      }
       case RelevanceLoadStatus::Corrupt:
         Gov.note(DegradationKind::CacheCorrupt, "demand", "",
                  "relevance entry unreadable; recomputing pre-pass");
         Counters::get().add("cache.corrupt", 1);
+        RefreshMode = "full";
         break;
       case RelevanceLoadStatus::Missing:
         break;
       }
     }
-    if (!Replayed) {
-      RelevanceArtifact A = computeRelevanceArtifact(*CG, M, *Opts.Demand);
+    if (!Done) {
+      RelevanceArtifact A = computeRelevanceArtifact(
+          *CG, M, *Opts.Demand, Cache ? &FnFP.PerFn : nullptr);
       // Pre-pass cost proxy: functions walked computing the sets. Zero on
       // a warm replay — the CI smoke greps exactly that.
       Counters::get().add("demand.prepass-fns",
@@ -528,6 +569,29 @@ AnalyzedModule::AnalyzedModule(ir::Module &M, smt::ExprContext &Ctx,
     }
     for (const ir::Function *F : CG->bottomUpOrder())
       Rel.relevant(F) ? ++RelevantFns : ++SkippedFns;
+
+    // Scheduling hint: SCCs holding a dirty function, closed under callers
+    // over the condensation (ids are topological, callee < caller, so one
+    // ascending pass suffices). Consumed by the steal-mode ranks below —
+    // the refreshed cone has real work to do, cached clean SCCs mostly
+    // replay, so the cone drains first and hides cache I/O behind it.
+    if (!DirtySet.empty()) {
+      DirtySCCHint.assign(SCCs.size(), 0);
+      for (const ir::Function *F : DirtySet)
+        DirtySCCHint[CG->sccOf(F)] = 1;
+      for (size_t I = 0; I < SCCs.size(); ++I) {
+        if (DirtySCCHint[I])
+          continue;
+        for (size_t Callee : SCCs[I].CalleeSCCs)
+          if (DirtySCCHint[Callee]) {
+            DirtySCCHint[I] = 1;
+            break;
+          }
+      }
+    }
+    Phases.Prepass = std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - PrepassStart)
+                         .count();
   }
 
   // Resolve the set the memory plan is keyed on (only consulted when a
@@ -628,6 +692,19 @@ AnalyzedModule::AnalyzedModule(ir::Module &M, smt::ExprContext &Ctx,
       for (size_t Dep : Dependents[I])
         R = std::max(R, Rank[Dep]);
       Rank[I] = Cost[I] + R;
+    }
+    // Warm-refresh dirty-cone hint: lift every SCC in the edited cone
+    // above the highest clean rank, so the re-analysed frontier dispatches
+    // first and cached clean SCCs drain behind it. Pure dispatch ordering
+    // — dependencies and result slots are untouched, so output stays
+    // byte-identical.
+    if (!DirtySCCHint.empty()) {
+      uint64_t MaxR = 0;
+      for (uint64_t R : Rank)
+        MaxR = std::max(MaxR, R);
+      for (size_t I = 0; I < SCCs.size(); ++I)
+        if (DirtySCCHint[I])
+          Rank[I] += MaxR + 1;
     }
     Counters::get().add("sched.ranked-sccs",
                         static_cast<int64_t>(SCCs.size()));

@@ -103,6 +103,11 @@ struct PipelineOptions {
   /// the plan (and the pre-degraded SCC set) is identical across modes.
   /// nullptr = plan on the analysis slice (Demand if set, else everything).
   const DemandSpec *PlanDemand = nullptr;
+  /// How a warm run reacts to a stale-subject relevance entry whose spec
+  /// key still matches (--relevance-refresh): localized dirty-cone refresh,
+  /// full pre-pass, or the auto threshold between them. Pure performance
+  /// policy — never part of any cache key, never changes a byte of output.
+  RelevanceRefreshMode RelevanceRefresh = RelevanceRefreshMode::Auto;
 };
 
 /// Owns the analysed state of a whole module.
@@ -179,6 +184,25 @@ public:
     auto It = PerChecker.find(Name);
     return It == PerChecker.end() ? nullptr : &It->second;
   }
+  /// How this run obtained its relevance sets: "off" (no demand), "cold"
+  /// (computed with no usable persisted entry), "replay" (exact warm hit),
+  /// "local" (edit-localised refresh from per-function records), or "full"
+  /// (stale entry, full recompute) — the [demand] refresh-mode field.
+  const std::string &relevanceRefreshMode() const { return RefreshMode; }
+  /// Functions whose fingerprint the warm refresh found changed/new, and
+  /// call edges it carried over from clean records (both 0 outside the
+  /// refresh path) — the [demand] dirty-fns / edges-reused fields.
+  size_t dirtyFunctions() const { return DirtyFns; }
+  size_t reusedEdges() const { return ReusedEdges; }
+
+  /// Wall seconds of the constructor's serial stages, for the [phase]
+  /// stats line: SSA construction and the demand pre-pass (load / refresh
+  /// / compute / store). The remainder of the constructor is the per-SCC
+  /// pipeline itself.
+  struct PhaseSeconds {
+    double SSA = 0, Prepass = 0;
+  };
+  const PhaseSeconds &phaseSeconds() const { return Phases; }
 
 private:
   /// One-shot note guards shared by every analyzeOne call of a run, so
@@ -257,6 +281,14 @@ private:
   std::map<std::string, RelevanceSet> PerChecker;
   bool DemandOn = false;
   size_t RelevantFns = 0, SkippedFns = 0;
+  std::string RefreshMode = "off";
+  size_t DirtyFns = 0, ReusedEdges = 0;
+  /// Scheduling hint from the warm refresh: SCCs containing a dirty
+  /// function, closed under callers over the condensation. Ranked first in
+  /// steal mode so the re-analysed cone drains ahead of cached clean SCCs
+  /// (pure dispatch order; empty when no refresh ran).
+  std::vector<uint8_t> DirtySCCHint;
+  PhaseSeconds Phases;
   /// The set the memory plan is keyed on (All = true models everything;
   /// see PipelineOptions::PlanDemand).
   RelevanceSet PlanRel;

@@ -31,6 +31,14 @@
 ///                       Reports and the degradation log are byte-identical
 ///                       across modes; only speed, memory and the [demand]
 ///                       counters change.
+///     --relevance-refresh=MODE  auto | full | local (default auto): how a
+///                       warm run reacts to a persisted relevance entry
+///                       from an edited subject (DESIGN.md section 15).
+///                       `local` diffs per-function fingerprints and
+///                       re-scans only the dirty cone, `full` always reruns
+///                       the whole pre-pass, `auto` picks local below a
+///                       dirty-fraction threshold. Pure performance policy:
+///                       reports are byte-identical across modes.
 ///     --dump-ir         print the transformed IR
 ///     --stats           print pipeline and solver statistics
 ///     --jobs=N          worker threads (default 1 = serial; 0 = all
@@ -129,6 +137,7 @@ struct Options {
   long long RetryTransient = 2;
   long long Jobs = 1;
   std::string Schedule = "steal"; ///< "steal" or "fifo".
+  std::string RelevanceRefresh = "auto"; ///< "auto", "full" or "local".
   std::string FaultSpec;
   std::string CacheDir;
   std::string CacheMode; ///< "", "off", "read" or "readwrite".
@@ -146,6 +155,8 @@ void usage() {
       "+ conjunct slicing\n"
       "  --demand=MODE            on | off (default on): demand-driven "
       "value-flow slicing\n"
+      "  --relevance-refresh=MODE auto | full | local (default auto): warm-"
+      "run relevance refresh policy for edited subjects\n"
       "  --dump-ir                print the transformed IR\n"
       "  --stats                  print statistics\n"
       "  --jobs=N                 worker threads (default 1 = serial, 0 = "
@@ -291,6 +302,16 @@ ParseResult parseArgs(int Argc, char **Argv, Options &O) {
         return ParseResult::Error;
       }
       O.Demand = Mode == "on";
+    } else if (A.rfind("--relevance-refresh=", 0) == 0) {
+      O.RelevanceRefresh = A.substr(std::strlen("--relevance-refresh="));
+      if (O.RelevanceRefresh != "auto" && O.RelevanceRefresh != "full" &&
+          O.RelevanceRefresh != "local") {
+        std::fprintf(stderr,
+                     "error: invalid --relevance-refresh value '%s' "
+                     "(expected auto, full or local)\n",
+                     O.RelevanceRefresh.c_str());
+        return ParseResult::Error;
+      }
     } else if (A == "--no-path-sensitivity") {
       O.PathSensitive = false;
     } else if (A == "--no-linear-filter") {
@@ -372,6 +393,7 @@ int pinpointToolMain(int Argc, char **Argv) {
   }
 
   // Read & concatenate the inputs (one module).
+  Timer ParseT;
   std::string Source;
   for (const std::string &File : O.Files) {
     std::ifstream In(File);
@@ -392,6 +414,7 @@ int pinpointToolMain(int Argc, char **Argv) {
       std::fprintf(stderr, "error: %s\n", D.str().c_str());
     return 2;
   }
+  const double ParseSec = ParseT.seconds();
 
   // Assemble the resource governor: budgets + fault injection.
   Budget Bud;
@@ -472,6 +495,11 @@ int pinpointToolMain(int Argc, char **Argv) {
     PO.Cache = Cache.get();
     PO.Demand = O.Demand ? &DS : nullptr;
     PO.PlanDemand = &DS;
+    PO.RelevanceRefresh = O.RelevanceRefresh == "full"
+                              ? svfa::RelevanceRefreshMode::Full
+                          : O.RelevanceRefresh == "local"
+                              ? svfa::RelevanceRefreshMode::Local
+                              : svfa::RelevanceRefreshMode::Auto;
     svfa::AnalyzedModule AM(M, Ctx, PO);
     double PipelineSec = Total.seconds();
 
@@ -534,6 +562,7 @@ int pinpointToolMain(int Argc, char **Argv) {
       }
     };
 
+    Timer DischargeT;
     if (Pool) {
       ThreadPool::TaskGroup G(*Pool);
       for (size_t Idx = 0; Idx < O.Checkers.size(); ++Idx)
@@ -543,6 +572,8 @@ int pinpointToolMain(int Argc, char **Argv) {
       for (size_t Idx = 0; Idx < O.Checkers.size(); ++Idx)
         runChecker(Idx);
     }
+    const double DischargeSec = DischargeT.seconds();
+    Timer ReportT;
 
     // --- Flush. Every post-analysis exit goes through this block so an
     // interrupted run still emits its partial report, statistics,
@@ -608,6 +639,19 @@ int pinpointToolMain(int Argc, char **Argv) {
                   "%.3fs total, %.1f MB peak\n",
                   M.functions().size(), AM.totalSEGEdges(), PipelineSec,
                   Total.seconds(), MemStats::get().peakBytes() / 1e6);
+      // Per-stage wall clock, so an incremental win (or a regression) is
+      // attributable without a profiler: parse = read+parse, ssa/prepass
+      // come from the pipeline constructor, pipeline = the per-SCC stages
+      // proper, discharge = the checker/solver runs, report = the flush up
+      // to this line. Wall times are interleaving- and load-dependent, so
+      // like [sched] this line is exempt from the cross-run determinism
+      // contract (harnesses filter it).
+      const svfa::AnalyzedModule::PhaseSeconds &PS = AM.phaseSeconds();
+      std::printf("[phase] parse=%.3fs ssa=%.3fs prepass=%.3fs "
+                  "pipeline=%.3fs discharge=%.3fs report=%.3fs\n",
+                  ParseSec, PS.SSA, PS.Prepass,
+                  std::max(0.0, PipelineSec - PS.SSA - PS.Prepass),
+                  DischargeSec, ReportT.seconds());
       // Intern-table health of the shared expression context: node ids are
       // allocation-order dependent, so these figures may differ across
       // --jobs values (new observability counters, not a determinism
@@ -619,12 +663,13 @@ int pinpointToolMain(int Argc, char **Argv) {
       if (Cache) {
         Counters &C = Counters::get();
         std::printf("[cache] hits=%lld misses=%lld invalidated=%lld "
-                    "corrupt=%lld stored=%lld\n",
+                    "corrupt=%lld stored=%lld gc-tmp=%lld\n",
                     (long long)C.value("cache.hits"),
                     (long long)C.value("cache.misses"),
                     (long long)C.value("cache.invalidated"),
                     (long long)C.value("cache.corrupt"),
-                    (long long)C.value("cache.stored"));
+                    (long long)C.value("cache.stored"),
+                    (long long)C.value("cache.gc-tmp"));
       }
       // Demand-slicing counters. Like [pipeline]/[exprs], this line
       // reflects the work performed, not the findings, so it is exempt
@@ -638,7 +683,8 @@ int pinpointToolMain(int Argc, char **Argv) {
                     "source-fns=%zu sink-fns=%zu lazy-reach-rows=%lld "
                     "csr-bytes=%lld cg-csr-bytes=%lld relevance-stored=%lld "
                     "relevance-replayed=%lld relevance-stale=%lld "
-                    "prepass-fns=%lld\n",
+                    "prepass-fns=%lld dirty-fns=%lld edges-reused=%lld "
+                    "refresh-mode=%s\n",
                     AM.relevantFunctions(), AM.skippedFunctions(),
                     AM.sourceFunctions(), AM.sinkFunctions(),
                     (long long)C.value("svfa.lazy-reach-rows"),
@@ -647,7 +693,10 @@ int pinpointToolMain(int Argc, char **Argv) {
                     (long long)C.value("demand.relevance-stored"),
                     (long long)C.value("demand.relevance-replayed"),
                     (long long)C.value("demand.relevance-stale"),
-                    (long long)C.value("demand.prepass-fns"));
+                    (long long)C.value("demand.prepass-fns"),
+                    (long long)C.value("demand.dirty-fns"),
+                    (long long)C.value("demand.edges-reused"),
+                    AM.relevanceRefreshMode().c_str());
       }
       // Run-lifecycle counters, gated on something in the layer being
       // active so no-budget/no-signal/no-fault runs keep byte-identical

@@ -17,6 +17,11 @@
 ///  * the persisted `relevance` cache entry: round-trip, staleness on
 ///    subject or spec change, corruption detection, and the warm-run replay
 ///    that skips the pre-pass entirely;
+///  * the edit-localised warm refresh (DESIGN.md section 15): the v3
+///    per-function record section, the dirty-fingerprint diff, seed/edge
+///    reuse for clean functions, the closure-reuse fast path, the auto
+///    threshold fallback, and the rule that v1/v2 entries reload as Stale
+///    (recompute silently) rather than Corrupt;
 ///  * CLI differentials proving sink-intersected runs emit byte-identical
 ///    reports and degradation logs to `--demand=off` at --jobs 1 and 4
 ///    (per checker and for the union run);
@@ -33,6 +38,9 @@
 #include "checkers/SpecialCheckers.h"
 #include "frontend/Parser.h"
 #include "ir/CallGraph.h"
+#include "ir/Fingerprint.h"
+#include "support/Hasher.h"
+#include "support/Serializer.h"
 #include "support/Statistics.h"
 #include "svfa/Demand.h"
 #include "svfa/GlobalSVFA.h"
@@ -493,6 +501,314 @@ TEST_F(RelevancePersistTest, UnknownFunctionNameIsCorrupt) {
             svfa::RelevanceLoadStatus::Corrupt);
 }
 
+TEST_F(RelevancePersistTest, V3RecordsRoundTrip) {
+  parse(sinkSubject());
+  TempDir T("records");
+  svfa::DemandSpec DS = taintSpec();
+  const uint64_t Key = svfa::relevanceSpecKey(DS);
+  ir::ModuleFingerprints FP = ir::fingerprintModule(M);
+  svfa::RelevanceArtifact A =
+      svfa::computeRelevanceArtifact(*CG, M, DS, &FP.PerFn);
+  // The record table covers every function with its live fingerprint.
+  ASSERT_EQ(A.Records.Checkers.size(), 1u);
+  ASSERT_EQ(A.Records.Fns.size(), M.functions().size());
+  for (const ir::Function *F : M.functions())
+    EXPECT_EQ(A.Records.Fns.at(F->name()).FP, FP.PerFn.at(F)) << F->name();
+  // srcCaller's single resolved callee is recorded by name.
+  EXPECT_EQ(A.Records.Fns.at("srcCaller").Callees,
+            std::vector<std::string>{"srcOnly"});
+
+  ASSERT_TRUE(svfa::storeRelevance(T.file(""), FP.Subject, Key, A));
+  svfa::RelevanceLoadResult R =
+      svfa::loadRelevanceEx(T.file(""), FP.Subject, Key, M);
+  ASSERT_EQ(R.Status, svfa::RelevanceLoadStatus::Ok);
+  ASSERT_EQ(R.Artifact.Records.Fns.size(), A.Records.Fns.size());
+  for (const auto &[Name, Rec] : A.Records.Fns) {
+    const svfa::FunctionRecord &Got = R.Artifact.Records.Fns.at(Name);
+    EXPECT_EQ(Got.FP, Rec.FP) << Name;
+    EXPECT_EQ(Got.Flags, Rec.Flags) << Name;
+    EXPECT_EQ(Got.SeedBits, Rec.SeedBits) << Name;
+    EXPECT_EQ(Got.Callees, Rec.Callees) << Name;
+  }
+
+  // A stale-subject load surfaces the unresolved entry for refresh.
+  svfa::RelevanceLoadResult S =
+      svfa::loadRelevanceEx(T.file(""), FP.Subject ^ 1, Key, M);
+  EXPECT_EQ(S.Status, svfa::RelevanceLoadStatus::Stale);
+  EXPECT_TRUE(S.StoredUsable);
+  EXPECT_EQ(S.Stored.Records.Fns.size(), A.Records.Fns.size());
+  // ... but a stale-spec load never exposes records: the seed-bit layout
+  // belongs to another checker set.
+  svfa::RelevanceLoadResult K =
+      svfa::loadRelevanceEx(T.file(""), FP.Subject, Key ^ 1, M);
+  EXPECT_EQ(K.Status, svfa::RelevanceLoadStatus::Stale);
+  EXPECT_FALSE(K.StoredUsable);
+}
+
+/// Writes a well-formed `relevance` entry with an arbitrary (older) format
+/// version: correct magic, checksummed payload — only the version differs.
+void writeLegacyRelevanceEntry(const std::string &Path, uint32_t Version) {
+  ByteWriter PW;
+  PW.u32(0);
+  std::vector<uint8_t> Payload = PW.take();
+  ByteWriter W;
+  const char Magic[4] = {'P', 'P', 'R', 'L'};
+  for (char C : Magic)
+    W.u8(static_cast<uint8_t>(C));
+  W.u32(Version);
+  W.u64(0); // subject fingerprint (never reached)
+  W.u64(0); // spec key (never reached)
+  W.u64(Hasher().bytes(Payload.data(), Payload.size()).digest());
+  W.u32(static_cast<uint32_t>(Payload.size()));
+  std::vector<uint8_t> Bytes = W.take();
+  Bytes.insert(Bytes.end(), Payload.begin(), Payload.end());
+  std::ofstream Out(Path, std::ios::binary | std::ios::trunc);
+  Out.write(reinterpret_cast<const char *>(Bytes.data()),
+            static_cast<std::streamsize>(Bytes.size()));
+}
+
+TEST_F(RelevancePersistTest, OlderFormatVersionsReloadAsStale) {
+  parse(sinkSubject());
+  TempDir T("downgrade");
+  svfa::DemandSpec DS = taintSpec();
+  const uint64_t Key = svfa::relevanceSpecKey(DS);
+  // A v1 or v2 entry is an honest leftover of an older build, not damage:
+  // it must read as Stale (silent recompute), never Corrupt — and it can
+  // never seed a refresh, whose seed-bit layout is v3-only.
+  for (uint32_t Version : {1u, 2u}) {
+    writeLegacyRelevanceEntry(T.file("relevance"), Version);
+    svfa::RelevanceArtifact B;
+    EXPECT_EQ(svfa::loadRelevance(T.file(""), 0x5EED, Key, M, B),
+              svfa::RelevanceLoadStatus::Stale)
+        << "version " << Version;
+    svfa::RelevanceLoadResult R =
+        svfa::loadRelevanceEx(T.file(""), 0x5EED, Key, M);
+    EXPECT_EQ(R.Status, svfa::RelevanceLoadStatus::Stale);
+    EXPECT_FALSE(R.StoredUsable) << "version " << Version;
+  }
+}
+
+//===----------------------------------------------------------------------===
+// Edit-localised refresh (DESIGN.md section 15)
+//===----------------------------------------------------------------------===
+
+/// One parsed subject with its call graph and fingerprints — refresh tests
+/// hold two of these (the stored world and the edited world).
+struct RefreshSubject {
+  ir::Module M;
+  std::unique_ptr<ir::CallGraph> CG;
+  ir::ModuleFingerprints FP;
+};
+
+void loadRefreshSubject(RefreshSubject &S, const std::string &Src) {
+  std::vector<frontend::Diag> Diags;
+  ASSERT_TRUE(frontend::parseModule(Src, S.M, Diags))
+      << (Diags.empty() ? "" : Diags[0].str());
+  S.CG = std::make_unique<ir::CallGraph>(S.M);
+  S.FP = ir::fingerprintModule(S.M);
+}
+
+/// Module-independent equality view of a relevance set: seed counts plus
+/// sorted member names.
+std::vector<std::string> refreshSetView(const svfa::RelevanceSet &S) {
+  std::vector<std::string> Out;
+  Out.push_back("src=" + std::to_string(S.SourceFns) +
+                " snk=" + std::to_string(S.SinkFns));
+  std::vector<std::string> Names;
+  for (const ir::Function *F : S.Fns)
+    Names.push_back(F->name());
+  std::sort(Names.begin(), Names.end());
+  Out.insert(Out.end(), Names.begin(), Names.end());
+  return Out;
+}
+
+std::vector<std::vector<std::string>>
+refreshView(const svfa::RelevanceArtifact &A) {
+  std::vector<std::vector<std::string>> Out;
+  Out.push_back(refreshSetView(A.Union));
+  for (const auto &[Name, S] : A.PerChecker) {
+    Out.push_back({Name});
+    Out.push_back(refreshSetView(S));
+  }
+  return Out;
+}
+
+/// sinkSubject with \p From replaced by \p To.
+std::string editedSinkSubject(const std::string &From, const std::string &To) {
+  std::string S = sinkSubject();
+  size_t Pos = S.find(From);
+  EXPECT_NE(Pos, std::string::npos) << From;
+  if (Pos != std::string::npos)
+    S.replace(Pos, From.size(), To);
+  return S;
+}
+
+class RelevanceRefreshTest : public ::testing::Test {
+protected:
+  svfa::DemandSpec taintSpec() {
+    svfa::DemandSpec DS;
+    DS.Checkers.push_back(checkers::pathTraversalChecker());
+    return DS;
+  }
+  /// Stores the original subject's artifact, reloads it against the edited
+  /// subject (asserting Stale + StoredUsable), and returns the refreshed
+  /// artifact for comparison against a cold compute on the edited module.
+  svfa::RelevanceArtifact refreshAgainst(RefreshSubject &Orig,
+                                         RefreshSubject &Edited,
+                                         svfa::RelevanceRefreshMode Mode,
+                                         svfa::RelevanceRefreshStats &Stats) {
+    TempDir T("refresh");
+    svfa::DemandSpec DS = taintSpec();
+    const uint64_t Key = svfa::relevanceSpecKey(DS);
+    svfa::RelevanceArtifact A =
+        svfa::computeRelevanceArtifact(*Orig.CG, Orig.M, DS, &Orig.FP.PerFn);
+    EXPECT_TRUE(svfa::storeRelevance(T.file(""), Orig.FP.Subject, Key, A));
+    svfa::RelevanceLoadResult L =
+        svfa::loadRelevanceEx(T.file(""), Edited.FP.Subject, Key, Edited.M);
+    EXPECT_EQ(L.Status, svfa::RelevanceLoadStatus::Stale);
+    EXPECT_TRUE(L.StoredUsable);
+    return svfa::refreshRelevanceArtifact(*Edited.CG, Edited.M, DS, L.Stored,
+                                          Edited.FP.PerFn, Mode, Stats);
+  }
+};
+
+TEST_F(RelevanceRefreshTest, LocalRefreshMatchesColdOnSeedChangingEdit) {
+  RefreshSubject Orig, Edited;
+  loadRefreshSubject(Orig, sinkSubject());
+  // srcOnly gains a sink call: its region flips from pruned to relevant,
+  // so the cones genuinely have to be recomputed from the merged seeds.
+  loadRefreshSubject(
+      Edited,
+      editedSinkSubject(
+          "int srcOnly(int c) { int v = read_input(); return v; }",
+          "int srcOnly(int c) { int v = read_input(); open(v); return v; }"));
+
+  svfa::RelevanceRefreshStats Stats;
+  svfa::RelevanceArtifact R = refreshAgainst(
+      Orig, Edited, svfa::RelevanceRefreshMode::Auto, Stats);
+  EXPECT_TRUE(Stats.Local);
+  EXPECT_FALSE(Stats.ClosureReused);
+  EXPECT_EQ(Stats.DirtyFns, 1u);
+  EXPECT_EQ(Stats.ScannedFns, 1u);
+  EXPECT_GT(Stats.EdgesReused, 0u);
+  ASSERT_EQ(Stats.Dirty.size(), 1u);
+  EXPECT_EQ((*Stats.Dirty.begin())->name(), "srcOnly");
+
+  svfa::RelevanceArtifact Cold =
+      svfa::computeRelevanceArtifact(*Edited.CG, Edited.M, taintSpec());
+  EXPECT_EQ(refreshView(R), refreshView(Cold));
+  // The refresh really changed the result: the srcOnly region is now kept.
+  EXPECT_TRUE(R.Union.Fns.count(Edited.M.function("srcOnly")));
+  EXPECT_TRUE(R.Union.Fns.count(Edited.M.function("srcCaller")));
+
+  // The refreshed artifact round-trips as a first-class v3 entry.
+  TempDir T("restore");
+  const uint64_t Key = svfa::relevanceSpecKey(taintSpec());
+  ASSERT_TRUE(svfa::storeRelevance(T.file(""), Edited.FP.Subject, Key, R));
+  svfa::RelevanceArtifact Re;
+  EXPECT_EQ(svfa::loadRelevance(T.file(""), Edited.FP.Subject, Key, Edited.M,
+                                Re),
+            svfa::RelevanceLoadStatus::Ok);
+  EXPECT_EQ(refreshView(Re), refreshView(Cold));
+}
+
+TEST_F(RelevanceRefreshTest, ConeNeutralEditReusesStoredClosure) {
+  RefreshSubject Orig, Edited;
+  loadRefreshSubject(Orig, sinkSubject());
+  // A body edit that touches no source/sink/call site: one function is
+  // dirty, but the merged seed table and edge lists are unchanged, so the
+  // stored closure results are adopted without walking a single cone.
+  loadRefreshSubject(
+      Edited, editedSinkSubject(
+                  "int srcOnly(int c) { int v = read_input(); return v; }",
+                  "int srcOnly(int c) { int v = read_input(); int zq = 7; "
+                  "return v; }"));
+
+  svfa::RelevanceRefreshStats Stats;
+  svfa::RelevanceArtifact R = refreshAgainst(
+      Orig, Edited, svfa::RelevanceRefreshMode::Auto, Stats);
+  EXPECT_TRUE(Stats.Local);
+  EXPECT_TRUE(Stats.ClosureReused);
+  EXPECT_EQ(Stats.DirtyFns, 1u);
+  EXPECT_EQ(Stats.ScannedFns, 1u);
+
+  svfa::RelevanceArtifact Cold =
+      svfa::computeRelevanceArtifact(*Edited.CG, Edited.M, taintSpec());
+  EXPECT_EQ(refreshView(R), refreshView(Cold));
+  // The adopted records still carry the *new* fingerprint, so the stored
+  // refresh replays on the next run instead of re-dirtying srcOnly.
+  EXPECT_EQ(R.Records.Fns.at("srcOnly").FP,
+            Edited.FP.PerFn.at(Edited.M.function("srcOnly")));
+}
+
+TEST_F(RelevanceRefreshTest, AddedAndDeletedFunctionsForceConeRecompute) {
+  RefreshSubject Orig, Edited;
+  loadRefreshSubject(Orig, sinkSubject());
+  // filler disappears and a new caller of srcCaller appears: definition-set
+  // changes can re/un-resolve call edges anywhere, so the closure-reuse
+  // fast path must be refused even though the edit is small.
+  std::string Src = editedSinkSubject(
+      "int filler(int *p) { int *q = p; return *q; }\n", "");
+  Src += "int extra(int c) { int r = srcCaller(c); return r; }\n";
+  loadRefreshSubject(Edited, Src);
+
+  svfa::RelevanceRefreshStats Stats;
+  svfa::RelevanceArtifact R = refreshAgainst(
+      Orig, Edited, svfa::RelevanceRefreshMode::Auto, Stats);
+  EXPECT_TRUE(Stats.Local);
+  EXPECT_FALSE(Stats.ClosureReused);
+  EXPECT_EQ(Stats.DirtyFns, 1u); // only the new definition is dirty
+  ASSERT_EQ(Stats.Dirty.size(), 1u);
+  EXPECT_EQ((*Stats.Dirty.begin())->name(), "extra");
+
+  svfa::RelevanceArtifact Cold =
+      svfa::computeRelevanceArtifact(*Edited.CG, Edited.M, taintSpec());
+  EXPECT_EQ(refreshView(R), refreshView(Cold));
+}
+
+TEST_F(RelevanceRefreshTest, AutoThresholdFallsBackToFull) {
+  RefreshSubject Orig, Edited;
+  loadRefreshSubject(Orig, sinkSubject());
+  // Three of eight functions edited (37% > the ~30% threshold): Auto falls
+  // back to the plain full pre-pass, Local forces the dirty-cone path —
+  // and both produce the identical artifact.
+  std::string Src = editedSinkSubject(
+      "int srcOnly(int c) { int v = read_input(); return v; }",
+      "int srcOnly(int c) { int v = read_input(); int a = 1; return v; }");
+  {
+    std::string From = "int bothSrc(int c) { int v = read_input(); return v; }";
+    size_t Pos = Src.find(From);
+    ASSERT_NE(Pos, std::string::npos);
+    Src.replace(Pos, From.size(),
+                "int bothSrc(int c) { int v = read_input(); int b = 2; "
+                "return v; }");
+    From = "int snkOnly(int v) { remove(v); return 0; }";
+    Pos = Src.find(From);
+    ASSERT_NE(Pos, std::string::npos);
+    Src.replace(Pos, From.size(),
+                "int snkOnly(int v) { remove(v); int c = 3; return 0; }");
+  }
+  loadRefreshSubject(Edited, Src);
+
+  svfa::RelevanceRefreshStats AutoStats;
+  svfa::RelevanceArtifact A = refreshAgainst(
+      Orig, Edited, svfa::RelevanceRefreshMode::Auto, AutoStats);
+  EXPECT_FALSE(AutoStats.Local);
+  EXPECT_EQ(AutoStats.DirtyFns, 3u);
+  EXPECT_EQ(AutoStats.ScannedFns, Edited.M.functions().size());
+
+  svfa::RelevanceRefreshStats LocalStats;
+  svfa::RelevanceArtifact L = refreshAgainst(
+      Orig, Edited, svfa::RelevanceRefreshMode::Local, LocalStats);
+  EXPECT_TRUE(LocalStats.Local);
+  EXPECT_EQ(LocalStats.ScannedFns, 3u);
+
+  svfa::RelevanceArtifact Cold =
+      svfa::computeRelevanceArtifact(*Edited.CG, Edited.M, taintSpec());
+  EXPECT_EQ(refreshView(A), refreshView(Cold));
+  EXPECT_EQ(refreshView(L), refreshView(Cold));
+}
+
 TEST(RelevanceSpecKeyTest, OrderInvariantAndKnobSensitive) {
   svfa::DemandSpec AB, BA;
   AB.Checkers = {checkers::pathTraversalChecker(),
@@ -921,6 +1237,228 @@ TEST(DemandSinkCLI, MemPlanIsIdenticalAcrossDemandModes) {
   const std::string Text = readFile(StatsOut);
   EXPECT_EQ(statValue(Text, "skipped-fns"), 12) << Text;
   EXPECT_GT(statValue(Text, "mem-plan-degraded"), 0) << Text;
+}
+
+//===----------------------------------------------------------------------===
+// Edit-localised warm refresh through the CLI (--relevance-refresh)
+//===----------------------------------------------------------------------===
+
+TEST(DemandSinkCLI, EditedWarmRunRefreshesLocally) {
+  TempDir T("editwarm");
+  const std::string Subject = T.file("subject.mc");
+  std::ofstream(Subject) << sinkSubject();
+  const std::string DirA = T.file("cacheA"), DirB = T.file("cacheB");
+
+  // Two cold populates of the original subject (one per refresh policy).
+  ASSERT_EQ(runTool({"--checker=taint-path", "--stats",
+                     "--cache-dir=" + DirA, Subject},
+                    T.file("coldA.out")),
+            0);
+  ASSERT_EQ(runTool({"--checker=taint-path", "--stats",
+                     "--cache-dir=" + DirB, Subject},
+                    T.file("coldB.out")),
+            0);
+  const std::string ColdA = readFile(T.file("coldA.out"));
+  EXPECT_NE(ColdA.find("refresh-mode=cold"), std::string::npos) << ColdA;
+
+  // An unedited warm run replays outright.
+  ASSERT_EQ(runTool({"--checker=taint-path", "--stats",
+                     "--cache-dir=" + DirA, Subject},
+                    T.file("replay.out")),
+            0);
+  EXPECT_NE(readFile(T.file("replay.out")).find("refresh-mode=replay"),
+            std::string::npos);
+
+  // Edit one function body, then rerun warm: the stale entry seeds a
+  // localized refresh instead of a full pre-pass.
+  std::ofstream(Subject, std::ios::trunc) << editedSinkSubject(
+      "int srcOnly(int c) { int v = read_input(); return v; }",
+      "int srcOnly(int c) { int v = read_input(); int zq = 7; return v; }");
+  ASSERT_EQ(runTool({"--checker=taint-path", "--stats",
+                     "--cache-dir=" + DirA, Subject},
+                    T.file("warm.out")),
+            0);
+  const std::string Warm = readFile(T.file("warm.out"));
+  EXPECT_NE(Warm.find("refresh-mode=local"), std::string::npos) << Warm;
+  // Deltas vs the cold run (identical inherited counter state): exactly
+  // one dirty function, one re-scanned function (vs all 8 cold), reused
+  // edges, one more stale detection — and a refreshed entry stored.
+  EXPECT_EQ(statValue(Warm, "dirty-fns"), statValue(ColdA, "dirty-fns") + 1)
+      << Warm;
+  EXPECT_EQ(statValue(Warm, "prepass-fns"),
+            statValue(ColdA, "prepass-fns") - 7)
+      << Warm;
+  EXPECT_GT(statValue(Warm, "edges-reused"),
+            statValue(ColdA, "edges-reused"))
+      << Warm;
+  EXPECT_EQ(statValue(Warm, "relevance-stale"),
+            statValue(ColdA, "relevance-stale") + 1)
+      << Warm;
+  EXPECT_EQ(statValue(Warm, "relevance-stored"),
+            statValue(ColdA, "relevance-stored"))
+      << Warm;
+
+  // The refreshed entry replays on the next warm run.
+  ASSERT_EQ(runTool({"--checker=taint-path", "--stats",
+                     "--cache-dir=" + DirA, Subject},
+                    T.file("rewarm.out")),
+            0);
+  EXPECT_NE(readFile(T.file("rewarm.out")).find("refresh-mode=replay"),
+            std::string::npos);
+
+  // --relevance-refresh=full on the same edit reruns the whole pre-pass:
+  // all 8 functions scanned, no dirty-diff bookkeeping at all.
+  ASSERT_EQ(runTool({"--checker=taint-path", "--stats",
+                     "--relevance-refresh=full", "--cache-dir=" + DirB,
+                     Subject},
+                    T.file("full.out")),
+            0);
+  const std::string Full = readFile(T.file("full.out"));
+  EXPECT_NE(Full.find("refresh-mode=full"), std::string::npos) << Full;
+  EXPECT_EQ(statValue(Full, "prepass-fns"), statValue(ColdA, "prepass-fns"))
+      << Full;
+  EXPECT_EQ(statValue(Full, "dirty-fns"), statValue(ColdA, "dirty-fns"))
+      << Full;
+}
+
+TEST(DemandSinkCLI, EditedWarmByteIdentityAcrossModes) {
+  TempDir T("editmatrix");
+  const std::string Subject = T.file("subject.mc");
+  const std::string All = "--checker=uaf,df,taint-path,taint-data,"
+                          "null-deref,leak";
+  const std::string Orig = mixedSubject();
+  // A seed-changing edit (a third free site in dfBoth): the warm refresh
+  // has to recompute the cones, re-analyze the dirtied SCC, and still land
+  // byte-identical to a cold run on the edited subject.
+  std::string Edited = Orig;
+  const std::string From = "int dfBoth(int *p, int c) { if (c > 0) { "
+                           "free(p); } if (c > 1) { free(p); } return c; }";
+  size_t Pos = Edited.find(From);
+  ASSERT_NE(Pos, std::string::npos);
+  Edited.replace(Pos, From.size(),
+                 "int dfBoth(int *p, int c) { if (c > 0) { free(p); } "
+                 "if (c > 1) { free(p); } if (c > 2) { free(p); } "
+                 "return c; }");
+
+  int Combo = 0;
+  for (const char *Jobs : {"--jobs=1", "--jobs=4"}) {
+    for (const char *Sched : {"--schedule=fifo", "--schedule=steal"}) {
+      const std::string Tag = std::to_string(Combo++);
+      const std::string DirA = T.file("ca" + Tag), DirB = T.file("cb" + Tag);
+      std::ofstream(Subject, std::ios::trunc) << Orig;
+      ASSERT_EQ(runTool({All, Jobs, Sched, "--cache-dir=" + DirA, Subject},
+                        T.file("seed.out")),
+                0);
+      ASSERT_EQ(runTool({All, Jobs, Sched, "--cache-dir=" + DirB, Subject},
+                        T.file("seed.out")),
+                0);
+      std::ofstream(Subject, std::ios::trunc) << Edited;
+      const std::string C = T.file("c" + Tag + ".out"),
+                        W = T.file("w" + Tag + ".out"),
+                        F = T.file("f" + Tag + ".out");
+      ASSERT_EQ(runTool({All, Jobs, Sched, "--degradation-log", Subject}, C),
+                0);
+      ASSERT_EQ(runTool({All, Jobs, Sched, "--degradation-log",
+                         "--cache-dir=" + DirA, Subject},
+                        W),
+                0);
+      ASSERT_EQ(runTool({All, Jobs, Sched, "--degradation-log",
+                         "--relevance-refresh=full", "--cache-dir=" + DirB,
+                         Subject},
+                        F),
+                0);
+      EXPECT_EQ(readFile(C), readFile(W)) << Jobs << " " << Sched;
+      EXPECT_EQ(readFile(C), readFile(F)) << Jobs << " " << Sched;
+    }
+  }
+}
+
+TEST(DemandSinkCLI, VersionDowngradeRecomputesSilently) {
+  TempDir T("downgradecli");
+  const std::string Subject = T.file("subject.mc");
+  std::ofstream(Subject) << sinkSubject();
+  const std::string Dir = T.file("cache");
+
+  ASSERT_EQ(runTool({"--checker=taint-path", "--stats", "--degradation-log",
+                     "--cache-dir=" + Dir, Subject},
+                    T.file("cold.out")),
+            0);
+  const std::string Cold = readFile(T.file("cold.out"));
+
+  // Replace the entry with a well-formed v2-era one: an honest leftover of
+  // an older build, which must recompute silently — stale, not corrupt.
+  writeLegacyRelevanceEntry(
+      (std::filesystem::path(Dir) / "relevance").string(), 2);
+  ASSERT_EQ(runTool({"--checker=taint-path", "--stats", "--degradation-log",
+                     "--cache-dir=" + Dir, Subject},
+                    T.file("warm.out")),
+            0);
+  const std::string Warm = readFile(T.file("warm.out"));
+  EXPECT_EQ(Warm.find("cache-corrupt demand"), std::string::npos) << Warm;
+  EXPECT_NE(Warm.find("refresh-mode=full"), std::string::npos) << Warm;
+  EXPECT_EQ(statValue(Warm, "relevance-stale"),
+            statValue(Cold, "relevance-stale") + 1)
+      << Warm;
+  EXPECT_EQ(statValue(Warm, "relevance-stored"),
+            statValue(Cold, "relevance-stored"))
+      << Warm;
+  EXPECT_EQ(statValue(Warm, "prepass-fns"), statValue(Cold, "prepass-fns"))
+      << Warm;
+
+  // The overwritten v3 entry replays on the next run.
+  ASSERT_EQ(runTool({"--checker=taint-path", "--stats",
+                     "--cache-dir=" + Dir, Subject},
+                    T.file("rewarm.out")),
+            0);
+  EXPECT_EQ(statValue(readFile(T.file("rewarm.out")), "relevance-replayed"),
+            statValue(Cold, "relevance-replayed") + 1);
+}
+
+TEST(DemandSinkCLI, OrphanTmpFilesAreSweptAtStartup) {
+  TempDir T("tmpgc");
+  const std::string Subject = T.file("subject.mc");
+  std::ofstream(Subject) << sinkSubject();
+  const std::string Dir = T.file("cache");
+
+  ASSERT_EQ(runTool({"--checker=taint-path", "--stats",
+                     "--cache-dir=" + Dir, Subject},
+                    T.file("cold.out")),
+            0);
+  const std::string Cold = readFile(T.file("cold.out"));
+
+  // Count the real entries, then plant orphaned temp files of every store
+  // family (entry, relevance, sched-profile) as a crashed run would.
+  size_t Entries = 0;
+  for (const auto &E : std::filesystem::directory_iterator(Dir))
+    if (E.path().extension() == ".pps")
+      ++Entries;
+  ASSERT_GT(Entries, 0u);
+  for (const char *Orphan :
+       {"deadbeef00000000.pps.tmp3.7", "relevance.tmp1", "sched-profile.tmp0"})
+    std::ofstream((std::filesystem::path(Dir) / Orphan).string())
+        << "leftover";
+
+  ASSERT_EQ(runTool({"--checker=taint-path", "--stats",
+                     "--cache-dir=" + Dir, Subject},
+                    T.file("warm.out")),
+            0);
+  const std::string Warm = readFile(T.file("warm.out"));
+  EXPECT_EQ(statValue(Warm, "gc-tmp"), statValue(Cold, "gc-tmp") + 3) << Warm;
+  // Orphans are gone, real entries and the relevance entry survived.
+  size_t After = 0, Tmps = 0;
+  for (const auto &E : std::filesystem::directory_iterator(Dir)) {
+    if (E.path().extension() == ".pps")
+      ++After;
+    if (E.path().filename().string().find(".tmp") != std::string::npos)
+      ++Tmps;
+  }
+  EXPECT_EQ(After, Entries);
+  EXPECT_EQ(Tmps, 0u);
+  EXPECT_TRUE(std::filesystem::exists(std::filesystem::path(Dir) /
+                                      "relevance"));
+  EXPECT_EQ(statValue(Warm, "relevance-replayed"),
+            statValue(Cold, "relevance-replayed") + 1)
+      << Warm;
 }
 
 #endif // !_WIN32 && !PINPOINT_TSAN

@@ -188,8 +188,10 @@ int runTool(const std::vector<std::string> &Args, const std::string &OutFile) {
 /// when functions are skipped), mirroring the --jobs contract's exemption
 /// of the interleaving-dependent acceleration counters.
 std::string filterVolatile(const std::string &Out) {
-  static const char *const Volatile[] = {"[pipeline]", "[exprs]",  "[cache]",
-                                         "[lifecycle]", "[demand]", "[sched]"};
+  static const char *const Volatile[] = {"[pipeline]",   "[phase]",
+                                         "[exprs]",      "[cache]",
+                                         "[lifecycle]",  "[demand]",
+                                         "[sched]"};
   std::string Keep;
   std::stringstream SS(Out);
   std::string Line;

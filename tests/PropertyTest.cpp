@@ -624,6 +624,110 @@ TEST_P(PipelineProperty, CorruptRelevanceEntryFallsBackToFreshPrePass) {
   std::filesystem::remove_all(Dir);
 }
 
+TEST_P(PipelineProperty, EditedWarmRefreshMatchesColdOnRandomEdits) {
+  // Randomised edit-localised reanalysis fuzzing (DESIGN.md section 15):
+  // pad-edit K seed-picked function bodies, then check that the warm
+  // refresh run re-scans exactly those K functions (dirty diff == edit
+  // set) while reporting byte-identically to a from-scratch run on the
+  // edited source — and that the refreshed entry replays on the next run.
+  workload::Workload W = makeWorkload();
+  RNG Rand(GetParam() * 0x51edu + 3);
+
+  // Column-0 function headers, as in CacheInvalidationTracksDirtySCCs.
+  std::vector<size_t> HeaderEnds;
+  size_t Pos = 0;
+  while (Pos < W.Source.size()) {
+    size_t EOL = W.Source.find('\n', Pos);
+    if (EOL == std::string::npos)
+      EOL = W.Source.size();
+    std::string Line = W.Source.substr(Pos, EOL - Pos);
+    if (Line.rfind("int ", 0) == 0 && Line.find('(') != std::string::npos &&
+        !Line.empty() && Line.back() == '{')
+      HeaderEnds.push_back(EOL);
+    Pos = EOL + 1;
+  }
+  ASSERT_FALSE(HeaderEnds.empty());
+
+  // 1-3 distinct functions, edited back-to-front so offsets stay valid.
+  size_t K = 1 + Rand.below(std::min<size_t>(3, HeaderEnds.size()));
+  std::vector<size_t> Picks;
+  while (Picks.size() < K) {
+    size_t Idx = Rand.below(HeaderEnds.size());
+    if (std::find(Picks.begin(), Picks.end(), Idx) == Picks.end())
+      Picks.push_back(Idx);
+  }
+  std::sort(Picks.begin(), Picks.end(), std::greater<size_t>());
+  std::string Edited = W.Source;
+  for (size_t Idx : Picks)
+    Edited.insert(HeaderEnds[Idx], "\n  int zqrefreshpad = 7;");
+
+  svfa::DemandSpec DS;
+  DS.Checkers.push_back(checkers::useAfterFreeChecker());
+  auto runCfg = [&](const std::string &Src, SummaryCache *Cache) {
+    Module M;
+    std::vector<frontend::Diag> Diags;
+    EXPECT_TRUE(frontend::parseModule(Src, M, Diags));
+    smt::ExprContext Ctx;
+    svfa::PipelineOptions PO;
+    PO.Demand = &DS;
+    PO.Cache = Cache;
+    // Force the dirty-cone path: small generated subjects can trip the
+    // ~30% auto threshold at K=3, and this sweep pins the local path.
+    PO.RelevanceRefresh = svfa::RelevanceRefreshMode::Local;
+    svfa::AnalyzedModule AM(M, Ctx, PO);
+    svfa::GlobalOptions GO;
+    GO.Demand = true;
+    svfa::GlobalSVFA Engine(AM, checkers::useAfterFreeChecker(), GO);
+    std::vector<std::pair<uint32_t, uint32_t>> Keys;
+    for (const auto &R : Engine.run())
+      Keys.push_back({R.Source.Line, R.Sink.Line});
+    std::sort(Keys.begin(), Keys.end());
+    return Keys;
+  };
+
+  const std::string Dir = "prop_refresh_" + std::to_string(GetParam());
+  std::filesystem::remove_all(Dir);
+  std::string Err;
+  Counters &C = Counters::get();
+  {
+    SummaryCache Cold(Dir, SummaryCache::Mode::ReadWrite);
+    ASSERT_TRUE(Cold.prepare(Err)) << Err;
+    runCfg(W.Source, &Cold);
+  }
+
+  const int64_t Dirty = C.value("demand.dirty-fns");
+  const int64_t Prepass = C.value("demand.prepass-fns");
+  const int64_t Stale = C.value("demand.relevance-stale");
+  const int64_t Stored = C.value("demand.relevance-stored");
+  std::vector<std::pair<uint32_t, uint32_t>> WarmKeys;
+  {
+    SummaryCache Warm(Dir, SummaryCache::Mode::ReadWrite);
+    ASSERT_TRUE(Warm.prepare(Err)) << Err;
+    WarmKeys = runCfg(Edited, &Warm);
+  }
+  // The dirty diff found exactly the K edited functions, only they were
+  // re-scanned, and the refreshed entry was re-stored for the new subject.
+  EXPECT_EQ(C.value("demand.dirty-fns"), Dirty + (int64_t)K);
+  EXPECT_EQ(C.value("demand.prepass-fns"), Prepass + (int64_t)K);
+  EXPECT_EQ(C.value("demand.relevance-stale"), Stale + 1);
+  EXPECT_EQ(C.value("demand.relevance-stored"), Stored + 1);
+
+  // Differential guarantee: identical findings to a cold uncached run on
+  // the edited source.
+  EXPECT_EQ(WarmKeys, runCfg(Edited, nullptr)) << "K=" << K;
+
+  // And the refreshed entry replays outright on the next warm run.
+  const int64_t Replayed = C.value("demand.relevance-replayed");
+  {
+    SummaryCache Again(Dir, SummaryCache::Mode::ReadWrite);
+    ASSERT_TRUE(Again.prepare(Err)) << Err;
+    EXPECT_EQ(runCfg(Edited, &Again), WarmKeys);
+  }
+  EXPECT_EQ(C.value("demand.relevance-replayed"), Replayed + 1);
+
+  std::filesystem::remove_all(Dir);
+}
+
 INSTANTIATE_TEST_SUITE_P(Seeds, PipelineProperty,
                          ::testing::Values(11, 22, 33, 44, 55, 66));
 
